@@ -1,0 +1,43 @@
+(** The dating-service database of the paper's running example, used by the
+    Fig. 1/2 bench target (shared with the examples). *)
+
+open Frepro
+open Frepro.Relational
+
+let term name =
+  match Fuzzy.Term.lookup Fuzzy.Term.paper name with
+  | Some p -> Value.Fuzzy p
+  | None -> invalid_arg ("unknown paper term " ^ name)
+
+let tuple vs d = Ftuple.make (Array.of_list vs) d
+
+let person_schema name =
+  Schema.make ~name
+    [
+      ("ID", Schema.TNum); ("NAME", Schema.TStr); ("AGE", Schema.TNum);
+      ("INCOME", Schema.TNum);
+    ]
+
+let paper_db env =
+  let catalog = Catalog.create env in
+  let f =
+    Relation.of_list env (person_schema "F")
+      [
+        tuple [ Value.Int 101; Value.Str "Ann"; term "about 35"; term "about 60K" ] 1.0;
+        tuple [ Value.Int 102; Value.Str "Ann"; term "medium young"; term "medium high" ] 1.0;
+        tuple [ Value.Int 103; Value.Str "Betty"; term "middle age"; term "high" ] 1.0;
+        tuple [ Value.Int 104; Value.Str "Cathy"; term "about 50"; term "low" ] 1.0;
+      ]
+  in
+  let m =
+    Relation.of_list env (person_schema "M")
+      [
+        tuple [ Value.Int 201; Value.Str "Allen"; Value.crisp_num 24.0; term "about 25K" ] 1.0;
+        tuple [ Value.Int 202; Value.Str "Allen"; term "about 50"; term "about 40K" ] 1.0;
+        tuple [ Value.Int 203; Value.Str "Bill"; term "middle age"; term "high" ] 1.0;
+        tuple [ Value.Int 204; Value.Str "Carl"; term "about 29"; term "medium low" ] 1.0;
+      ]
+  in
+  Catalog.add catalog f;
+  Catalog.add catalog m;
+  catalog

@@ -1,0 +1,116 @@
+(** Measurement harness shared by every table/figure bench.
+
+    Each cell of a Section 9 experiment evaluates the same type J query with
+    the nested-loop method or the unnesting merge-join over generated
+    relations, in a fresh storage environment, and reports the paper's
+    metrics: response time (modelled as CPU + #IO x io_latency), CPU time,
+    I/O count, and the sorting share of the merge-join.
+
+    Scaling: the paper used a 2 MB buffer against 1-32 MB relations on a 1995
+    SPARC/IPC. By default every size is divided by 4 (512 KB buffer = 64
+    pages, relations 0.25-8 MB) so the suite finishes in minutes while
+    preserving the relation : buffer ratios; where the paper's nested loop
+    "takes too long to terminate" (>= 16 MB), ours is skipped the same way.
+    Note that scaling n by k compresses the quadratic-vs-linear speedup by
+    ~k, so the default speedups are about a quarter of the paper's;
+    [--full] restores the paper's absolute sizes (and its speedup range) at
+    the cost of a much longer run. *)
+
+open Frepro
+open Frepro.Relational
+
+type config = {
+  scale : int;  (** divide paper sizes by this (1 = paper scale) *)
+  io_latency : float;  (** seconds per page transfer (1995 disk ~ 20 ms) *)
+  seed : int;
+}
+
+(* Calibration of [io_latency]: the paper's SPARC/IPC spent ~7.8 us per
+   fuzzy-predicate evaluation (501 s for 8192x8192 pairs in Table 1) against
+   ~20 ms per page transfer — about 2,500 fuzzy ops per I/O. This build's
+   fuzzy op costs ~0.4 us, so a period-accurate 20 ms disk would drown the
+   CPU side and invert every trade-off the paper measured. The default
+   latency keeps the paper's CPU : I/O ratio (20 ms scaled by the ~40x CPU
+   speedup => 0.5 ms); pass [--io-latency 0.02] for the period-accurate
+   disk. *)
+let default_config = { scale = 4; io_latency = 0.0005; seed = 42 }
+
+(* The paper's buffer: 2 MB of 8 KB pages, scaled. *)
+let mem_pages cfg = Int.max 8 (256 / cfg.scale)
+
+(** Tuples per paper-megabyte at 128-byte tuples. *)
+let tuples_per_mb = 8192
+
+let spec_of ~paper_mb ~tuple_bytes ~fanout cfg =
+  let n = paper_mb * tuples_per_mb / cfg.scale * 128 / tuple_bytes in
+  let n = Int.max 1 n in
+  {
+    Workload.Gen.default_spec with
+    n;
+    tuple_bytes;
+    groups = Int.max 1 (int_of_float (float_of_int n /. fanout));
+  }
+
+type metrics = {
+  response : float;  (** seconds: cpu + io * latency *)
+  cpu : float;
+  ios : int;
+  sort_share : float;  (** fraction of response spent sorting *)
+  fuzzy_ops : int;
+  answer_size : int;
+}
+
+(* The canonical type J query of the experiments (Section 9 uses type J to
+   illustrate): correlated IN subquery joining on the fuzzy attribute X. *)
+let bench_sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.W <= R.W)"
+
+type method_ = Nested_loop | Merge_join
+
+let method_name = function
+  | Nested_loop -> "Nested Loop"
+  | Merge_join -> "Merge-join"
+
+let run_cell cfg ~outer ~inner method_ =
+  let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
+  let r, s = Workload.Gen.join_pair env ~seed:cfg.seed ~outer ~inner in
+  let catalog = Catalog.create env in
+  Catalog.add catalog r;
+  Catalog.add catalog s;
+  let q = Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper bench_sql in
+  let shape =
+    match Unnest.Classify.classify q with
+    | Unnest.Classify.Two_level shape -> shape
+    | other ->
+        failwith ("bench query misclassified as " ^ Unnest.Classify.to_string other)
+  in
+  let stats = env.Storage.Env.stats in
+  Storage.Env.reset_stats env;
+  let answer =
+    Storage.Iostats.timed stats Storage.Iostats.Other (fun () ->
+        match method_ with
+        | Nested_loop -> Unnest.Nl_exec.run shape ~mem_pages:(mem_pages cfg)
+        | Merge_join -> Unnest.Merge_exec.run shape ~mem_pages:(mem_pages cfg))
+  in
+  let cpu = Storage.Iostats.cpu_seconds stats in
+  let ios = Storage.Iostats.total_ios stats in
+  let response = cpu +. (float_of_int ios *. cfg.io_latency) in
+  let sort_time =
+    Storage.Iostats.phase_seconds stats Storage.Iostats.Sort
+    +. (float_of_int (Storage.Iostats.phase_ios stats Storage.Iostats.Sort)
+       *. cfg.io_latency)
+  in
+  {
+    response;
+    cpu;
+    ios;
+    sort_share = (if response > 0.0 then sort_time /. response else 0.0);
+    fuzzy_ops = Storage.Iostats.fuzzy_ops stats;
+    answer_size = Relation.cardinality answer;
+  }
+
+let str_seconds s =
+  if s >= 100.0 then Printf.sprintf "%.0f" s
+  else if s >= 1.0 then Printf.sprintf "%.1f" s
+  else Printf.sprintf "%.3f" s
+
+let hr ppf width = Format.fprintf ppf "%s@." (String.make width '-')

@@ -1,0 +1,452 @@
+(** Regenerates every table and figure of Section 9 of the paper, plus the
+    membership-function figures and an ablation study.
+
+    Usage: [bench/main.exe [targets] [--full] [--scale N] [--io-latency S]
+    [--seed N]] where targets are any of [table1 table2 table3 table4 fig3
+    fig1 ablation micro all] (default: all). [--full] runs at the paper's
+    absolute sizes (slow); the default scales every size by 8, which
+    preserves all relation-size : buffer-size ratios. *)
+
+open Frepro
+open Harness
+
+let section title = Format.printf "@.==== %s ====@." title
+let note fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: equal relation sizes, 128 B tuples, fan-out C = 7.         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 cfg =
+  section "Table 1 - Response time (s): equal relation sizes, C = 7";
+  note "paper reference: NL 501 / 1965 / 7754 / 30879 / - / -@.";
+  note "                 MJ 40 / 84 / 223 / 852 / 1897 / 3733 (speedup 12.5 -> 36.2)@.";
+  note "scaled sizes: paper MB / %d, buffer %d pages@.@." cfg.scale (mem_pages cfg);
+  let sizes = [ 1; 2; 4; 8; 16; 32 ] in
+  (* The paper's nested loop "takes too long to terminate" from 16 MB on;
+     same cutoff here (relative to the buffer). *)
+  let nl_cutoff = 8 in
+  Format.printf "%-22s" "Relation Size";
+  List.iter (fun mb -> Format.printf "| %8dMB " mb) sizes;
+  Format.printf "@.";
+  let cells method_ limit =
+    List.map
+      (fun mb ->
+        if mb > limit then None
+        else
+          let spec = spec_of ~paper_mb:mb ~tuple_bytes:128 ~fanout:7.0 cfg in
+          Some (run_cell cfg ~outer:spec ~inner:spec method_))
+      sizes
+  in
+  let nl = cells Nested_loop nl_cutoff in
+  let mj = cells Merge_join max_int in
+  let print_row name cells =
+    Format.printf "%-22s" name;
+    List.iter
+      (function
+        | None -> Format.printf "| %10s " "-"
+        | Some m -> Format.printf "| %10s " (str_seconds m.response))
+      cells;
+    Format.printf "@."
+  in
+  print_row "Nested Loop" nl;
+  print_row "Merge-join" mj;
+  Format.printf "%-22s" "Speedup";
+  List.iter2
+    (fun nl mj ->
+      match (nl, mj) with
+      | Some n, Some m when m.response > 0.0 ->
+          Format.printf "| %10.1f " (n.response /. m.response)
+      | _ -> Format.printf "| %10s " "-")
+    nl mj;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: outer fixed at 4 MB, inner 2-16 MB.                        *)
+(* Table 3: merge-join time breakdown on the same cells.               *)
+(* ------------------------------------------------------------------ *)
+
+let table2_cells cfg =
+  let outer = spec_of ~paper_mb:4 ~tuple_bytes:128 ~fanout:7.0 cfg in
+  List.map
+    (fun mb ->
+      let inner = spec_of ~paper_mb:mb ~tuple_bytes:128 ~fanout:7.0 cfg in
+      (mb, outer, inner))
+    [ 2; 4; 8; 16 ]
+
+let table2 cfg =
+  section "Table 2 - Response time (s): outer fixed at 4MB, inner varies";
+  note "paper reference: NL 3912 / 7790 / 15489 / 31049; MJ 156 / 205 / 476 / 2152@.";
+  note "                 (NL grows linearly in the inner size; speedup peaks then falls)@.@.";
+  let cells = table2_cells cfg in
+  Format.printf "%-22s" "Inner Relation Size";
+  List.iter (fun (mb, _, _) -> Format.printf "| %8dMB " mb) cells;
+  Format.printf "@.";
+  let nl = List.map (fun (_, o, i) -> run_cell cfg ~outer:o ~inner:i Nested_loop) cells in
+  let mj = List.map (fun (_, o, i) -> run_cell cfg ~outer:o ~inner:i Merge_join) cells in
+  let row name ms =
+    Format.printf "%-22s" name;
+    List.iter (fun m -> Format.printf "| %10s " (str_seconds m.response)) ms;
+    Format.printf "@."
+  in
+  row "Nested Loop" nl;
+  row "Merge-join" mj;
+  Format.printf "%-22s" "Speedup";
+  List.iter2 (fun n m -> Format.printf "| %10.1f " (n.response /. m.response)) nl mj;
+  Format.printf "@."
+
+let table3 cfg =
+  section "Table 3 - Time breakdown for the merge-join method";
+  note "paper reference: CPU%% 76 / 63 / 51 / 24; sorting%% 38.7 / 52.5 / 61.9 / 84.1@.@.";
+  let cells = table2_cells cfg in
+  let mj = List.map (fun (_, o, i) -> run_cell cfg ~outer:o ~inner:i Merge_join) cells in
+  Format.printf "%-22s" "Inner Relation Size";
+  List.iter (fun (mb, _, _) -> Format.printf "| %8dMB " mb) cells;
+  Format.printf "@.";
+  Format.printf "%-22s" "CPU time (%)";
+  List.iter
+    (fun m -> Format.printf "| %10.0f " (100.0 *. m.cpu /. Float.max 1e-9 m.response))
+    mj;
+  Format.printf "@.";
+  Format.printf "%-22s" "Sorting time (%)";
+  List.iter (fun m -> Format.printf "| %10.1f " (100.0 *. m.sort_share)) mj;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: 8000 tuples each, tuple size 128-2048 bytes, C = 1.        *)
+(* ------------------------------------------------------------------ *)
+
+let table4 cfg =
+  section "Table 4 - Response time (s): varying tuple size, C = 1";
+  note "paper reference: NL 485 / 514 / 584 / 729 / 1077; MJ 20 / 37 / 94 / 487 / 896@.";
+  note "                 (tuple count fixed: CPU constant, I/O grows with tuple size)@.@.";
+  (* 8000 tuples in the paper; the scaled copy shrinks the count (the tuple
+     sizes are the experiment variable and stay as printed). *)
+  let n = Int.max 500 (8000 * 4 / Int.max 1 (cfg.scale * 4)) in
+  let sizes = [ 128; 256; 512; 1024; 2048 ] in
+  Format.printf "(%d tuples per relation)@." n;
+  Format.printf "%-22s" "Tuple Size";
+  List.iter (fun b -> Format.printf "| %9dB " b) sizes;
+  Format.printf "@.";
+  let cell method_ b =
+    let spec = { Workload.Gen.default_spec with n; tuple_bytes = b; groups = n } in
+    run_cell cfg ~outer:spec ~inner:spec method_
+  in
+  let nl = List.map (cell Nested_loop) sizes in
+  let mj = List.map (cell Merge_join) sizes in
+  let row name ms =
+    Format.printf "%-22s" name;
+    List.iter (fun m -> Format.printf "| %10s " (str_seconds m.response)) ms;
+    Format.printf "@."
+  in
+  row "Nested Loop" nl;
+  row "Merge-join" mj;
+  Format.printf "%-22s" "NL I/Os";
+  List.iter (fun m -> Format.printf "| %10d " m.ios) nl;
+  Format.printf "@.";
+  Format.printf "%-22s" "MJ I/Os";
+  List.iter (fun m -> Format.printf "| %10d " m.ios) mj;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: 8 MB relations, fan-out C = 1..128 (merge-join).            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 cfg =
+  section "Fig. 3 - Merge-join vs join fan-out C (8MB relations)";
+  note "paper reference: #IOs stays flat; CPU and response grow with C@.@.";
+  let cs = [ 1; 2; 4; 8; 16; 32; 64; 128 ] in
+  Format.printf "%-6s | %12s | %12s | %10s | %12s@." "C" "Response (s)"
+    "CPU (s)" "#IOs" "fuzzy ops";
+  hr Format.std_formatter 66;
+  List.iter
+    (fun c ->
+      let spec = spec_of ~paper_mb:8 ~tuple_bytes:128 ~fanout:(float_of_int c) cfg in
+      let m = run_cell cfg ~outer:spec ~inner:spec Merge_join in
+      Format.printf "%-6d | %12s | %12s | %10d | %12d@." c (str_seconds m.response)
+        (str_seconds m.cpu) m.ios m.fuzzy_ops)
+    cs
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 1-2: membership functions + Example 4.1 tables.               *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 _cfg =
+  section "Fig. 1 - Membership functions of 'medium young' and 'about 35'";
+  let g n = Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper n) in
+  print_string
+    (Fuzzy.Term.plot ~from_x:15.0 ~to_x:45.0
+       [ ("medium young", g "medium young"); ("about 35", g "about 35") ]);
+  section "Fig. 2 - AGE terms of the running example";
+  print_string
+    (Fuzzy.Term.plot ~from_x:15.0 ~to_x:60.0
+       [
+         ("medium young", g "medium young"); ("middle age", g "middle age");
+         ("about 50", g "about 50"); ("about 29", g "about 29");
+       ]);
+  section "Fig. 2 - INCOME terms of the running example";
+  print_string
+    (Fuzzy.Term.plot ~from_x:0.0 ~to_x:120.0
+       [
+         ("low", g "low"); ("medium low", g "medium low");
+         ("about 40K", g "about 40K"); ("about 60K", g "about 60K");
+         ("medium high", g "medium high"); ("high", g "high");
+       ]);
+  section "Example 4.1 - Query 2 over the dating-service database";
+  let env = Storage.Env.create () in
+  let catalog = Bench_db.paper_db env in
+  let run sql =
+    Unnest.Planner.run
+      (Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql)
+  in
+  let t = run "SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'" in
+  Format.printf "T = %a@." Relational.Relation.pp t;
+  let answer =
+    run
+      "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN \
+       (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')"
+  in
+  Format.printf "Answer = %a@." Relational.Relation.pp answer
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: where does the gain come from?                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation cfg =
+  section "Ablation - unnesting vs join algorithm";
+  note "naive       : inner block re-evaluated per outer tuple (execution semantics)@.";
+  note "nested loop : blocked NL, the paper's baseline@.";
+  note "merge-join  : unnesting + extended merge-join (the paper's method)@.";
+  note "indicator   : merge-join + fuzzy-equality-indicator prefilter [42]@.@.";
+  let spec = spec_of ~paper_mb:2 ~tuple_bytes:128 ~fanout:7.0 cfg in
+  let n = Int.min spec.Workload.Gen.n 1024 in
+  let tiny = { spec with Workload.Gen.n; groups = Int.max 1 (n / 7) } in
+  let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
+  let r, s = Workload.Gen.join_pair env ~seed:cfg.seed ~outer:tiny ~inner:tiny in
+  let catalog = Relational.Catalog.create env in
+  Relational.Catalog.add catalog r;
+  Relational.Catalog.add catalog s;
+  let q = Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper bench_sql in
+  let stats = env.Storage.Env.stats in
+  let measure f =
+    Storage.Env.reset_stats env;
+    ignore (Storage.Iostats.timed stats Storage.Iostats.Other f);
+    let cpu = Storage.Iostats.cpu_seconds stats in
+    let ios = Storage.Iostats.total_ios stats in
+    cpu +. (float_of_int ios *. cfg.io_latency)
+  in
+  let mp = mem_pages cfg in
+  let naive_t = measure (fun () -> Unnest.Naive_eval.query q) in
+  let nl_t =
+    measure (fun () ->
+        Unnest.Planner.run ~strategy:Unnest.Planner.Nested_loop ~mem_pages:mp q)
+  in
+  let mj_t =
+    measure (fun () ->
+        Unnest.Planner.run ~strategy:Unnest.Planner.Unnest_merge ~mem_pages:mp q)
+  in
+  let ind_t =
+    measure (fun () ->
+        ignore
+          (Relational.Join_merge.with_indicator ~outer:r ~inner:s ~outer_attr:1
+             ~inner_attr:1 ~mem_pages:mp ()))
+  in
+  Format.printf "(%d-tuple relations, C = 7)@." n;
+  Format.printf "  %-28s %10s s@." "naive per-tuple rescan" (str_seconds naive_t);
+  Format.printf "  %-28s %10s s@." "blocked nested loop" (str_seconds nl_t);
+  Format.printf "  %-28s %10s s@." "unnest + merge-join" (str_seconds mj_t);
+  Format.printf "  %-28s %10s s  (join only)@." "merge-join + indicator" (str_seconds ind_t)
+
+(* ------------------------------------------------------------------ *)
+(* External sort: load-sort vs replacement-selection run formation.    *)
+(* ------------------------------------------------------------------ *)
+
+let sort_bench cfg =
+  section "Sort ablation - run formation under scarce memory";
+  note "replacement selection (Knuth) forms ~2x longer runs on random input,@.";
+  note "saving a merge pass when runs exceed the fan-in (cf. Opt-Tech Sort)@.@.";
+  let spec = spec_of ~paper_mb:8 ~tuple_bytes:128 ~fanout:7.0 cfg in
+  Format.printf "%-28s | %8s | %10s | %12s@." "strategy (mem = 4 pages)" "runs"
+    "total I/Os" "response (s)";
+  hr Format.std_formatter 70;
+  List.iter
+    (fun (label, strategy) ->
+      let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
+      let rel = Workload.Gen.relation env ~seed:cfg.seed ~name:"R" spec in
+      let compare_records r1 r2 =
+        let v1 = Relational.Ftuple.value (Relational.Codec.decode r1) 1 in
+        let v2 = Relational.Ftuple.value (Relational.Codec.decode r2) 1 in
+        Fuzzy.Interval.compare_lex (Relational.Value.support v1)
+          (Relational.Value.support v2)
+      in
+      let file = Relational.Relation.file rel in
+      let runs =
+        Storage.External_sort.initial_runs strategy file
+          ~compare:compare_records ~mem_pages:4
+      in
+      let n_runs = List.length runs in
+      List.iter Storage.Heap_file.destroy runs;
+      Storage.Env.reset_stats env;
+      let sorted =
+        Storage.External_sort.sort ~run_strategy:strategy file
+          ~compare:compare_records ~mem_pages:4
+      in
+      ignore sorted;
+      let stats = env.Storage.Env.stats in
+      let response =
+        Storage.Iostats.cpu_seconds stats
+        +. (float_of_int (Storage.Iostats.total_ios stats) *. cfg.io_latency)
+      in
+      Format.printf "%-28s | %8d | %10d | %12s@." label n_runs
+        (Storage.Iostats.total_ios stats)
+        (str_seconds response))
+    [ ("load-sort", Storage.External_sort.Load_sort);
+      ("replacement selection", Storage.External_sort.Replacement_selection) ]
+
+(* ------------------------------------------------------------------ *)
+(* Chain queries (Section 8): naive vs merge cascade vs DP ordering.   *)
+(* ------------------------------------------------------------------ *)
+
+let chain_bench cfg =
+  section "Chain queries (Section 8) - 3-block nesting, skewed block sizes";
+  note "paper: response O(sum n_i log n_i) unnested vs O(prod n_i) nested;@.";
+  note "Section 8 also suggests DP join ordering to minimise intermediates@.@.";
+  let sql =
+    "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.W <= R.W AND \
+     S.X IN (SELECT T.X FROM T WHERE T.W >= S.W))"
+  in
+  let run_one ~n1 ~n2 ~n3 =
+    let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
+    let catalog = Relational.Catalog.create env in
+    let add name n seed =
+      Relational.Catalog.add catalog
+        (Workload.Gen.relation env ~seed ~name
+           { Workload.Gen.default_spec with n; groups = Int.max 1 (n / 7) })
+    in
+    add "R" n1 31;
+    add "S" n2 32;
+    add "T" n3 33;
+    let q = Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql in
+    let stats = env.Storage.Env.stats in
+    let measure f =
+      Storage.Env.reset_stats env;
+      ignore (Storage.Iostats.timed stats Storage.Iostats.Other f);
+      Storage.Iostats.cpu_seconds stats
+      +. (float_of_int (Storage.Iostats.total_ios stats) *. cfg.io_latency)
+    in
+    let mp = mem_pages cfg in
+    let naive =
+      if n1 * n2 * n3 <= 32_000_000 then
+        Some (measure (fun () -> Unnest.Naive_eval.query q))
+      else None
+    in
+    let fixed = measure (fun () -> Unnest.Planner.run ~chain_dp:false ~mem_pages:mp q) in
+    let dp = measure (fun () -> Unnest.Planner.run ~chain_dp:true ~mem_pages:mp q) in
+    (naive, fixed, dp)
+  in
+  Format.printf "%-24s | %12s | %14s | %14s@." "blocks (R, S, T)" "naive (s)"
+    "merge L-to-R (s)" "merge DP (s)";
+  hr Format.std_formatter 76;
+  List.iter
+    (fun (n1, n2, n3) ->
+      let naive, fixed, dp = run_one ~n1 ~n2 ~n3 in
+      Format.printf "%-24s | %12s | %14s | %14s@."
+        (Printf.sprintf "%d x %d x %d" n1 n2 n3)
+        (match naive with Some t -> str_seconds t | None -> "-")
+        (str_seconds fixed) (str_seconds dp))
+    [ (200, 200, 200); (2000, 2000, 50); (4000, 4000, 25) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernel operations.                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro _cfg =
+  section "Micro-benchmarks (Bechamel): fuzzy kernel operations";
+  let open Bechamel in
+  let g n = Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper n) in
+  let my = g "medium young" and ma = g "middle age" in
+  let tup =
+    Relational.Ftuple.make
+      [| Relational.Value.Int 7; Relational.Value.Fuzzy my;
+         Relational.Value.Str "padding" |]
+      0.75
+  in
+  let encoded = Relational.Codec.encode ~pad_to:128 tup in
+  let tests =
+    Test.make_grouped ~name:"kernel"
+      [
+        Test.make ~name:"eq_height (trap/trap)"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Fuzzy.Fuzzy_compare.degree Fuzzy.Fuzzy_compare.Eq my ma)));
+        Test.make ~name:"ge_height (trap/trap)"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Fuzzy.Fuzzy_compare.degree Fuzzy.Fuzzy_compare.Ge my ma)));
+        Test.make ~name:"codec encode (128B)"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Relational.Codec.encode ~pad_to:128 tup)));
+        Test.make ~name:"codec decode (128B)"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Relational.Codec.decode encoded)));
+        Test.make ~name:"interval-order compare"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Fuzzy.Interval_order.compare my ma)));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let bcfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all bcfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> Format.printf "  %-40s %12.1f ns/op@." name est
+      | _ -> Format.printf "  %-40s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [
+    ("table1", table1); ("table2", table2); ("table3", table3);
+    ("table4", table4); ("fig3", fig3); ("fig1", fig1); ("ablation", ablation);
+    ("chain", chain_bench); ("sort", sort_bench); ("micro", micro);
+  ]
+
+let () =
+  let cfg = ref default_config in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        cfg := { !cfg with scale = 1 };
+        parse rest
+    | "--scale" :: n :: rest ->
+        cfg := { !cfg with scale = int_of_string n };
+        parse rest
+    | "--io-latency" :: s :: rest ->
+        cfg := { !cfg with io_latency = float_of_string s };
+        parse rest
+    | "--seed" :: n :: rest ->
+        cfg := { !cfg with seed = int_of_string n };
+        parse rest
+    | "all" :: rest -> parse rest
+    | t :: rest when List.mem_assoc t all_targets ->
+        targets := t :: !targets;
+        parse rest
+    | t :: _ ->
+        Format.eprintf "unknown bench target %s; known: %s all@." t
+          (String.concat " " (List.map fst all_targets));
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let chosen =
+    match List.rev !targets with [] -> List.map fst all_targets | ts -> ts
+  in
+  Format.printf
+    "Nested Fuzzy SQL reproduction - Section 9 experiments (scale 1/%d, \
+     io_latency %gms, buffer %d pages)@."
+    !cfg.scale (!cfg.io_latency *. 1000.0) (mem_pages !cfg);
+  List.iter (fun t -> (List.assoc t all_targets) !cfg) chosen

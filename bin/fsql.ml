@@ -1,0 +1,225 @@
+(** fsql — an interactive Fuzzy SQL shell over the reproduction engine.
+
+    Starts with the paper's dating-service database loaded (relations F and
+    M) plus a generated pair R / S for experimentation. Statements end with
+    [;]. Meta commands:
+    {v
+    \d           list relations        \d NAME      print a relation
+    \terms       list linguistic terms \shape SQL;  classify without running
+    \strategy X  naive|nl|merge|auto   \timing      toggle timing
+    \help        this help             \q           quit
+    v} *)
+
+open Frepro
+open Frepro.Relational
+
+type state = {
+  catalog : Catalog.t;
+  terms : Fuzzy.Term.t;
+  mutable strategy : Unnest.Planner.strategy;
+  mutable timing : bool;
+}
+
+let term name = Value.Fuzzy (Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper name))
+let tuple vs d = Ftuple.make (Array.of_list vs) d
+
+let person_schema name =
+  Schema.make ~name
+    [ ("ID", Schema.TNum); ("NAME", Schema.TStr); ("AGE", Schema.TNum);
+      ("INCOME", Schema.TNum) ]
+
+let load_demo env catalog =
+  Catalog.add catalog
+    (Relation.of_list env (person_schema "F")
+       [
+         tuple [ Value.Int 101; Value.Str "Ann"; term "about 35"; term "about 60K" ] 1.0;
+         tuple [ Value.Int 102; Value.Str "Ann"; term "medium young"; term "medium high" ] 1.0;
+         tuple [ Value.Int 103; Value.Str "Betty"; term "middle age"; term "high" ] 1.0;
+         tuple [ Value.Int 104; Value.Str "Cathy"; term "about 50"; term "low" ] 1.0;
+       ]);
+  Catalog.add catalog
+    (Relation.of_list env (person_schema "M")
+       [
+         tuple [ Value.Int 201; Value.Str "Allen"; Value.crisp_num 24.0; term "about 25K" ] 1.0;
+         tuple [ Value.Int 202; Value.Str "Allen"; term "about 50"; term "about 40K" ] 1.0;
+         tuple [ Value.Int 203; Value.Str "Bill"; term "middle age"; term "high" ] 1.0;
+         tuple [ Value.Int 204; Value.Str "Carl"; term "about 29"; term "medium low" ] 1.0;
+       ]);
+  let spec = { Workload.Gen.default_spec with n = 500; groups = 50 } in
+  let r, s = Workload.Gen.join_pair env ~seed:7 ~outer:spec ~inner:spec in
+  Catalog.add catalog r;
+  Catalog.add catalog s
+
+let strategy_of_string = function
+  | "naive" -> Some Unnest.Planner.Naive
+  | "nl" | "nested-loop" -> Some Unnest.Planner.Nested_loop
+  | "merge" | "unnest" -> Some Unnest.Planner.Unnest_merge
+  | "auto" -> Some Unnest.Planner.Auto
+  | _ -> None
+
+let help () =
+  print_string
+    "statements end with ';'. Meta commands:\n\
+    \  \\d            list relations\n\
+    \  \\d NAME       print a relation\n\
+    \  \\terms        list linguistic terms\n\
+    \  \\shape SQL;   classify a query without running it\n\
+    \  \\explain SQL; show the evaluation plan and estimates\n\
+    \  \\strategy X   naive | nl | merge | auto\n\
+    \  \\save DIR     save all relations to DIR/<name>.frel\n\
+    \  \\load PATH    load a saved relation\n\
+    \  \\timing       toggle per-query timing\n\
+    \  \\help         this help\n\
+    \  \\q            quit\n\
+     fuzzy literals: TRAP(a,b,c,d)  TRI(a,p,d)  ABOUT(v[,spread])  \
+     DIST(v:d, ...)\n\
+     clauses: GROUPBY, HAVING, ORDER BY D [DESC|ASC], LIMIT k, WITH D >= z\n\
+     example: SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME \
+     IN\n\
+    \         (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age');\n"
+
+let run_sql st sql =
+  try
+    let q = Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql in
+    let t0 = Unix.gettimeofday () in
+    let answer = Unnest.Planner.run ~strategy:st.strategy q in
+    let dt = Unix.gettimeofday () -. t0 in
+    let limit = 40 in
+    Format.printf "%a@." Schema.pp (Relation.schema answer);
+    let shown = ref 0 in
+    Relation.iter answer (fun t ->
+        incr shown;
+        if !shown <= limit then Format.printf "  %a@." Ftuple.pp t);
+    if !shown > limit then Format.printf "  ... (%d more)@." (!shown - limit);
+    Format.printf "(%d tuple%s" (Relation.cardinality answer)
+      (if Relation.cardinality answer = 1 then "" else "s");
+    if st.timing then Format.printf ", %.1f ms" (1000.0 *. dt);
+    Format.printf ")@."
+  with
+  | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
+  | Fuzzysql.Lexer.Error (msg, pos) ->
+      Format.printf "lex error at offset %d: %s@." pos msg
+  | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg
+  | Unnest.Planner.Unsupported msg -> Format.printf "unsupported: %s@." msg
+
+let meta st line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] | [ "\\quit" ] -> raise Exit
+  | [ "\\help" ] | [ "\\h" ] -> help ()
+  | [ "\\d" ] ->
+      List.iter
+        (fun n ->
+          match Catalog.find st.catalog n with
+          | Some rel ->
+              Format.printf "  %a  (%d tuples, %d pages)@." Schema.pp
+                (Relation.schema rel) (Relation.cardinality rel)
+                (Relation.num_pages rel)
+          | None -> ())
+        (Catalog.names st.catalog)
+  | [ "\\d"; name ] -> (
+      match Catalog.find st.catalog name with
+      | Some rel -> Format.printf "%a" Relation.pp rel
+      | None -> Format.printf "no relation %s@." name)
+  | [ "\\terms" ] ->
+      List.iter
+        (fun n ->
+          Format.printf "  %-14s %a@." n Fuzzy.Possibility.pp
+            (Option.get (Fuzzy.Term.lookup st.terms n)))
+        (Fuzzy.Term.names st.terms)
+  | [ "\\strategy" ] ->
+      Format.printf "strategy: %s@." (Unnest.Planner.strategy_to_string st.strategy)
+  | [ "\\strategy"; s ] -> (
+      match strategy_of_string s with
+      | Some strat ->
+          st.strategy <- strat;
+          Format.printf "strategy set to %s@."
+            (Unnest.Planner.strategy_to_string strat)
+      | None -> Format.printf "unknown strategy %s (naive|nl|merge|auto)@." s)
+  | [ "\\save"; dir ] ->
+      Relational.Persist.save_catalog st.catalog ~dir;
+      Format.printf "saved %d relation(s) to %s@."
+        (List.length (Catalog.names st.catalog))
+        dir
+  | [ "\\load"; path ] -> (
+      try
+        let rel = Relational.Persist.load (Catalog.env st.catalog) ~path in
+        Catalog.add st.catalog rel;
+        Format.printf "loaded %a (%d tuples)@." Schema.pp (Relation.schema rel)
+          (Relation.cardinality rel)
+      with
+      | Relational.Persist.Format_error msg -> Format.printf "load failed: %s@." msg
+      | Sys_error msg -> Format.printf "load failed: %s@." msg)
+  | [ "\\timing" ] ->
+      st.timing <- not st.timing;
+      Format.printf "timing %s@." (if st.timing then "on" else "off")
+  | "\\explain" :: rest ->
+      let sql = String.concat " " rest in
+      let sql =
+        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+          String.sub sql 0 (String.length sql - 1)
+        else sql
+      in
+      (try
+         let q =
+           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql
+         in
+         print_string (Unnest.Explain.explain q)
+       with
+      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
+      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg)
+  | "\\shape" :: rest ->
+      let sql = String.concat " " rest in
+      let sql =
+        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+          String.sub sql 0 (String.length sql - 1)
+        else sql
+      in
+      (try
+         let q =
+           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql
+         in
+         Format.printf "%s@." (Unnest.Classify.to_string (Unnest.Classify.classify q))
+       with
+      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
+      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg)
+  | _ -> Format.printf "unknown meta command (try \\help)@."
+
+let () =
+  let env = Storage.Env.create () in
+  let st =
+    {
+      catalog = Catalog.create env;
+      terms = Fuzzy.Term.paper;
+      strategy = Unnest.Planner.Auto;
+      timing = true;
+    }
+  in
+  load_demo env st.catalog;
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then begin
+    print_endline "fsql - nested fuzzy SQL shell (\\help for help, \\q to quit)";
+    print_endline "loaded: F, M (the paper's Example 4.1), R, S (generated, 500 tuples)"
+  end;
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       if interactive then
+         if Buffer.length buf = 0 then print_string "fsql> " else print_string "  ..> ";
+       if interactive then flush stdout;
+       let line = try input_line stdin with End_of_file -> raise Exit in
+       let trimmed = String.trim line in
+       if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+       then meta st trimmed
+       else begin
+         Buffer.add_string buf line;
+         Buffer.add_char buf ' ';
+         let acc = String.trim (Buffer.contents buf) in
+         if String.length acc > 0 && acc.[String.length acc - 1] = ';' then begin
+           Buffer.clear buf;
+           let sql = String.sub acc 0 (String.length acc - 1) in
+           if String.trim sql <> "" then run_sql st sql
+         end
+       end
+     done
+   with Exit -> ());
+  if interactive then print_endline "bye"

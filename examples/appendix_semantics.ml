@@ -1,0 +1,92 @@
+(** The paper's Appendix, executably: what does a fuzzy query *mean*?
+
+    Given R(X, Y) with crisp tuples and S(Y, Z) whose Y is the discrete
+    possibility distribution 1/y1 + 0.8/y2, the paper's single-measure
+    semantics answers "select R.X from R, S where R.Y = S.Y" with ONE fuzzy
+    relation: every R.X that possibly joins, graded by its possibility.
+
+    The Appendix contrasts this with the tempting "world enumeration"
+    interpretation — instantiate each ill-known value with one of its
+    possible values, answer each world separately — and rejects it: the
+    answer becomes a fuzzy set of fuzzy sets that explodes combinatorially
+    and still does not tell the user anything more. This example computes
+    both and prints the paper's exact numbers.
+
+    Run with: [dune exec examples/appendix_semantics.exe] *)
+
+open Frepro
+open Frepro.Relational
+
+let t vs = Ftuple.make (Array.of_list vs) 1.0
+
+let () =
+  let env = Storage.Env.create () in
+  let catalog = Catalog.create env in
+  let r_schema = Schema.make ~name:"R" [ ("X", Schema.TStr); ("Y", Schema.TNum) ] in
+  let s_schema = Schema.make ~name:"S" [ ("Y", Schema.TNum); ("Z", Schema.TStr) ] in
+  let crisp = Value.crisp_num in
+  (* The Appendix's second example: four R-tuples, two ill-known S-tuples. *)
+  let r =
+    Relation.of_list env r_schema
+      [
+        t [ Value.Str "x1"; crisp 1. ];
+        t [ Value.Str "x2"; crisp 2. ];
+        t [ Value.Str "x3"; crisp 3. ];
+        t [ Value.Str "x4"; crisp 4. ];
+      ]
+  in
+  let s =
+    Relation.of_list env s_schema
+      [
+        t
+          [ Value.Fuzzy (Fuzzy.Possibility.discrete [ (1., 1.0); (2., 0.8) ]);
+            Value.Str "z1" ];
+        t
+          [ Value.Fuzzy (Fuzzy.Possibility.discrete [ (3., 0.9); (4., 0.7) ]);
+            Value.Str "z2" ];
+      ]
+  in
+  Catalog.add catalog r;
+  Catalog.add catalog s;
+
+  (* 1. The paper's semantics: one fuzzy answer relation. *)
+  let answer =
+    Unnest.Planner.run_string ~catalog ~terms:Fuzzy.Term.empty
+      "SELECT R.X FROM R, S WHERE R.Y = S.Y"
+  in
+  Format.printf
+    "single-measure semantics (the paper's): one fuzzy relation@.%a@."
+    Relation.pp answer;
+
+  (* 2. The rejected interpretation: enumerate every assignment of a precise
+     value to each ill-known S.Y, evaluate each world crisply. *)
+  Format.printf
+    "world-enumeration interpretation (rejected by the Appendix):@.";
+  let worlds = ref 0 in
+  let s1_choices = [ (1.0, 1.0); (2.0, 0.8) ] in
+  let s2_choices = [ (3.0, 0.9); (4.0, 0.7) ] in
+  List.iter
+    (fun (v1, d1) ->
+      List.iter
+        (fun (v2, d2) ->
+          incr worlds;
+          let matches =
+            List.filter_map
+              (fun tup ->
+                match (Ftuple.value tup 0, Ftuple.value tup 1) with
+                | Value.Str x, y
+                  when Value.equal y (crisp v1) || Value.equal y (crisp v2) ->
+                    let d = if Value.equal y (crisp v1) then d1 else d2 in
+                    Some (Printf.sprintf "%.1f/%s" d x)
+                | _ -> None)
+              (Relation.to_list r)
+          in
+          Format.printf "  world %d (S1.Y=%g, S2.Y=%g): { %s }@." !worlds v1 v2
+            (String.concat ", " matches))
+        s2_choices)
+    s1_choices;
+  Format.printf
+    "-> %d answer *sets* for 2 ill-known values; with possibility density@.\
+    \   functions the enumeration would be infinite, and the operations can@.\
+    \   no longer be composed — the paper's argument for the single measure.@."
+    !worlds

@@ -1,0 +1,75 @@
+(** Sensors with imprecise readings: band joins and interval joins.
+
+    Section 3 of the paper relates the fuzzy equi-join to the band join of
+    conventional databases and the valid-time join of temporal databases.
+    This example runs all three over the same data — two stations logging
+    events whose times are known only as intervals and whose measured levels
+    are fuzzy — and loads its data through the CSV front-end.
+
+    Run with: [dune exec examples/sensor_intervals.exe] *)
+
+open Frepro
+open Frepro.Relational
+
+let schema =
+  [ ("EVENT", Schema.TStr); ("TIME", Schema.TNum); ("LEVEL", Schema.TNum) ]
+
+(* TIME is an interval of seconds [TRAP(b, b, e, e)]; LEVEL a fuzzy reading. *)
+let station_a_csv =
+  {|EVENT,TIME,LEVEL
+a-spike,"TRAP(10, 10, 25, 25)","ABOUT(70, 8)"
+a-dip,"TRAP(40, 40, 55, 55)","ABOUT(20, 5)"
+a-surge,"TRAP(90, 90, 130, 130)","ABOUT(95, 10)"
+a-hum,"TRAP(200, 200, 205, 205)","ABOUT(50, 4)"|}
+
+let station_b_csv =
+  {|EVENT,TIME,LEVEL
+b-knock,"TRAP(18, 18, 30, 30)","ABOUT(65, 6)"
+b-quiet,"TRAP(60, 60, 80, 80)","ABOUT(15, 5)"
+b-roar,"TRAP(120, 120, 140, 140)","ABOUT(90, 12)"
+b-tick,"TRAP(198, 198, 202, 202)","ABOUT(49, 3)"|}
+
+let () =
+  let env = Storage.Env.create () in
+  let a = Fuzzysql.Loader.load_csv_string env ~name:"A" ~schema station_a_csv in
+  let b = Fuzzysql.Loader.load_csv_string env ~name:"B" ~schema station_b_csv in
+
+  (* 1. Valid-time style join: events whose time intervals overlap. *)
+  let overlapping =
+    Join_band.interval_join ~name:"overlap" ~outer:a ~inner:b ~outer_attr:1
+      ~inner_attr:1 ~mem_pages:16 ()
+  in
+  Format.printf "events with overlapping time intervals:@.%a@." Relation.pp
+    (Algebra.project overlapping ~attrs:[ "A.EVENT"; "B.EVENT" ]);
+
+  (* 2. Band join: B-events whose time center lies within [-10, +30] seconds
+     of an A-event's center (asymmetric lag window). *)
+  let lagged =
+    Join_band.band_join ~name:"lagged" ~outer:a ~inner:b ~outer_attr:1
+      ~inner_attr:1 ~mem_pages:16 ~c1:10.0 ~c2:30.0 ()
+  in
+  Format.printf "B within (-10s, +30s) of A:@.%a@." Relation.pp
+    (Algebra.project lagged ~attrs:[ "A.EVENT"; "B.EVENT" ]);
+
+  (* 3. The fuzzy equi-join generalises both: joining on the fuzzy LEVEL
+     gives graded matches — how possibly did the stations record the same
+     level? *)
+  let same_level =
+    Join_merge.join_eq ~name:"same_level" ~outer:a ~inner:b ~outer_attr:2
+      ~inner_attr:2 ~mem_pages:16 ()
+  in
+  Format.printf "possibly-equal levels (graded):@.%a@." Relation.pp
+    (Algebra.project same_level ~attrs:[ "A.EVENT"; "B.EVENT" ]);
+
+  (* 4. And through SQL, with a threshold. *)
+  let catalog = Catalog.create env in
+  Catalog.add catalog a;
+  Catalog.add catalog b;
+  let ans =
+    Unnest.Planner.run_string ~catalog ~terms:Fuzzy.Term.empty
+      "SELECT A.EVENT FROM A WHERE A.LEVEL IN (SELECT B.LEVEL FROM B WHERE \
+       B.TIME = A.TIME) WITH D >= 0.3"
+  in
+  Format.printf
+    "A-events matching a simultaneous B-event's level (WITH D >= 0.3):@.%a@."
+    Relation.pp ans

@@ -1,0 +1,34 @@
+(** Umbrella module: the public API of the nested-fuzzy-SQL reproduction.
+
+    {1 Layers}
+    - {!Fuzzy}: possibility distributions, satisfaction degrees, fuzzy
+      arithmetic, linguistic terms (Section 2 of the paper).
+    - {!Storage}: simulated paged disk, buffer pool, external sort, and the
+      I/O statistics that power the Section 9 reproduction.
+    - {!Relational}: fuzzy relations, algebra, and the two join algorithms of
+      Section 3 (extended merge-join, block nested loop).
+    - {!Fuzzysql}: the Fuzzy SQL language — parser, analyzer, bound queries.
+    - {!Unnest}: classification of nested queries (types N, J, JX, JA, JALL,
+      chains), the naive evaluator, and the unnesting executors
+      (Sections 4-8).
+    - {!Workload}: generators for the experiment workloads of Section 9.
+
+    {1 Quick start}
+    {[
+      let env = Frepro.Storage.Env.create () in
+      let catalog = Frepro.Relational.Catalog.create env in
+      (* ... register relations ... *)
+      let answer =
+        Frepro.Unnest.Planner.run_string ~catalog ~terms:Frepro.Fuzzy.Term.paper
+          "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN \
+           (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')"
+      in
+      Format.printf "%a" Frepro.Relational.Relation.pp answer
+    ]} *)
+
+module Fuzzy = Fuzzy
+module Storage = Storage
+module Relational = Relational
+module Fuzzysql = Fuzzysql
+module Unnest = Unnest
+module Workload = Workload

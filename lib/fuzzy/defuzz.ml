@@ -1,0 +1,55 @@
+let core_center p =
+  match p with
+  | Possibility.Trap tr ->
+      let c = Trapezoid.core tr in
+      (Interval.lo c +. Interval.hi c) /. 2.0
+  | Possibility.Discrete pts ->
+      let h = Possibility.height p in
+      let maximal = List.filter (fun (_, d) -> d = h) pts in
+      let sum = List.fold_left (fun acc (v, _) -> acc +. v) 0.0 maximal in
+      sum /. float_of_int (List.length maximal)
+
+(* Exact integrals of x * mu(x) and mu(x) over one linear piece
+   mu(x) = m*x + q on [x1, x2]. *)
+let piece_moments x1 x2 m q =
+  let area = (m *. ((x2 *. x2) -. (x1 *. x1)) /. 2.0) +. (q *. (x2 -. x1)) in
+  let moment =
+    (m *. ((x2 *. x2 *. x2) -. (x1 *. x1 *. x1)) /. 3.0)
+    +. (q *. ((x2 *. x2) -. (x1 *. x1)) /. 2.0)
+  in
+  (area, moment)
+
+let centroid p =
+  match p with
+  | Possibility.Trap tr when Trapezoid.is_crisp tr ->
+      Interval.lo (Trapezoid.support tr)
+  | Possibility.Trap tr ->
+      let a = Interval.lo (Trapezoid.support tr)
+      and d = Interval.hi (Trapezoid.support tr) in
+      let b = Interval.lo (Trapezoid.core tr)
+      and c = Interval.hi (Trapezoid.core tr) in
+      let pieces =
+        List.concat
+          [
+            (if b > a then [ (a, b, 1.0 /. (b -. a), -.a /. (b -. a)) ] else []);
+            (if c > b then [ (b, c, 0.0, 1.0) ] else []);
+            (if d > c then [ (c, d, -1.0 /. (d -. c), d /. (d -. c)) ] else []);
+          ]
+      in
+      let area, moment =
+        List.fold_left
+          (fun (a_acc, m_acc) (x1, x2, m, q) ->
+            let ar, mo = piece_moments x1 x2 m q in
+            (a_acc +. ar, m_acc +. mo))
+          (0.0, 0.0) pieces
+      in
+      if area = 0.0 then core_center p else moment /. area
+  | Possibility.Discrete pts ->
+      let wsum = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 pts in
+      let msum = List.fold_left (fun acc (v, d) -> acc +. (v *. d)) 0.0 pts in
+      if wsum = 0.0 then core_center p else msum /. wsum
+
+let compare_by_core_center p1 p2 =
+  match Float.compare (core_center p1) (core_center p2) with
+  | 0 -> Possibility.compare_structural p1 p2
+  | c -> c

@@ -1,0 +1,18 @@
+(** Defuzzification.
+
+    Section 6 of the paper defines MIN and MAX aggregates "by using a
+    defuzzification method which allows fuzzy values to be sorted based on
+    the center of their 1-cuts"; [core_center] is that method. [centroid]
+    (center of gravity) is provided as an alternative for applications. *)
+
+val core_center : Possibility.t -> float
+(** Midpoint of the 1-cut (for discrete distributions: mean of the points of
+    maximal degree). *)
+
+val centroid : Possibility.t -> float
+(** Center of gravity of the membership function (degree-weighted mean for
+    discrete distributions). *)
+
+val compare_by_core_center : Possibility.t -> Possibility.t -> int
+(** Total preorder used by MIN/MAX aggregation; ties broken by the
+    structural order so sorting is deterministic. *)

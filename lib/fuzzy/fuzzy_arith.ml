@@ -1,0 +1,59 @@
+exception Unsupported of string
+
+open Possibility
+
+let lift2 name trap_op disc_op u v =
+  match (u, v) with
+  | Trap a, Trap b -> Trap (trap_op a b)
+  | Discrete a, Discrete b -> disc_op a b
+  | Trap a, Discrete pts when Trapezoid.is_crisp a ->
+      disc_op [ (Interval.lo (Trapezoid.support a), 1.0) ] pts
+  | Discrete pts, Trap b when Trapezoid.is_crisp b ->
+      disc_op pts [ (Interval.lo (Trapezoid.support b), 1.0) ]
+  | Trap _, Discrete _ | Discrete _, Trap _ ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "Fuzzy_arith.%s: mixing a non-crisp continuous value with a \
+               discrete distribution"
+              name))
+
+let extension_principle f a b =
+  Possibility.discrete
+    (List.concat_map
+       (fun (x, dx) -> List.map (fun (y, dy) -> (f x y, Degree.conj dx dy)) b)
+       a)
+
+let add u v = lift2 "add" Trapezoid.add (extension_principle ( +. )) u v
+let sub u v = lift2 "sub" Trapezoid.sub (extension_principle ( -. )) u v
+let mul u v = lift2 "mul" Trapezoid.mul (extension_principle ( *. )) u v
+
+let div u v =
+  let s = Possibility.support v in
+  if Interval.contains s 0.0 then None
+  else
+    Some
+      (lift2 "div"
+         (fun a b ->
+           match Trapezoid.div a b with
+           | Some r -> r
+           | None -> assert false (* support checked above *))
+         (extension_principle ( /. ))
+         u v)
+
+let scale u k =
+  match u with
+  | Trap tr -> Trap (Trapezoid.scale tr k)
+  | Discrete pts ->
+      Possibility.discrete (List.map (fun (v, d) -> (v *. k, d)) pts)
+
+let neg u = scale u (-1.0)
+
+let sum = function
+  | [] -> None
+  | v :: rest -> Some (List.fold_left add v rest)
+
+let avg vs =
+  match sum vs with
+  | None -> None
+  | Some s -> Some (scale s (1.0 /. float_of_int (List.length vs)))

@@ -1,0 +1,29 @@
+(** Fuzzy arithmetic on possibility distributions (Section 6 of the paper).
+
+    For trapezoidal values the operations act on the 0-cut and 1-cut
+    intervals ("Fuzzy arithmetic operations take two values and determine the
+    two intervals of the resulting value"). Discrete distributions are
+    combined by the sup-min extension principle. Mixing a discrete with a
+    non-crisp continuous value is not defined by the paper and raises
+    [Unsupported]. *)
+
+exception Unsupported of string
+
+val add : Possibility.t -> Possibility.t -> Possibility.t
+val sub : Possibility.t -> Possibility.t -> Possibility.t
+val mul : Possibility.t -> Possibility.t -> Possibility.t
+
+val div : Possibility.t -> Possibility.t -> Possibility.t option
+(** [None] when the divisor's support contains zero. *)
+
+val scale : Possibility.t -> float -> Possibility.t
+(** Multiplication by a crisp constant (used by AVG = SUM scaled by 1/n). *)
+
+val neg : Possibility.t -> Possibility.t
+
+val sum : Possibility.t list -> Possibility.t option
+(** Fuzzy SUM of a list of values; [None] on the empty list (the paper's SUM
+    of an empty fuzzy set is NULL). *)
+
+val avg : Possibility.t list -> Possibility.t option
+(** Fuzzy AVG: [sum] scaled by [1/n]; [None] on the empty list. *)

@@ -1,0 +1,202 @@
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+let op_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let flip = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+open Possibility
+
+(* [sup_{x >= y} mem u x] as a function of [y]: 1 up to the core end, then
+   the falling edge, then 0. *)
+let ge_envelope tr y =
+  let c = Interval.hi (Trapezoid.core tr) in
+  if y <= c then 1.0 else Trapezoid.mem tr y
+
+(* [sup_{y <= x} mem v y] as a function of [x]: 0 before the support, the
+   rising edge, then 1 from the core start on. *)
+let le_envelope tr x =
+  let b = Interval.lo (Trapezoid.core tr) in
+  if x >= b then 1.0 else Trapezoid.mem tr x
+
+let max_over pts f =
+  List.fold_left (fun acc p -> Degree.disj acc (f p)) Degree.zero pts
+
+let eq_discrete a b =
+  max_over a (fun (x, dx) ->
+      max_over b (fun (y, dy) -> if x = y then Degree.conj dx dy else 0.0))
+
+let rec degree op u v =
+  match (op, u, v) with
+  | Le, _, _ -> degree Ge v u
+  | Lt, _, _ -> degree Gt v u
+  | Eq, Trap a, Trap b -> Trapezoid.eq_height a b
+  | Eq, Discrete a, Discrete b -> eq_discrete a b
+  | Eq, Trap a, Discrete b | Eq, Discrete b, Trap a ->
+      max_over b (fun (x, dx) -> Degree.conj dx (Trapezoid.mem a x))
+  | Ne, Trap a, Trap b -> Trapezoid.ne_height a b
+  | Ne, Discrete a, Discrete b ->
+      max_over a (fun (x, dx) ->
+          max_over b (fun (y, dy) -> if x <> y then Degree.conj dx dy else 0.0))
+  | Ne, Trap a, Discrete b | Ne, Discrete b, Trap a -> (
+      match Possibility.crisp_value (Trap a) with
+      | None ->
+          (* A non-degenerate continuous distribution reaches its height at
+             points distinct from any given [y], so only the discrete side
+             constrains the supremum. *)
+          Possibility.height (Discrete b)
+      | Some v0 -> max_over b (fun (y, dy) -> if y <> v0 then dy else 0.0))
+  | Ge, Trap a, Trap b -> Trapezoid.ge_height a b
+  | Ge, Discrete a, Discrete b ->
+      max_over a (fun (x, dx) ->
+          max_over b (fun (y, dy) -> if x >= y then Degree.conj dx dy else 0.0))
+  | Ge, Trap a, Discrete b ->
+      max_over b (fun (y, dy) -> Degree.conj dy (ge_envelope a y))
+  | Ge, Discrete a, Trap b ->
+      max_over a (fun (x, dx) -> Degree.conj dx (le_envelope b x))
+  | Gt, Trap a, Trap b -> Trapezoid.gt_height a b
+  | Gt, Discrete a, Discrete b ->
+      max_over a (fun (x, dx) ->
+          max_over b (fun (y, dy) -> if x > y then Degree.conj dx dy else 0.0))
+  | Gt, Trap a, Discrete _ -> (
+      match Possibility.crisp_value (Trap a) with
+      | Some v0 -> degree Gt (Discrete [ (v0, 1.0) ]) v
+      | None -> degree Ge u v)
+  | Gt, Discrete _, Trap b -> (
+      match Possibility.crisp_value (Trap b) with
+      | Some v0 -> degree Gt u (Discrete [ (v0, 1.0) ])
+      | None -> degree Ge u v)
+
+let sample_points ?(samples = 128) = function
+  | Discrete pts -> List.map fst pts
+  | Trap tr ->
+      let s = Trapezoid.support tr and c = Trapezoid.core tr in
+      let lo = Interval.lo s and hi = Interval.hi s in
+      let n = Int.max 2 samples in
+      let grid =
+        List.init n (fun i ->
+            lo +. (float_of_int i *. (hi -. lo) /. float_of_int (n - 1)))
+      in
+      Interval.lo c :: Interval.hi c :: grid
+
+let similarity ?samples mu_theta u v =
+  let xs = sample_points ?samples u and ys = sample_points ?samples v in
+  List.fold_left
+    (fun acc x ->
+      let mx = Possibility.mem u x in
+      if mx <= acc then acc
+      else
+        List.fold_left
+          (fun acc y ->
+            Degree.disj acc
+              (Degree.conj mx (Degree.conj (Possibility.mem v y) (mu_theta x y))))
+          acc ys)
+    Degree.zero xs
+
+let production_degree = degree
+
+module Oracle = struct
+  (* A piece is a linear segment [mu(x) = m*x + q] valid on [lo, hi]. *)
+  type piece = { lo : float; hi : float; m : float; q : float }
+
+  let pieces_of_trap (tr : Trapezoid.t) =
+    let a = Interval.lo (Trapezoid.support tr)
+    and d = Interval.hi (Trapezoid.support tr) in
+    let b = Interval.lo (Trapezoid.core tr)
+    and c = Interval.hi (Trapezoid.core tr) in
+    let core = { lo = b; hi = c; m = 0.0; q = 1.0 } in
+    let rising =
+      if b > a then [ { lo = a; hi = b; m = 1.0 /. (b -. a); q = -.a /. (b -. a) } ]
+      else []
+    in
+    let falling =
+      if d > c then [ { lo = c; hi = d; m = -1.0 /. (d -. c); q = d /. (d -. c) } ]
+      else []
+    in
+    rising @ (core :: falling)
+
+  (* Pieces of the non-decreasing envelope sup_{y <= x} mu(y), truncated to
+     [cap] on the right. *)
+  let pieces_of_le_envelope (tr : Trapezoid.t) ~cap =
+    let a = Interval.lo (Trapezoid.support tr) in
+    let b = Interval.lo (Trapezoid.core tr) in
+    let rising =
+      if b > a then [ { lo = a; hi = b; m = 1.0 /. (b -. a); q = -.a /. (b -. a) } ]
+      else []
+    in
+    if cap >= b then rising @ [ { lo = b; hi = cap; m = 0.0; q = 1.0 } ]
+    else rising
+
+  let eval_pieces pieces x =
+    List.fold_left
+      (fun acc p -> if p.lo <= x && x <= p.hi then Float.max acc (p.m *. x +. p.q) else acc)
+      0.0 pieces
+
+  let candidates ps qs =
+    let breaks =
+      List.concat_map (fun p -> [ p.lo; p.hi ]) ps
+      @ List.concat_map (fun p -> [ p.lo; p.hi ]) qs
+    in
+    let crossings =
+      List.concat_map
+        (fun p ->
+          List.filter_map
+            (fun q ->
+              if p.m = q.m then None
+              else
+                let x = (q.q -. p.q) /. (p.m -. q.m) in
+                if x >= p.lo && x <= p.hi && x >= q.lo && x <= q.hi then Some x
+                else None)
+            qs)
+        ps
+    in
+    breaks @ crossings
+
+  let sup_min ps qs =
+    List.fold_left
+      (fun acc x -> Float.max acc (Float.min (eval_pieces ps x) (eval_pieces qs x)))
+      0.0 (candidates ps qs)
+
+  let rec degree op u v =
+    match (op, u, v) with
+    | Le, _, _ -> degree Ge v u
+    | Lt, _, _ -> degree Gt v u
+    | Eq, Trap a, Trap b ->
+        Degree.of_float (sup_min (pieces_of_trap a) (pieces_of_trap b))
+    | Ge, Trap a, Trap b ->
+        let cap =
+          Float.max
+            (Interval.hi (Trapezoid.support a))
+            (Interval.hi (Trapezoid.support b))
+          +. 1.0
+        in
+        Degree.of_float (sup_min (pieces_of_trap a) (pieces_of_le_envelope b ~cap))
+    | Gt, Trap a, Trap b when Trapezoid.is_crisp a && Trapezoid.is_crisp b ->
+        if Interval.lo (Trapezoid.support a) > Interval.lo (Trapezoid.support b)
+        then 1.0
+        else 0.0
+    | Gt, Trap _, Trap _ -> degree Ge u v
+    | (Eq | Ne | Gt | Ge), _, _ ->
+        (* Discrete and mixed cases are already exhaustive sup-min in the
+           main implementation; reuse it for the oracle. *)
+        production_degree op u v
+end

@@ -1,0 +1,39 @@
+(** Satisfaction degrees of fuzzy comparison predicates.
+
+    Implements [d(X theta Y) = sup_{x,y} min (mu_X x) (mu_Y y) (mu_theta x y)]
+    from Section 2.2 of the paper, for the six binary comparators and for
+    user-supplied similarity relations. Analytic closed forms are used for
+    trapezoid/trapezoid comparisons; discrete distributions are evaluated by
+    exhaustive sup-min. [Oracle] provides an independent exact reference
+    implementation (breakpoint enumeration) used by the property tests. *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+val op_to_string : op -> string
+val flip : op -> op
+(** [flip op] is the comparator with operands swapped: [d(X op Y) =
+    d(Y (flip op) X)]. *)
+
+val negate : op -> op
+(** Logical complement of the comparator symbol ([Eq] <-> [Ne], [Lt] <-> [Ge],
+    ...). Note that in fuzzy logic [d(X negate-op Y)] is generally NOT
+    [1 - d(X op Y)]; this is only the syntactic complement. *)
+
+val degree : op -> Possibility.t -> Possibility.t -> Degree.t
+(** [degree op u v] is the possibility of [u op v]. *)
+
+val similarity :
+  ?samples:int -> (float -> float -> Degree.t) -> Possibility.t ->
+  Possibility.t -> Degree.t
+(** [similarity mu_theta u v] evaluates a non-binary comparator given by a
+    similarity relation [mu_theta] (Section 2.2 allows these), by sup-min over
+    a grid of [samples] points per support (default 128). Exact for discrete
+    distributions. *)
+
+module Oracle : sig
+  val degree : op -> Possibility.t -> Possibility.t -> Degree.t
+  (** Reference implementation: enumerates all breakpoints and pairwise edge
+      crossings of the piecewise-linear membership functions, hence exact for
+      trapezoids, and exhaustive for discrete distributions. Slower than
+      [degree]; intended as the test oracle. *)
+end

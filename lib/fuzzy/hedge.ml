@@ -1,0 +1,49 @@
+type t = Very | Somewhat
+
+let apply_trap hedge tr =
+  let a = Interval.lo (Trapezoid.support tr)
+  and d = Interval.hi (Trapezoid.support tr) in
+  let b = Interval.lo (Trapezoid.core tr) and c = Interval.hi (Trapezoid.core tr) in
+  match hedge with
+  | Very -> Trapezoid.make ((a +. b) /. 2.0) b c ((c +. d) /. 2.0)
+  | Somewhat -> Trapezoid.make (a -. (b -. a)) b c (d +. (d -. c))
+
+let apply hedge = function
+  | Possibility.Trap tr -> Possibility.Trap (apply_trap hedge tr)
+  | Possibility.Discrete pts ->
+      Possibility.discrete
+        (List.map
+           (fun (v, deg) ->
+             ( v,
+               match hedge with
+               | Very -> deg *. deg
+               | Somewhat -> Float.sqrt deg ))
+           pts)
+
+let strip phrase =
+  let words =
+    String.split_on_char ' ' (String.trim phrase)
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec go hedges = function
+    | w :: rest -> (
+        match String.lowercase_ascii w with
+        | "very" -> go (Very :: hedges) rest
+        | "somewhat" | "fairly" -> go (Somewhat :: hedges) rest
+        | _ -> (List.rev hedges, String.concat " " (w :: rest)))
+    | [] -> (List.rev hedges, "")
+  in
+  go [] words
+
+let lookup terms phrase =
+  match Term.lookup terms phrase with
+  | Some _ as found -> found
+  | None -> (
+      match strip phrase with
+      | [], _ -> None
+      | hedges, base -> (
+          match Term.lookup terms base with
+          | None -> None
+          | Some p ->
+              (* innermost hedge (closest to the base term) first *)
+              Some (List.fold_right apply hedges p)))

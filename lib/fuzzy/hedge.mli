@@ -1,0 +1,20 @@
+(** Linguistic hedges: "very" (concentration) and "somewhat" (dilation).
+
+    In fuzzy-set theory, "very F" is classically µ_F² and "somewhat F" is
+    µ_F^0.5. Powers of trapezoids are not trapezoids, so the continuous case
+    uses the standard piecewise-linear approximation that preserves the core
+    and scales the edge widths (halved for "very", doubled for "somewhat");
+    discrete distributions use the exact powers. Hedges stack:
+    "very very young" applies the concentration twice. *)
+
+type t = Very | Somewhat
+
+val apply : t -> Possibility.t -> Possibility.t
+
+val strip : string -> t list * string
+(** [strip "very very young"] = ([Very; Very], "young"); recognised prefixes
+    are case-insensitive "very" and "somewhat"/"fairly". *)
+
+val lookup : Term.t -> string -> Possibility.t option
+(** Like {!Term.lookup}, but when the exact phrase is absent, strips hedge
+    prefixes and applies them (outermost last) to the base term. *)

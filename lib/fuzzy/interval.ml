@@ -1,0 +1,28 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Interval.make: NaN bound";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point v = make v v
+let lo i = i.lo
+let hi i = i.hi
+let width i = i.hi -. i.lo
+let is_point i = i.lo = i.hi
+let contains i x = i.lo <= x && x <= i.hi
+let overlaps i j = i.lo <= j.hi && j.lo <= i.hi
+
+let intersect i j =
+  if overlaps i j then Some (make (Float.max i.lo j.lo) (Float.min i.hi j.hi))
+  else None
+
+let hull i j = make (Float.min i.lo j.lo) (Float.max i.hi j.hi)
+let shift i d = make (i.lo +. d) (i.hi +. d)
+let equal i j = i.lo = j.lo && i.hi = j.hi
+
+let compare_lex i j =
+  match Float.compare i.lo j.lo with 0 -> Float.compare i.hi j.hi | c -> c
+
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi

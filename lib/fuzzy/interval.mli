@@ -1,0 +1,41 @@
+(** Closed real intervals [lo, hi].
+
+    Every possibility distribution in this system has an interval support
+    (the 0-cut) and an interval core (the 1-cut); the extended merge-join of
+    Section 3 of the paper orders tuples by their support intervals. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi] is the interval [lo, hi]. Raises [Invalid_argument] if
+    [lo > hi] or either bound is NaN. *)
+
+val point : float -> t
+(** [point v] is the degenerate interval [v, v]. *)
+
+val lo : t -> float
+val hi : t -> float
+
+val width : t -> float
+
+val is_point : t -> bool
+
+val contains : t -> float -> bool
+
+val overlaps : t -> t -> bool
+(** [overlaps i j] is true iff the intervals share at least one point. *)
+
+val intersect : t -> t -> t option
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val shift : t -> float -> t
+
+val equal : t -> t -> bool
+
+val compare_lex : t -> t -> int
+(** Lexicographic order on (lo, hi): exactly Definition 3.1 of the paper
+    ([v1 < v2] iff [b(v1) < b(v2)], or [b(v1) = b(v2)] and [e(v1) < e(v2)]). *)
+
+val pp : Format.formatter -> t -> unit

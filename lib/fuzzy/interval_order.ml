@@ -1,0 +1,11 @@
+let compare u v =
+  Interval.compare_lex (Possibility.support u) (Possibility.support v)
+
+let precedes_strictly u v =
+  Interval.hi (Possibility.support u) < Interval.lo (Possibility.support v)
+
+let may_join u v =
+  Interval.overlaps (Possibility.support u) (Possibility.support v)
+
+let begins_after v u =
+  Interval.lo (Possibility.support v) > Interval.hi (Possibility.support u)

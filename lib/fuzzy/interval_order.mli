@@ -1,0 +1,23 @@
+(** The linear order on fuzzy values used by the extended merge-join.
+
+    Definition 3.1 of the paper: each value [v] represents the interval
+    [b(v), e(v)] where its membership is positive (a crisp value [v] is
+    [v, v]); values are ordered lexicographically by (start, end). *)
+
+val compare : Possibility.t -> Possibility.t -> int
+(** Definition 3.1's [<=] as a comparator; a total preorder on values (values
+    with equal supports compare equal even if shaped differently). *)
+
+val precedes_strictly : Possibility.t -> Possibility.t -> bool
+(** [precedes_strictly u v] iff [e(u) < b(v)]: [u]'s interval lies entirely
+    before [v]'s, so [d(u = v) = 0] and — once the scan of a sorted inner
+    relation reaches [v] — no later inner tuple can join [u] either. *)
+
+val may_join : Possibility.t -> Possibility.t -> bool
+(** Supports overlap, the necessary condition for a nonzero equality
+    degree. *)
+
+val begins_after : Possibility.t -> Possibility.t -> bool
+(** [begins_after v u] iff [b(v) > e(u)]: the condition that terminates the
+    inner scan for outer value [u] (every sorted successor of [v] also begins
+    after [e(u)]). *)

@@ -1,0 +1,11 @@
+let possibility = Fuzzy_compare.degree
+
+let necessity op u v =
+  Degree.neg (Fuzzy_compare.degree (Fuzzy_compare.negate op) u v)
+
+type measured = { poss : Degree.t; nec : Degree.t }
+
+let both op u v = { poss = possibility op u v; nec = necessity op u v }
+
+let pp_measured ppf { poss; nec } =
+  Format.fprintf ppf "Poss=%a Nec=%a" Degree.pp poss Degree.pp nec

@@ -1,0 +1,30 @@
+(** Necessity degrees — the double-measure system the paper deliberately does
+    NOT use (Section 2.2, Discussion).
+
+    Prade & Testemale's framework measures each comparison twice:
+    [Poss(X θ F) = sup min(µ_X x, µ_F y, µ_θ (x,y))] and
+    [Nec(X θ F) = 1 − Poss(X ¬θ F)], the "impossibility for the opposite
+    comparison to be successful". With convex normal distributions
+    [Nec <= Poss] always holds (property-tested).
+
+    The paper rejects this system for query processing because each algebraic
+    operation would produce two answer relations, so operations cannot be
+    composed and nested queries cannot be unnested. This module exists (a) to
+    document that trade-off executably, and (b) for applications that want
+    the certainty measure on *final* answers, where composition is no longer
+    needed. *)
+
+val possibility :
+  Fuzzy_compare.op -> Possibility.t -> Possibility.t -> Degree.t
+(** Same as {!Fuzzy_compare.degree}; named for symmetry. *)
+
+val necessity : Fuzzy_compare.op -> Possibility.t -> Possibility.t -> Degree.t
+(** [Nec(u op v) = 1 - Poss(u (negate op) v)]. For two genuinely fuzzy
+    values under [=] this is typically 0 (it is fully possible that they
+    differ) — the "double negation" the paper calls unintuitive. *)
+
+type measured = { poss : Degree.t; nec : Degree.t }
+
+val both : Fuzzy_compare.op -> Possibility.t -> Possibility.t -> measured
+
+val pp_measured : Format.formatter -> measured -> unit

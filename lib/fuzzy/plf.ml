@@ -1,0 +1,197 @@
+type t = (float * float) array
+(* breakpoints, strictly increasing x, ordinates in [0,1] *)
+
+let of_breakpoints pts =
+  if pts = [] then invalid_arg "Plf.of_breakpoints: empty";
+  let arr = Array.of_list pts in
+  Array.iteri
+    (fun i (x, m) ->
+      if Float.is_nan x || Float.is_nan m then
+        invalid_arg "Plf.of_breakpoints: NaN";
+      if m < 0.0 || m > 1.0 then
+        invalid_arg "Plf.of_breakpoints: ordinate outside [0,1]";
+      if i > 0 && fst arr.(i - 1) >= x then
+        invalid_arg "Plf.of_breakpoints: abscissae must strictly increase")
+    arr;
+  if not (Array.exists (fun (_, m) -> m > 0.0) arr) then
+    invalid_arg "Plf.of_breakpoints: all-zero membership";
+  arr
+
+let breakpoints t = Array.to_list t
+
+let of_trapezoid tr =
+  let a = Interval.lo (Trapezoid.support tr)
+  and d = Interval.hi (Trapezoid.support tr) in
+  let b = Interval.lo (Trapezoid.core tr) and c = Interval.hi (Trapezoid.core tr) in
+  let raw = [ (a, 0.0); (b, 1.0); (c, 1.0); (d, 0.0) ] in
+  (* collapse coincident abscissae, keeping the larger ordinate *)
+  let rec dedup = function
+    | (x1, m1) :: (x2, m2) :: rest when x1 = x2 ->
+        dedup ((x1, Float.max m1 m2) :: rest)
+    | p :: rest -> p :: dedup rest
+    | [] -> []
+  in
+  of_breakpoints (dedup raw)
+
+let of_possibility = function
+  | Possibility.Trap tr -> Some (of_trapezoid tr)
+  | Possibility.Discrete _ -> None
+
+let mem t x =
+  let n = Array.length t in
+  if x < fst t.(0) || x > fst t.(n - 1) then 0.0
+  else begin
+    (* locate the piece [i, i+1] containing x *)
+    let rec find i = if i + 1 >= n || fst t.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let x1, m1 = t.(i) in
+    if x = x1 then m1
+    else if i + 1 >= n then m1
+    else
+      let x2, m2 = t.(i + 1) in
+      m1 +. ((m2 -. m1) *. (x -. x1) /. (x2 -. x1))
+  end
+
+let support t =
+  (* hull of the region with positive membership *)
+  let n = Array.length t in
+  let lo = ref nan and hi = ref nan in
+  for i = 0 to n - 1 do
+    let x, m = t.(i) in
+    let positive_here =
+      m > 0.0
+      || (i + 1 < n && snd t.(i + 1) > 0.0)
+      || (i > 0 && snd t.(i - 1) > 0.0)
+    in
+    if positive_here then begin
+      if Float.is_nan !lo then lo := x;
+      hi := x
+    end
+  done;
+  Interval.make !lo !hi
+
+let height t = Array.fold_left (fun acc (_, m) -> Float.max acc m) 0.0 t
+
+let core_center t =
+  let h = height t in
+  let lo = ref nan and hi = ref nan in
+  Array.iter
+    (fun (x, m) ->
+      if m >= h -. 1e-12 then begin
+        if Float.is_nan !lo then lo := x;
+        hi := x
+      end)
+    t;
+  (!lo +. !hi) /. 2.0
+
+(* Linear segments of the function (plus implicit zero outside). *)
+let segments t =
+  let n = Array.length t in
+  let rec go i acc =
+    if i + 1 >= n then List.rev acc
+    else
+      let x1, m1 = t.(i) and x2, m2 = t.(i + 1) in
+      go (i + 1) ((x1, m1, x2, m2) :: acc)
+  in
+  go 0 []
+
+let candidates u v =
+  let breaks = Array.to_list (Array.map fst u) @ Array.to_list (Array.map fst v) in
+  let crossings =
+    List.concat_map
+      (fun (x1, m1, x2, m2) ->
+        List.filter_map
+          (fun (y1, n1, y2, n2) ->
+            let su = (m2 -. m1) /. (x2 -. x1) and sv = (n2 -. n1) /. (y2 -. y1) in
+            if su = sv then None
+            else
+              let qu = m1 -. (su *. x1) and qv = n1 -. (sv *. y1) in
+              let x = (qv -. qu) /. (su -. sv) in
+              if x >= x1 && x <= x2 && x >= y1 && x <= y2 then Some x else None)
+          (segments v))
+      (segments u)
+  in
+  breaks @ crossings
+
+let sup_min u v =
+  List.fold_left
+    (fun acc x -> Float.max acc (Float.min (mem u x) (mem v x)))
+    0.0 (candidates u v)
+
+(* Nondecreasing envelope sup_{y <= x} mem v y, as a Plf extended flat to
+   [cap] on the right. *)
+let le_envelope v ~cap =
+  let pts = ref [] in
+  let push x m =
+    match !pts with
+    | (x', _) :: _ when x' = x -> ()
+    | _ -> pts := (x, m) :: !pts
+  in
+  let running = ref (snd v.(0)) in
+  push (fst v.(0)) !running;
+  Array.iteri
+    (fun i (x2, m2) ->
+      if i > 0 then begin
+        let x1, m1 = v.(i - 1) in
+        if m2 > !running then begin
+          (* the piece rises above the running max: flat until it crosses,
+             then follow it *)
+          if m1 < !running then begin
+            let xc = x1 +. ((!running -. m1) *. (x2 -. x1) /. (m2 -. m1)) in
+            push xc !running
+          end;
+          push x2 m2;
+          running := m2
+        end
+        else push x2 !running
+      end)
+    v;
+  let last_x = fst v.(Array.length v - 1) in
+  if cap > last_x then push cap !running;
+  of_breakpoints (List.rev !pts)
+
+let poss_ge u v =
+  let cap =
+    Float.max (fst u.(Array.length u - 1)) (fst v.(Array.length v - 1)) +. 1.0
+  in
+  sup_min u (le_envelope v ~cap)
+
+let power ?(samples_per_piece = 8) t p =
+  if p <= 0.0 then invalid_arg "Plf.power: exponent must be positive";
+  let pts = ref [] in
+  let push x m = pts := (x, Float.max 0.0 (Float.min 1.0 (m ** p))) :: !pts in
+  let n = Array.length t in
+  for i = 0 to n - 1 do
+    let x1, m1 = t.(i) in
+    push x1 m1;
+    if i + 1 < n then begin
+      let x2, m2 = t.(i + 1) in
+      if m1 <> m2 then
+        for k = 1 to samples_per_piece - 1 do
+          let f = float_of_int k /. float_of_int samples_per_piece in
+          let x = x1 +. (f *. (x2 -. x1)) in
+          push x (m1 +. (f *. (m2 -. m1)))
+        done
+    end
+  done;
+  of_breakpoints (List.rev !pts)
+
+let scale_x t k =
+  if k = 0.0 then invalid_arg "Plf.scale_x: zero factor";
+  let mapped = Array.map (fun (x, m) -> (x *. k, m)) t in
+  if k < 0.0 then begin
+    let n = Array.length mapped in
+    of_breakpoints (List.init n (fun i -> mapped.(n - 1 - i)))
+  end
+  else of_breakpoints (Array.to_list mapped)
+
+let shift_x t d = of_breakpoints (Array.to_list (Array.map (fun (x, m) -> (x +. d, m)) t))
+
+let equal u v =
+  Array.length u = Array.length v
+  && Array.for_all2 (fun (x1, m1) (x2, m2) -> x1 = x2 && m1 = m2) u v
+
+let pp ppf t =
+  Format.fprintf ppf "plf[%s]"
+    (String.concat "; "
+       (List.map (fun (x, m) -> Printf.sprintf "(%g, %g)" x m) (Array.to_list t)))

@@ -1,0 +1,56 @@
+(** General piecewise-linear membership functions.
+
+    The paper restricts data to trapezoids "because they are typical in
+    practice"; this module lifts the kernel's analytic machinery to arbitrary
+    piecewise-linear shapes (LR fuzzy numbers, skewed or multi-modal
+    profiles, exact hedge powers sampled to any precision). Satisfaction
+    degrees are computed exactly by breakpoint-and-crossing enumeration —
+    the same technique as {!Fuzzy_compare.Oracle}, generalised.
+
+    A value is represented by its breakpoints [(x_i, mu_i)] with strictly
+    increasing [x_i]; the membership is linear between consecutive
+    breakpoints and 0 outside [x_0, x_n]. *)
+
+type t
+
+val of_breakpoints : (float * float) list -> t
+(** Validates: at least one point, strictly increasing abscissae, ordinates
+    within [0, 1], at least one positive ordinate. Raises
+    [Invalid_argument] otherwise. *)
+
+val breakpoints : t -> (float * float) list
+
+val of_trapezoid : Trapezoid.t -> t
+
+val of_possibility : Possibility.t -> t option
+(** [None] for discrete distributions. *)
+
+val mem : t -> float -> Degree.t
+
+val support : t -> Interval.t
+(** Hull of the positive region. *)
+
+val height : t -> Degree.t
+
+val core_center : t -> float
+(** Midpoint of the region where membership equals the height. *)
+
+val sup_min : t -> t -> Degree.t
+(** [sup_x min (mem u x) (mem v x)] — the fuzzy-equality satisfaction
+    degree; exact. *)
+
+val poss_ge : t -> t -> Degree.t
+(** [sup_{x >= y} min (mem u x) (mem v y)] — possibility of [u >= v];
+    exact via the nondecreasing envelope. *)
+
+val power : ?samples_per_piece:int -> t -> float -> t
+(** [power t p] raises the membership function to the [p]-th power
+    (concentration for [p > 1], dilation for [p < 1]), sampling each linear
+    piece with [samples_per_piece] extra breakpoints (default 8) to track
+    the curvature. *)
+
+val scale_x : t -> float -> t
+val shift_x : t -> float -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+(** Possibility distributions over a numeric domain.
+
+    The paper restricts attention to trapezoidal distributions (Section 2.1)
+    because they are typical in practice; the Appendix also discusses
+    discrete distributions such as [1/y1 + 0.8/y2]. Both forms are supported:
+    the relational engine works with either, while the extended merge-join
+    requires the continuous (trapezoidal) form, exactly as in the paper. *)
+
+type t =
+  | Trap of Trapezoid.t  (** continuous, trapezoid-shaped *)
+  | Discrete of (float * Degree.t) list
+      (** finite support: value [v] is possible to degree [d]; normalised to
+          be sorted by value, with strictly positive degrees and no duplicate
+          values *)
+
+val trap : Trapezoid.t -> t
+val crisp : float -> t
+val triangle : float -> float -> float -> t
+val about : float -> spread:float -> t
+
+val discrete : (float * float) list -> t
+(** Normalises: drops non-positive degrees, merges duplicate values by [max],
+    sorts by value. Raises [Invalid_argument] on an empty result or invalid
+    degrees. *)
+
+val is_crisp : t -> bool
+val crisp_value : t -> float option
+
+val support : t -> Interval.t
+(** 0-cut hull: the interval [b(v), e(v)] used by Definition 3.1 and the
+    merge-join. For a discrete distribution, the hull of its points. *)
+
+val core_start : t -> float
+(** Smallest domain point with membership 1 (for discrete: smallest point of
+    maximal degree). *)
+
+val mem : t -> float -> Degree.t
+
+val height : t -> Degree.t
+(** [sup_x mem t x]; 1.0 for trapezoids, the max degree for discrete. *)
+
+val is_continuous : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality (used for duplicate elimination). *)
+
+val compare_structural : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+module M = Map.Make (String)
+
+type t = Possibility.t M.t
+
+let normalise s = String.lowercase_ascii (String.trim s)
+let empty = M.empty
+let register t name p = M.add (normalise name) p t
+let lookup t name = M.find_opt (normalise name) t
+let names t = List.map fst (M.bindings t)
+
+(* Parameters are pinned by the degrees printed in the paper:
+   - mu_medium_young(24) = 0.8, (23) = 0.6 and d(about35 = medium_young) =
+     0.5 fix "medium young" = trap(20,25,30,35) and "about 35" = tri(30,35,40)
+     (Fig. 1).
+   - Example 4.1 needs d(middle_age = medium_young) = 0.7 (Betty's answer
+     degree): the crossing with medium young's falling edge (35-x)/5 at
+     height 0.7 happens at x = 31.5, so middle age's rising edge must pass
+     through (31.5, 0.7); with support start 31 that forces core start
+     31 + 5/7.
+   - d(about50 = middle_age) = 0.4 (tuple 202 enters T with 0.4): about 50 =
+     tri(45,50,55) rising edge (x-45)/5 crosses middle age's falling edge at
+     height 0.4, so the falling edge runs from (44,1) to (49,0).
+   - d(about29 = middle_age) = 0 (Carl excluded from T): about 29's support
+     must end at middle age's support start, hence tri(27,29,31).
+   - Ann(101)'s answer degree 0.3 = min(0.5, d(about60K IN T)) needs
+     d(about60K = high) = 0.3: about 60K's falling edge (70-x)/10 crosses
+     high's rising edge at height 0.3, so high rises from (64,0) to (74,1).
+   - Ann(102)'s degree 0.7 needs d(medium_high = high) = 0.7: medium high's
+     falling edge from (65,1) to (85,0) crosses high's rising edge at
+     x = 71, height 0.7.
+   - "about 40K" = tri(30,40,50) keeps d(about60K = about40K) = 0 and
+     d(medium_high = about40K) = 0, so those minimums do not interfere. *)
+let paper =
+  let t = Trapezoid.make and tri = Trapezoid.triangle in
+  List.fold_left
+    (fun acc (name, p) -> register acc name p)
+    empty
+    [
+      ("medium young", Possibility.trap (t 20. 25. 30. 35.));
+      ("about 35", Possibility.trap (tri 30. 35. 40.));
+      ("young", Possibility.trap (t 16. 18. 25. 30.));
+      ("middle age", Possibility.trap (t 31. (31. +. (5. /. 7.)) 44. 49.));
+      ("about 50", Possibility.trap (tri 45. 50. 55.));
+      ("about 29", Possibility.trap (tri 27. 29. 31.));
+      ("low", Possibility.trap (t 0. 0. 15. 25.));
+      ("medium low", Possibility.trap (t 20. 28. 35. 45.));
+      ("about 25K", Possibility.trap (tri 18. 25. 32.));
+      ("about 40K", Possibility.trap (tri 30. 40. 50.));
+      ("about 60K", Possibility.trap (tri 50. 60. 70.));
+      ("medium high", Possibility.trap (t 55. 60. 65. 85.));
+      ("high", Possibility.trap (t 64. 74. 200. 200.));
+    ]
+
+let plot ?(width = 72) ?(height = 12) ?from_x ?to_x curves =
+  let lo, hi =
+    match (from_x, to_x) with
+    | Some lo, Some hi -> (lo, hi)
+    | _ ->
+        List.fold_left
+          (fun (lo, hi) (_, p) ->
+            let s = Possibility.support p in
+            (Float.min lo (Interval.lo s), Float.max hi (Interval.hi s)))
+          (infinity, neg_infinity) curves
+  in
+  let lo = Option.value from_x ~default:lo
+  and hi = Option.value to_x ~default:hi in
+  let grid = Array.make_matrix (height + 1) width ' ' in
+  let marks = [| '*'; '+'; 'o'; 'x'; '#'; '@' |] in
+  List.iteri
+    (fun ci (_, p) ->
+      let mark = marks.(ci mod Array.length marks) in
+      for col = 0 to width - 1 do
+        let x = lo +. (float_of_int col *. (hi -. lo) /. float_of_int (width - 1)) in
+        let m = Possibility.mem p x in
+        if Degree.positive m then begin
+          let row = height - int_of_float (Float.round (m *. float_of_int height)) in
+          if grid.(row).(col) = ' ' then grid.(row).(col) <- mark
+          else if grid.(row).(col) <> mark then grid.(row).(col) <- '%'
+        end
+      done)
+    curves;
+  let buf = Buffer.create ((height + 3) * (width + 10)) in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then "1.0 |"
+        else if row = height then "0.0 |"
+        else if 2 * row = height then "0.5 |"
+        else "    |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (Array.get line));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("    +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "     %-10g%*g\n" lo (width - 10) hi);
+  List.iteri
+    (fun ci (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "     %c %s\n" marks.(ci mod Array.length marks) name))
+    curves;
+  Buffer.contents buf

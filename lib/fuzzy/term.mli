@@ -1,0 +1,39 @@
+(** Linguistic-term dictionaries.
+
+    A term dictionary maps vocabulary words such as "medium young" or
+    "about 35" to possibility distributions. The [paper] dictionary contains
+    the terms of Figs. 1 and 2 with parameters chosen to reproduce every
+    degree printed in the paper's running example (Example 4.1): see the
+    implementation for the constraint derivation. *)
+
+type t
+
+val empty : t
+val register : t -> string -> Possibility.t -> t
+(** Case-insensitive; later registrations shadow earlier ones. *)
+
+val lookup : t -> string -> Possibility.t option
+val names : t -> string list
+
+val paper : t
+(** The dictionary of the paper's running example. AGE terms are in years,
+    INCOME terms in thousands of dollars:
+    - "medium young"  = trap(20,25,30,35)     (Fig. 1)
+    - "about 35"      = tri(30,35,40)         (Fig. 1)
+    - "young"         = trap(16,18,25,30)
+    - "middle age"    = trap(31, 31+5/7, 44, 49)
+    - "about 50"      = tri(45,50,55)
+    - "about 29"      = tri(27,29,31)
+    - "low"           = trap(0,0,15,25)
+    - "medium low"    = trap(20,28,35,45)
+    - "about 25K"     = tri(18,25,32)
+    - "about 40K"     = tri(30,40,50)
+    - "about 60K"     = tri(50,60,70)
+    - "medium high"   = trap(55,60,65,85)
+    - "high"          = trap(64,74,200,200) *)
+
+val plot :
+  ?width:int -> ?height:int -> ?from_x:float -> ?to_x:float ->
+  (string * Possibility.t) list -> string
+(** ASCII rendering of membership functions (used to regenerate Figs. 1-2 in
+    the bench harness). *)

@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  conj : Degree.t -> Degree.t -> Degree.t;
+  disj : Degree.t -> Degree.t -> Degree.t;
+}
+
+let zadeh = { name = "zadeh"; conj = Degree.conj; disj = Degree.disj }
+
+let product =
+  {
+    name = "product";
+    conj = (fun a b -> a *. b);
+    disj = (fun a b -> a +. b -. (a *. b));
+  }
+
+let lukasiewicz =
+  {
+    name = "lukasiewicz";
+    conj = (fun a b -> Float.max 0.0 (a +. b -. 1.0));
+    disj = (fun a b -> Float.min 1.0 (a +. b));
+  }
+
+let conj_list t l = List.fold_left t.conj Degree.one l
+let disj_list t l = List.fold_left t.disj Degree.zero l

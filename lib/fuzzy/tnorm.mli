@@ -1,0 +1,24 @@
+(** Triangular norms and conorms.
+
+    The paper's Fuzzy SQL combines predicate degrees with min/max (Zadeh
+    connectives); this module also provides the product and Lukasiewicz
+    families so the engine's combination semantics can be swapped for
+    ablation experiments. *)
+
+type t = {
+  name : string;
+  conj : Degree.t -> Degree.t -> Degree.t;  (** t-norm (fuzzy AND) *)
+  disj : Degree.t -> Degree.t -> Degree.t;  (** dual t-conorm (fuzzy OR) *)
+}
+
+val zadeh : t
+(** min / max — the semantics used throughout the paper. *)
+
+val product : t
+(** a*b / a+b-ab. *)
+
+val lukasiewicz : t
+(** max(0, a+b-1) / min(1, a+b). *)
+
+val conj_list : t -> Degree.t list -> Degree.t
+val disj_list : t -> Degree.t list -> Degree.t

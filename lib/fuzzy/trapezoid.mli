@@ -1,0 +1,81 @@
+(** Trapezoidal possibility distributions.
+
+    A trapezoid [(a, b, c, d)] with [a <= b <= c <= d] has membership 0
+    outside [a, d] (the support / 0-cut), membership 1 on [b, c] (the core /
+    1-cut), and linear edges in between. Triangles ([b = c]) and crisp points
+    ([a = b = c = d]) are special cases, exactly as in Section 2.1 of the
+    paper. All distributions are normal (height 1). *)
+
+type t = private { a : float; b : float; c : float; d : float }
+
+val make : float -> float -> float -> float -> t
+(** [make a b c d]; raises [Invalid_argument] unless [a <= b <= c <= d] and
+    no bound is NaN. *)
+
+val triangle : float -> float -> float -> t
+(** [triangle a peak d] = [make a peak peak d]. *)
+
+val about : float -> spread:float -> t
+(** [about v ~spread] = symmetric triangle peaking at [v] with support
+    [v - spread, v + spread]; models "about v" terms. *)
+
+val crisp : float -> t
+(** Degenerate trapezoid for a crisp value: possibility 1 at [v], 0
+    elsewhere. *)
+
+val is_crisp : t -> bool
+
+val support : t -> Interval.t
+(** The 0-cut [a, d] — the interval written [b(v), e(v)] in Section 3. *)
+
+val core : t -> Interval.t
+(** The 1-cut [b, c]. *)
+
+val alpha_cut : t -> float -> Interval.t option
+(** [alpha_cut t alpha] is the closed interval where membership >= alpha,
+    or [None] when [alpha > 1]. For [alpha = 0] returns the support. *)
+
+val mem : t -> float -> float
+(** [mem t x] is the membership degree of [x]. Vertical edges take the core
+    value at their boundary point. *)
+
+val eq_height : t -> t -> Degree.t
+(** [eq_height u v] = [sup_x min (mem u x) (mem v x)]: the satisfaction
+    degree of the fuzzy equality [U = V], the "height of the highest
+    intersection point" of Section 2.2. *)
+
+val ge_height : t -> t -> Degree.t
+(** Possibility of [U >= V]: [sup_{x >= y} min (mem u x) (mem v y)]. *)
+
+val gt_height : t -> t -> Degree.t
+(** Possibility of [U > V]. Coincides with [ge_height] for continuous
+    distributions; differs only when both operands are crisp. *)
+
+val le_height : t -> t -> Degree.t
+val lt_height : t -> t -> Degree.t
+
+val ne_height : t -> t -> Degree.t
+(** Possibility of [U <> V]: [sup_{x <> y} min (mem u x) (mem v y)]. *)
+
+val shift : t -> float -> t
+val scale : t -> float -> t
+(** [scale t k] multiplies all four abscissae by [k] (for [k < 0] the
+    trapezoid is mirrored and re-normalised). *)
+
+val add : t -> t -> t
+(** Fuzzy addition: interval addition on 0- and 1-cuts (Section 6). *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Fuzzy multiplication approximated by interval products of the cuts;
+    exact for same-sign supports, conservative otherwise. *)
+
+val div : t -> t -> t option
+(** [None] when the divisor's support contains 0. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the four abscissae (used for duplicate
+    elimination of fuzzy values). *)
+
+val compare_structural : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+open Relational
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type scope = (string * Relation.t) list list
+(** blocks, innermost first; each block lists its FROM entries *)
+
+let resolve_attr (scopes : scope) name =
+  let rec in_blocks up = function
+    | [] -> errf "unknown attribute %s" name
+    | block :: outer -> (
+        let hits =
+          List.concat
+            (List.mapi
+               (fun from_idx (_, rel) ->
+                 match Schema.index_of (Relation.schema rel) name with
+                 | Some attr_idx -> [ (from_idx, attr_idx) ]
+                 | None -> [])
+               block)
+        in
+        match hits with
+        | [] -> in_blocks (up + 1) outer
+        | [ (from_idx, attr_idx) ] ->
+            { Bound.up; from_idx; attr_idx; display = name }
+        | _ :: _ :: _ -> errf "ambiguous attribute %s" name)
+  in
+  in_blocks 0 scopes
+
+let attr_ty (scopes : scope) (r : Bound.attr_ref) =
+  let block = List.nth scopes r.Bound.up in
+  let _, rel = List.nth block r.Bound.from_idx in
+  Schema.ty_of (Relation.schema rel) r.Bound.attr_idx
+
+let resolve_const ~terms ~expected c =
+  match (c, expected) with
+  | Ast.Num f, Some Schema.TStr -> errf "number %g compared with a string attribute" f
+  | Ast.Num f, _ -> Value.crisp_num f
+  | Ast.Str s, Some Schema.TStr -> Value.Str s
+  | Ast.Str s, Some Schema.TNum -> (
+      match Fuzzy.Hedge.lookup terms s with
+      | Some p -> Value.Fuzzy p
+      | None -> errf "unknown linguistic term %S (numeric context)" s)
+  | Ast.Str s, None -> (
+      match Fuzzy.Hedge.lookup terms s with
+      | Some p -> Value.Fuzzy p
+      | None -> Value.Str s)
+  | (Ast.Trap _ | Ast.Tri _ | Ast.About _ | Ast.Discrete _), Some Schema.TStr ->
+      errf "fuzzy literal compared with a string attribute"
+  | Ast.Trap (a, b, c, d), _ ->
+      Value.Fuzzy (Fuzzy.Possibility.trap (Fuzzy.Trapezoid.make a b c d))
+  | Ast.Tri (a, p, d), _ ->
+      Value.Fuzzy (Fuzzy.Possibility.triangle a p d)
+  | Ast.About (v, spread), _ -> Value.Fuzzy (Fuzzy.Possibility.about v ~spread)
+  | Ast.Discrete pts, _ -> Value.Fuzzy (Fuzzy.Possibility.discrete pts)
+
+let rec bind_query ~catalog ~terms ~outer (q : Ast.query) : Bound.query =
+  if q.Ast.select = [] then errf "empty SELECT list";
+  if q.Ast.from = [] then errf "empty FROM list";
+  let from =
+    List.map
+      (fun (rel_name, alias) ->
+        match Catalog.find catalog rel_name with
+        | None -> errf "unknown relation %s" rel_name
+        | Some rel ->
+            let alias = Option.value alias ~default:rel_name in
+            (alias, Relation.with_name rel alias))
+      q.Ast.from
+  in
+  let scopes = from :: outer in
+  let local_ref name =
+    let r = resolve_attr [ from ] name in
+    (* resolving against the single local block always gives up = 0 *)
+    r
+  in
+  let select =
+    List.map
+      (function
+        | Ast.Col name -> Bound.Col (local_ref name)
+        | Ast.Agg (_, "*") ->
+            errf "COUNT(*) is not supported: aggregate a named attribute"
+        | Ast.Agg (agg, name) -> Bound.Agg (agg, local_ref name))
+      q.Ast.select
+  in
+  let where = List.map (bind_pred ~catalog ~terms ~scopes) q.Ast.where in
+  let group_by = List.map local_ref q.Ast.group_by in
+  let having = List.map (bind_having ~terms ~scopes) q.Ast.having in
+  (match q.Ast.with_d with
+  | Some { Ast.value; _ } when value < 0.0 || value > 1.0 ->
+      errf "WITH threshold %g outside [0, 1]" value
+  | _ -> ());
+  (match q.Ast.limit with
+  | Some k when k < 0 -> errf "negative LIMIT %d" k
+  | _ -> ());
+  if outer <> [] && (q.Ast.order_by_d <> None || q.Ast.limit <> None) then
+    errf "ORDER BY / LIMIT are only allowed on the outermost query block";
+  {
+    Bound.distinct = q.Ast.distinct;
+    select;
+    from;
+    where;
+    group_by;
+    having;
+    threshold = q.Ast.with_d;
+    order_by_d = q.Ast.order_by_d;
+    limit = q.Ast.limit;
+  }
+
+and bind_operand ~terms ~scopes ~expected = function
+  | Ast.Attr name -> Bound.Ref (resolve_attr scopes name)
+  | Ast.Const c -> Bound.Lit (resolve_const ~terms ~expected c)
+  | Ast.Agg_of _ -> errf "aggregate operands are only allowed in HAVING"
+
+and bind_cmp ~terms ~scopes lhs op rhs =
+  (* Resolve attribute sides first so constants get the right typing
+     context (a string against a numeric attribute is a linguistic term). *)
+  let expected_from o =
+    match o with
+    | Ast.Attr name -> Some (attr_ty scopes (resolve_attr scopes name))
+    | Ast.Const _ | Ast.Agg_of _ -> None
+  in
+  let e1 = expected_from rhs and e2 = expected_from lhs in
+  let b1 = bind_operand ~terms ~scopes ~expected:e1 lhs in
+  let b2 = bind_operand ~terms ~scopes ~expected:e2 rhs in
+  Bound.Cmp (b1, op, b2)
+
+and bind_pred ~catalog ~terms ~scopes p =
+  let sub q = bind_query ~catalog ~terms ~outer:scopes q in
+  let single_col q =
+    match q.Bound.select with
+    | [ Bound.Col _ ] -> q
+    | _ -> errf "subquery of IN / quantifier must select exactly one column"
+  in
+  let single_agg q =
+    match q.Bound.select with
+    | [ Bound.Agg _ ] -> q
+    | _ -> errf "scalar subquery must select exactly one aggregate"
+  in
+  match p with
+  | Ast.Cmp (lhs, op, rhs) -> bind_cmp ~terms ~scopes lhs op rhs
+  | Ast.CmpSub (lhs, op, q) ->
+      Bound.Cmp_sub
+        (bind_operand ~terms ~scopes ~expected:None lhs, op, single_agg (sub q))
+  | Ast.In (lhs, q) ->
+      Bound.In (bind_operand ~terms ~scopes ~expected:None lhs, single_col (sub q))
+  | Ast.Not_in (lhs, q) ->
+      Bound.Not_in
+        (bind_operand ~terms ~scopes ~expected:None lhs, single_col (sub q))
+  | Ast.Quant (lhs, op, quant, q) ->
+      Bound.Quant
+        (bind_operand ~terms ~scopes ~expected:None lhs, op, quant,
+         single_col (sub q))
+  | Ast.Exists q -> Bound.Exists (sub q)
+  | Ast.Not_exists q -> Bound.Not_exists (sub q)
+
+and bind_having ~terms ~scopes p =
+  let make agg attr op c =
+    let h_attr = resolve_attr scopes attr in
+    if h_attr.Bound.up <> 0 then
+      errf "HAVING aggregate must reference this block's relations";
+    {
+      Bound.h_agg = agg;
+      h_attr;
+      h_op = op;
+      h_value = resolve_const ~terms ~expected:None c;
+    }
+  in
+  match p with
+  | Ast.Cmp (Ast.Agg_of (agg, attr), op, Ast.Const c) -> make agg attr op c
+  | Ast.Cmp (Ast.Const c, op, Ast.Agg_of (agg, attr)) ->
+      make agg attr (Fuzzy.Fuzzy_compare.flip op) c
+  | _ -> errf "HAVING supports only AGG(attr) op constant"
+
+let bind ~catalog ~terms q = bind_query ~catalog ~terms ~outer:[] q
+let bind_string ~catalog ~terms s = bind ~catalog ~terms (Parser.parse s)

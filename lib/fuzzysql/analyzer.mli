@@ -1,0 +1,17 @@
+(** Semantic analysis: resolve names against a catalog and a linguistic-term
+    dictionary, type-check predicates, and produce the bound form.
+
+    String constants compared against numeric attributes are resolved in the
+    term dictionary ("medium young" becomes its trapezoid); against string
+    attributes they stay crisp strings. Subqueries used by IN / NOT IN /
+    quantifiers must select exactly one column; scalar subqueries must select
+    exactly one aggregate. *)
+
+exception Error of string
+
+val bind :
+  catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> Ast.query -> Bound.query
+
+val bind_string :
+  catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> string -> Bound.query
+(** Parse then bind. *)

@@ -1,0 +1,69 @@
+(** Abstract syntax of Fuzzy SQL (Section 2.2 of the paper).
+
+    A query is a SELECT block: projection list, FROM relations (with optional
+    aliases), a WHERE conjunction of predicates, optional GROUPBY / HAVING,
+    and an optional [WITH D >= z] threshold on the answer's membership
+    degrees. Subqueries appear in IN / NOT IN predicates, under quantifiers
+    (ALL / SOME), under EXISTS, and as scalar aggregate subqueries compared
+    with [op] (the paper's type JA). *)
+
+type const =
+  | Num of float  (** crisp number *)
+  | Str of string
+      (** either a string constant or a linguistic term — disambiguated
+          against the attribute type and term dictionary by the analyzer *)
+  | Trap of float * float * float * float  (** TRAP(a,b,c,d) literal *)
+  | Tri of float * float * float  (** TRI(a,peak,d) literal *)
+  | About of float * float  (** ABOUT(v, spread) literal *)
+  | Discrete of (float * float) list  (** DIST(v:d, ...) literal *)
+
+type operand =
+  | Attr of string
+  | Const of const
+  | Agg_of of Relational.Aggregate.t * string
+      (** aggregate operand, only meaningful inside HAVING *)
+
+type quant = All | Some_
+
+type select_item =
+  | Col of string
+  | Agg of Relational.Aggregate.t * string
+
+type threshold = { strict : bool; value : float }
+
+type order = Desc | Asc
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : (string * string option) list;
+  where : predicate list;  (** conjunction *)
+  group_by : string list;
+  having : predicate list;
+  with_d : threshold option;
+  order_by_d : order option;  (** ORDER BY D: rank answers by degree *)
+  limit : int option;  (** LIMIT k: top-k answers (by degree when ordered) *)
+}
+
+and predicate =
+  | Cmp of operand * Fuzzy.Fuzzy_compare.op * operand
+  | CmpSub of operand * Fuzzy.Fuzzy_compare.op * query
+      (** scalar (aggregate) subquery comparison *)
+  | In of operand * query
+  | Not_in of operand * query
+  | Quant of operand * Fuzzy.Fuzzy_compare.op * quant * query
+  | Exists of query
+  | Not_exists of query
+
+let empty_query =
+  {
+    distinct = false;
+    select = [];
+    from = [];
+    where = [];
+    group_by = [];
+    having = [];
+    with_d = None;
+    order_by_d = None;
+    limit = None;
+  }

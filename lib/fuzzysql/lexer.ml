@@ -1,0 +1,118 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c || c = '.'
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some Token.SELECT
+  | "DISTINCT" -> Some Token.DISTINCT
+  | "FROM" -> Some Token.FROM
+  | "WHERE" -> Some Token.WHERE
+  | "AND" -> Some Token.AND
+  | "IN" -> Some Token.IN
+  | "NOT" -> Some Token.NOT
+  | "IS" -> Some Token.IS
+  | "ALL" -> Some Token.ALL
+  | "SOME" | "ANY" -> Some Token.SOME
+  | "EXISTS" -> Some Token.EXISTS
+  | "GROUPBY" -> Some Token.GROUPBY
+  | "ORDERBY" -> Some Token.ORDERBY
+  | "DESC" -> Some Token.DESC
+  | "ASC" -> Some Token.ASC
+  | "LIMIT" -> Some Token.LIMIT
+  | "HAVING" -> Some Token.HAVING
+  | "WITH" -> Some Token.WITH
+  | "TRAP" -> Some Token.TRAP
+  | "TRI" -> Some Token.TRI
+  | "ABOUT" -> Some Token.ABOUT
+  | "DIST" -> Some Token.DIST
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit Token.EOF
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' -> go (skip_line i)
+      | '(' -> emit Token.LPAREN; go (i + 1)
+      | ')' -> emit Token.RPAREN; go (i + 1)
+      | ',' -> emit Token.COMMA; go (i + 1)
+      | ':' -> emit Token.COLON; go (i + 1)
+      | '*' -> emit Token.STAR; go (i + 1)
+      | '=' -> emit (Token.OP Fuzzy.Fuzzy_compare.Eq); go (i + 1)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+          emit (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+          emit (Token.OP Fuzzy.Fuzzy_compare.Le); go (i + 2)
+      | '<' -> emit (Token.OP Fuzzy.Fuzzy_compare.Lt); go (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+          emit (Token.OP Fuzzy.Fuzzy_compare.Ge); go (i + 2)
+      | '>' -> emit (Token.OP Fuzzy.Fuzzy_compare.Gt); go (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+          emit (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
+      | ('\'' | '"') as quote ->
+          let rec find j =
+            if j >= n then raise (Error ("unterminated string literal", i))
+            else if input.[j] = quote then j
+            else find (j + 1)
+          in
+          let j = find (i + 1) in
+          emit (Token.STRING (String.sub input (i + 1) (j - i - 1)));
+          go (j + 1)
+      | c when is_digit c ->
+          let rec find j =
+            if j < n && (is_digit input.[j] || input.[j] = '.') then find (j + 1)
+            else j
+          in
+          let j = find i in
+          let s = String.sub input i (j - i) in
+          (match float_of_string_opt s with
+          | Some f -> emit (Token.NUMBER f)
+          | None -> raise (Error (Printf.sprintf "bad number %S" s, i)));
+          go j
+      | c when is_ident_start c ->
+          let rec find j = if j < n && is_ident_char input.[j] then find (j + 1) else j in
+          let j = find i in
+          let s = String.sub input i (j - i) in
+          (match keyword_of_string s with
+          | Some Token.GROUPBY -> emit Token.GROUPBY; go j
+          | Some kw -> emit kw; go j
+          | None ->
+              (* "GROUP BY" as two words *)
+              if String.uppercase_ascii s = "GROUP"
+                 || String.uppercase_ascii s = "ORDER" then begin
+                let kw =
+                  if String.uppercase_ascii s = "GROUP" then Token.GROUPBY
+                  else Token.ORDERBY
+                in
+                let rec skip_ws k =
+                  if k < n && (input.[k] = ' ' || input.[k] = '\t' || input.[k] = '\n')
+                  then skip_ws (k + 1)
+                  else k
+                in
+                let k = skip_ws j in
+                if k + 1 < n && String.uppercase_ascii (String.sub input k 2) = "BY"
+                then begin
+                  emit kw;
+                  go (k + 2)
+                end
+                else begin
+                  emit (Token.IDENT s);
+                  go j
+                end
+              end
+              else begin
+                emit (Token.IDENT s);
+                go j
+              end)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0;
+  List.rev !tokens

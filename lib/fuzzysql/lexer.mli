@@ -1,0 +1,10 @@
+(** Hand-written lexer for Fuzzy SQL.
+
+    Identifiers may be qualified ([M.AGE]); string literals use single or
+    double quotes; [GROUP BY] and [GROUPBY] both lex to {!Token.GROUPBY};
+    comments run from [--] to end of line. *)
+
+exception Error of string * int  (** message, byte offset *)
+
+val tokenize : string -> Token.t list
+(** The resulting list always ends with [EOF]. *)

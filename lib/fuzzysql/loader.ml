@@ -1,0 +1,145 @@
+open Relational
+
+exception Error of string
+
+let errf line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* Split one CSV line into fields, honouring double quotes. *)
+let split_line ~separator line lineno =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then begin
+      if in_quotes then errf lineno "unterminated quoted field";
+      fields := Buffer.contents buf :: !fields
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' then go (i + 1) true
+      else if c = separator then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev_map String.trim !fields
+
+let cell_value ~terms ~ty ~lineno cell =
+  match ty with
+  | Schema.TStr -> Value.Str cell
+  | Schema.TNum -> (
+      match float_of_string_opt cell with
+      | Some f -> Value.crisp_num f
+      | None -> (
+          (* Try the term dictionary on the raw text first: linguistic terms
+             such as "about 35" would otherwise collide with the ABOUT
+             keyword of the literal syntax. *)
+          match Fuzzy.Hedge.lookup terms cell with
+          | Some p -> Value.Fuzzy p
+          | None -> (
+              let const =
+                try Parser.parse_const cell with
+                | Parser.Error msg -> errf lineno "bad cell %S: %s" cell msg
+                | Lexer.Error (msg, _) -> errf lineno "bad cell %S: %s" cell msg
+              in
+              match const with
+              | Ast.Num f -> Value.crisp_num f
+              | Ast.Trap (a, b, c, d) ->
+                  Value.Fuzzy (Fuzzy.Possibility.trap (Fuzzy.Trapezoid.make a b c d))
+              | Ast.Tri (a, p, d) -> Value.Fuzzy (Fuzzy.Possibility.triangle a p d)
+              | Ast.About (v, s) -> Value.Fuzzy (Fuzzy.Possibility.about v ~spread:s)
+              | Ast.Discrete pts -> Value.Fuzzy (Fuzzy.Possibility.discrete pts)
+              | Ast.Str s -> (
+                  match Fuzzy.Hedge.lookup terms s with
+                  | Some p -> Value.Fuzzy p
+                  | None ->
+                      errf lineno
+                        "cell %S of a numeric column is neither a number, a \
+                         fuzzy literal, nor a known linguistic term"
+                        s))))
+
+let load_lines ?(separator = ',') ?(terms = Fuzzy.Term.paper) env ~name ~schema
+    lines =
+  match lines with
+  | [] -> raise (Error "empty input: missing header row")
+  | header :: rows ->
+      let columns = split_line ~separator header 1 in
+      let find_column attr =
+        let rec go i = function
+          | [] -> raise (Error (Printf.sprintf "missing column %s" attr))
+          | c :: rest ->
+              if String.lowercase_ascii c = String.lowercase_ascii attr then i
+              else go (i + 1) rest
+        in
+        go 0 columns
+      in
+      let positions = List.map (fun (attr, ty) -> (find_column attr, ty)) schema in
+      let degree_pos =
+        let rec go i = function
+          | [] -> None
+          | c :: rest -> if String.lowercase_ascii c = "d" then Some i else go (i + 1) rest
+        in
+        go 0 columns
+      in
+      let rel = Relation.create env (Schema.make ~name schema) in
+      List.iteri
+        (fun row_idx line ->
+          let lineno = row_idx + 2 in
+          if String.trim line <> "" then begin
+            let cells = Array.of_list (split_line ~separator line lineno) in
+            let get i =
+              if i < Array.length cells then cells.(i)
+              else errf lineno "row has only %d fields" (Array.length cells)
+            in
+            let values =
+              List.map (fun (i, ty) -> cell_value ~terms ~ty ~lineno (get i)) positions
+            in
+            let degree =
+              match degree_pos with
+              | None -> 1.0
+              | Some i -> (
+                  match float_of_string_opt (get i) with
+                  | Some d when d >= 0.0 && d <= 1.0 -> d
+                  | Some d -> errf lineno "degree %g outside [0, 1]" d
+                  | None -> errf lineno "bad degree %S" (get i))
+            in
+            Relation.insert rel (Ftuple.make (Array.of_list values) degree)
+          end)
+        rows;
+      Storage.Buffer_pool.flush env.Storage.Env.pool;
+      rel
+
+let load_csv_string ?separator ?terms env ~name ~schema text =
+  load_lines ?separator ?terms env ~name ~schema
+    (String.split_on_char '\n' text)
+
+let load_csv ?separator ?terms env ~name ~schema ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      load_lines ?separator ?terms env ~name ~schema (List.rev !lines))

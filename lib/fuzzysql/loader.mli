@@ -1,0 +1,26 @@
+(** Loading fuzzy relations from CSV files.
+
+    The first row names the columns; each schema attribute must appear among
+    them (extra columns are ignored). An optional [D] column supplies tuple
+    membership degrees (default 1). Cell syntax per column type:
+    - numeric columns: a number ([42], [3.5]) loads as a crisp value; a
+      fuzzy literal ([TRAP(20,25,30,35)], [TRI(30,35,40)], [ABOUT(35)],
+      [DIST(1:1, 2:0.8)]) loads as a possibility distribution; a bare or
+      quoted word is resolved in the term dictionary ("medium young");
+    - string columns: the cell text (quotes optional).
+
+    Fields are separated by [separator] (default ','); double quotes wrap
+    fields containing separators, and doubled quotes escape a quote. *)
+
+exception Error of string  (** includes the 1-based line number *)
+
+val load_csv :
+  ?separator:char -> ?terms:Fuzzy.Term.t -> Storage.Env.t -> name:string ->
+  schema:(string * Relational.Schema.ty) list -> path:string ->
+  Relational.Relation.t
+
+val load_csv_string :
+  ?separator:char -> ?terms:Fuzzy.Term.t -> Storage.Env.t -> name:string ->
+  schema:(string * Relational.Schema.ty) list -> string ->
+  Relational.Relation.t
+(** Same, from an in-memory string (used by tests). *)

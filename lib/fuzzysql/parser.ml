@@ -1,0 +1,318 @@
+exception Error of string
+
+type state = { mutable tokens : Token.t list }
+
+let peek st = match st.tokens with [] -> Token.EOF | t :: _ -> t
+
+let peek2 st = match st.tokens with _ :: t :: _ -> t | _ -> Token.EOF
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail st what =
+  raise
+    (Error (Printf.sprintf "expected %s but found %s" what (Token.to_string (peek st))))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st what
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "an identifier"
+
+let number st =
+  match peek st with
+  | Token.NUMBER f ->
+      advance st;
+      f
+  | _ -> fail st "a number"
+
+let comma_sep st item =
+  let rec more acc =
+    if peek st = Token.COMMA then begin
+      advance st;
+      more (item st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ item st ]
+
+let fuzzy_literal st =
+  match peek st with
+  | Token.TRAP ->
+      advance st;
+      expect st Token.LPAREN "(";
+      let a = number st in
+      expect st Token.COMMA ",";
+      let b = number st in
+      expect st Token.COMMA ",";
+      let c = number st in
+      expect st Token.COMMA ",";
+      let d = number st in
+      expect st Token.RPAREN ")";
+      Ast.Trap (a, b, c, d)
+  | Token.TRI ->
+      advance st;
+      expect st Token.LPAREN "(";
+      let a = number st in
+      expect st Token.COMMA ",";
+      let p = number st in
+      expect st Token.COMMA ",";
+      let d = number st in
+      expect st Token.RPAREN ")";
+      Ast.Tri (a, p, d)
+  | Token.ABOUT ->
+      advance st;
+      expect st Token.LPAREN "(";
+      let v = number st in
+      let spread =
+        if peek st = Token.COMMA then begin
+          advance st;
+          number st
+        end
+        else Float.max 1.0 (Float.abs v *. 0.1)
+      in
+      expect st Token.RPAREN ")";
+      Ast.About (v, spread)
+  | Token.DIST ->
+      advance st;
+      expect st Token.LPAREN "(";
+      let pair st =
+        let v = number st in
+        expect st Token.COLON ":";
+        let d = number st in
+        (v, d)
+      in
+      let pts = comma_sep st pair in
+      expect st Token.RPAREN ")";
+      Ast.Discrete pts
+  | _ -> fail st "a fuzzy literal"
+
+let operand st =
+  match (peek st, peek2 st) with
+  | Token.IDENT name, Token.LPAREN
+    when Relational.Aggregate.of_string name <> None -> (
+      match Relational.Aggregate.of_string name with
+      | Some agg ->
+          advance st;
+          advance st;
+          let attr = ident st in
+          expect st Token.RPAREN ")";
+          Ast.Agg_of (agg, attr)
+      | None -> assert false)
+  | Token.IDENT s, _ ->
+      advance st;
+      Ast.Attr s
+  | Token.NUMBER f, _ ->
+      advance st;
+      Ast.Const (Ast.Num f)
+  | Token.STRING s, _ ->
+      advance st;
+      Ast.Const (Ast.Str s)
+  | (Token.TRAP | Token.TRI | Token.ABOUT | Token.DIST), _ ->
+      Ast.Const (fuzzy_literal st)
+  | _ -> fail st "an attribute, constant, or fuzzy literal"
+
+let select_item st =
+  match (peek st, peek2 st) with
+  | Token.IDENT name, Token.LPAREN -> (
+      match Relational.Aggregate.of_string name with
+      | Some agg ->
+          advance st;
+          advance st;
+          let attr =
+            match peek st with
+            | Token.STAR ->
+                advance st;
+                "*"
+            | _ -> ident st
+          in
+          expect st Token.RPAREN ")";
+          Ast.Agg (agg, attr)
+      | None -> raise (Error (Printf.sprintf "unknown aggregate function %s" name)))
+  | Token.IDENT _, _ -> Ast.Col (ident st)
+  | _ -> fail st "a projection item"
+
+let from_item st =
+  let rel = ident st in
+  match peek st with
+  | Token.IDENT alias ->
+      advance st;
+      (rel, Some alias)
+  | _ -> (rel, None)
+
+let rec query st =
+  expect st Token.SELECT "SELECT";
+  let distinct =
+    if peek st = Token.DISTINCT then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let select = comma_sep st select_item in
+  expect st Token.FROM "FROM";
+  let from = comma_sep st from_item in
+  let where = if peek st = Token.WHERE then begin advance st; predicates st end else [] in
+  (* The trailing clauses — GROUPBY, HAVING, ORDER BY D, LIMIT, WITH — may
+     appear in any order, each at most once. *)
+  let group_by = ref [] and having = ref [] and with_d = ref None in
+  let order_by_d = ref None and limit = ref None in
+  let once name r v =
+    match !r with
+    | None -> r := Some v
+    | Some _ -> raise (Error (Printf.sprintf "duplicate %s clause" name))
+  in
+  let rec clauses () =
+    match peek st with
+    | Token.GROUPBY ->
+        advance st;
+        if !group_by <> [] then raise (Error "duplicate GROUPBY clause");
+        group_by := comma_sep st ident;
+        clauses ()
+    | Token.HAVING ->
+        advance st;
+        if !having <> [] then raise (Error "duplicate HAVING clause");
+        having := predicates st;
+        clauses ()
+    | Token.ORDERBY ->
+        advance st;
+        let d = ident st in
+        if String.uppercase_ascii d <> "D" then
+          raise (Error "ORDER BY supports only the degree attribute D");
+        let dir =
+          match peek st with
+          | Token.DESC ->
+              advance st;
+              Ast.Desc
+          | Token.ASC ->
+              advance st;
+              Ast.Asc
+          | _ -> Ast.Desc
+        in
+        once "ORDER BY" order_by_d dir;
+        clauses ()
+    | Token.LIMIT ->
+        advance st;
+        let k = number st in
+        if Float.rem k 1.0 <> 0.0 || k < 0.0 then
+          raise (Error "LIMIT expects a non-negative integer");
+        once "LIMIT" limit (int_of_float k);
+        clauses ()
+    | Token.WITH ->
+        advance st;
+        let d = ident st in
+        if String.uppercase_ascii d <> "D" then
+          raise (Error "WITH clause must constrain the degree attribute D");
+        let strict =
+          match peek st with
+          | Token.OP Fuzzy.Fuzzy_compare.Ge ->
+              advance st;
+              false
+          | Token.OP Fuzzy.Fuzzy_compare.Gt ->
+              advance st;
+              true
+          | _ -> fail st ">= or > in WITH clause"
+        in
+        once "WITH" with_d { Ast.strict; value = number st };
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  {
+    Ast.distinct;
+    select;
+    from;
+    where;
+    group_by = !group_by;
+    having = !having;
+    with_d = !with_d;
+    order_by_d = !order_by_d;
+    limit = !limit;
+  }
+
+and subquery st =
+  expect st Token.LPAREN "(";
+  let q = query st in
+  expect st Token.RPAREN ")";
+  q
+
+and predicates st =
+  let rec more acc =
+    if peek st = Token.AND then begin
+      advance st;
+      more (predicate st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ predicate st ]
+
+and predicate st =
+  match peek st with
+  | Token.EXISTS ->
+      advance st;
+      Ast.Exists (subquery st)
+  | Token.NOT when peek2 st = Token.EXISTS ->
+      advance st;
+      advance st;
+      Ast.Not_exists (subquery st)
+  | _ -> (
+      let lhs = operand st in
+      (* Optional IS before IN / NOT IN, as the paper writes "is in". *)
+      if peek st = Token.IS then advance st;
+      match peek st with
+      | Token.IN ->
+          advance st;
+          Ast.In (lhs, subquery st)
+      | Token.NOT ->
+          advance st;
+          expect st Token.IN "IN after NOT";
+          Ast.Not_in (lhs, subquery st)
+      | Token.OP op -> (
+          advance st;
+          match peek st with
+          | Token.ALL ->
+              advance st;
+              Ast.Quant (lhs, op, Ast.All, subquery st)
+          | Token.SOME ->
+              advance st;
+              Ast.Quant (lhs, op, Ast.Some_, subquery st)
+          | Token.LPAREN when peek2 st = Token.SELECT ->
+              Ast.CmpSub (lhs, op, subquery st)
+          | _ -> Ast.Cmp (lhs, op, operand st))
+      | _ -> fail st "a comparison operator, IN, or NOT IN")
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let q = query st in
+  expect st Token.EOF "end of input";
+  q
+
+let parse_const input =
+  let st = { tokens = Lexer.tokenize input } in
+  let c =
+    match peek st with
+    | Token.NUMBER f ->
+        advance st;
+        Ast.Num f
+    | Token.STRING s ->
+        advance st;
+        Ast.Str s
+    | Token.IDENT _ ->
+        (* bare word(s): a string such as a linguistic term *)
+        let rec words acc =
+          match peek st with
+          | Token.IDENT s ->
+              advance st;
+              words (s :: acc)
+          | _ -> String.concat " " (List.rev acc)
+        in
+        Ast.Str (words [])
+    | Token.TRAP | Token.TRI | Token.ABOUT | Token.DIST -> fuzzy_literal st
+    | _ -> fail st "a constant"
+  in
+  expect st Token.EOF "end of constant";
+  c

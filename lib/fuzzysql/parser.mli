@@ -1,0 +1,26 @@
+(** Recursive-descent parser for Fuzzy SQL.
+
+    Accepted syntax (case-insensitive keywords):
+    {v
+    SELECT [DISTINCT] item, ...      item := attr | AGG(attr)
+    FROM rel [alias], ...
+    [WHERE pred AND pred AND ...]
+    [GROUPBY attr, ...]  (also GROUP BY)
+    [HAVING pred AND ...]
+    [WITH D >= number]   (also >)
+    v}
+    Predicates: [X op Y], [X op (SELECT ...)], [X [IS] [NOT] IN (SELECT ...)],
+    [X op ALL/SOME (SELECT ...)], [[NOT] EXISTS (SELECT ...)]. Operands are
+    attributes, numbers, strings / linguistic terms, or fuzzy literals
+    [TRAP(a,b,c,d)], [TRI(a,p,d)], [ABOUT(v[,spread])],
+    [DIST(v:d, v:d, ...)]. *)
+
+exception Error of string
+
+val parse : string -> Ast.query
+(** Raises [Error] (or {!Lexer.Error}) on malformed input. *)
+
+val parse_const : string -> Ast.const
+(** Parse a single constant: a number, a quoted string, or a fuzzy literal
+    ([TRAP(..)], [TRI(..)], [ABOUT(..)], [DIST(..)]). A bare word is taken
+    as a string. Used by the CSV loader. *)

@@ -1,0 +1,80 @@
+(** Pretty-printer for Fuzzy SQL ASTs (round-trip tested against the
+    parser). *)
+
+let const_to_string = function
+  | Ast.Num f -> Printf.sprintf "%g" f
+  | Ast.Str s -> Printf.sprintf "\"%s\"" s
+  | Ast.Trap (a, b, c, d) -> Printf.sprintf "TRAP(%g, %g, %g, %g)" a b c d
+  | Ast.Tri (a, p, d) -> Printf.sprintf "TRI(%g, %g, %g)" a p d
+  | Ast.About (v, s) -> Printf.sprintf "ABOUT(%g, %g)" v s
+  | Ast.Discrete pts ->
+      Printf.sprintf "DIST(%s)"
+        (String.concat ", " (List.map (fun (v, d) -> Printf.sprintf "%g:%g" v d) pts))
+
+let operand_to_string = function
+  | Ast.Attr a -> a
+  | Ast.Const c -> const_to_string c
+  | Ast.Agg_of (agg, a) ->
+      Printf.sprintf "%s(%s)" (Relational.Aggregate.to_string agg) a
+
+let rec query_to_string (q : Ast.query) =
+  let select_item = function
+    | Ast.Col a -> a
+    | Ast.Agg (agg, a) ->
+        Printf.sprintf "%s(%s)" (Relational.Aggregate.to_string agg) a
+  in
+  let from_item = function
+    | rel, None -> rel
+    | rel, Some alias -> rel ^ " " ^ alias
+  in
+  let parts =
+    [
+      "SELECT "
+      ^ (if q.Ast.distinct then "DISTINCT " else "")
+      ^ String.concat ", " (List.map select_item q.Ast.select);
+      "FROM " ^ String.concat ", " (List.map from_item q.Ast.from);
+    ]
+    @ (match q.Ast.where with
+      | [] -> []
+      | ps -> [ "WHERE " ^ String.concat " AND " (List.map pred_to_string ps) ])
+    @ (match q.Ast.group_by with
+      | [] -> []
+      | gs -> [ "GROUPBY " ^ String.concat ", " gs ])
+    @ (match q.Ast.having with
+      | [] -> []
+      | ps -> [ "HAVING " ^ String.concat " AND " (List.map pred_to_string ps) ])
+    @ (match q.Ast.order_by_d with
+      | None -> []
+      | Some Ast.Desc -> [ "ORDERBY D DESC" ]
+      | Some Ast.Asc -> [ "ORDERBY D ASC" ])
+    @ (match q.Ast.limit with
+      | None -> []
+      | Some k -> [ Printf.sprintf "LIMIT %d" k ])
+    @
+    match q.Ast.with_d with
+    | None -> []
+    | Some { Ast.strict; value } ->
+        [ Printf.sprintf "WITH D %s %g" (if strict then ">" else ">=") value ]
+  in
+  String.concat " " parts
+
+and pred_to_string = function
+  | Ast.Cmp (l, op, r) ->
+      Printf.sprintf "%s %s %s" (operand_to_string l)
+        (Fuzzy.Fuzzy_compare.op_to_string op)
+        (operand_to_string r)
+  | Ast.CmpSub (l, op, q) ->
+      Printf.sprintf "%s %s (%s)" (operand_to_string l)
+        (Fuzzy.Fuzzy_compare.op_to_string op)
+        (query_to_string q)
+  | Ast.In (l, q) ->
+      Printf.sprintf "%s IN (%s)" (operand_to_string l) (query_to_string q)
+  | Ast.Not_in (l, q) ->
+      Printf.sprintf "%s NOT IN (%s)" (operand_to_string l) (query_to_string q)
+  | Ast.Quant (l, op, quant, q) ->
+      Printf.sprintf "%s %s %s (%s)" (operand_to_string l)
+        (Fuzzy.Fuzzy_compare.op_to_string op)
+        (match quant with Ast.All -> "ALL" | Ast.Some_ -> "SOME")
+        (query_to_string q)
+  | Ast.Exists q -> Printf.sprintf "EXISTS (%s)" (query_to_string q)
+  | Ast.Not_exists q -> Printf.sprintf "NOT EXISTS (%s)" (query_to_string q)

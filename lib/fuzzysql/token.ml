@@ -1,0 +1,69 @@
+(** Tokens of the Fuzzy SQL lexer. *)
+
+type t =
+  | SELECT
+  | DISTINCT
+  | FROM
+  | WHERE
+  | AND
+  | IN
+  | NOT
+  | IS
+  | ALL
+  | SOME
+  | EXISTS
+  | GROUPBY
+  | ORDERBY
+  | DESC
+  | ASC
+  | LIMIT
+  | HAVING
+  | WITH
+  | TRAP
+  | TRI
+  | ABOUT
+  | DIST
+  | IDENT of string  (** identifier, possibly qualified (R.X) *)
+  | STRING of string
+  | NUMBER of float
+  | OP of Fuzzy.Fuzzy_compare.op
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | STAR
+  | EOF
+
+let to_string = function
+  | SELECT -> "SELECT"
+  | DISTINCT -> "DISTINCT"
+  | FROM -> "FROM"
+  | WHERE -> "WHERE"
+  | AND -> "AND"
+  | IN -> "IN"
+  | NOT -> "NOT"
+  | IS -> "IS"
+  | ALL -> "ALL"
+  | SOME -> "SOME"
+  | EXISTS -> "EXISTS"
+  | GROUPBY -> "GROUPBY"
+  | ORDERBY -> "ORDERBY"
+  | DESC -> "DESC"
+  | ASC -> "ASC"
+  | LIMIT -> "LIMIT"
+  | HAVING -> "HAVING"
+  | WITH -> "WITH"
+  | TRAP -> "TRAP"
+  | TRI -> "TRI"
+  | ABOUT -> "ABOUT"
+  | DIST -> "DIST"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | OP op -> Fuzzy.Fuzzy_compare.op_to_string op
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | COLON -> ":"
+  | STAR -> "*"
+  | EOF -> "end of input"

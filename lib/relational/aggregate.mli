@@ -1,0 +1,28 @@
+(** Aggregate functions over fuzzy sets of values (Section 6 of the paper).
+
+    - COUNT returns the number of values in the fuzzy set (the caller passes
+      the duplicate-eliminated value list).
+    - SUM and AVG use fuzzy arithmetic on the 0- and 1-cuts.
+    - MIN and MAX defuzzify by the center of the 1-cut and return the extreme
+      original value.
+    - On an empty set, SUM/AVG/MIN/MAX return NULL ([None]); COUNT returns 0.
+
+    The degree [D(A(r))] attached to an aggregate result is 1 in Fuzzy SQL;
+    {!result_degree} also offers the paper's suggested alternatives (average
+    or weighted-average membership of the aggregated group). *)
+
+type t = Count | Sum | Avg | Min | Max
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val apply : t -> Value.t list -> Value.t option
+(** Raises [Invalid_argument] when SUM/AVG/MIN/MAX meet a non-numeric
+    value. *)
+
+type degree_strategy = Always_one | Average_membership | Weighted_membership
+
+val result_degree :
+  ?strategy:degree_strategy -> Fuzzy.Degree.t list -> Fuzzy.Degree.t
+(** Degree of the aggregate result given the membership degrees of the
+    aggregated group; default [Always_one] (Fuzzy SQL's choice). *)

@@ -1,0 +1,48 @@
+(** Fuzzy relational algebra.
+
+    These operators implement the composable single-measure semantics of the
+    paper (Section 2): selection combines the tuple's membership degree with
+    the predicate's satisfaction degree by [min]; duplicate elimination keeps
+    the maximal degree among identical value vectors (fuzzy OR); the
+    [WITH D >= z] clause is a plain degree threshold on the result. *)
+
+val select :
+  ?name:string -> Relation.t -> pred:(Ftuple.t -> Fuzzy.Degree.t) -> Relation.t
+(** Output degree = [min (degree tup) (pred tup)]; tuples whose combined
+    degree is 0 are dropped (they are not members of the answer). *)
+
+val project : ?name:string -> Relation.t -> attrs:string list -> Relation.t
+(** Projection with max-degree duplicate elimination. Raises
+    [Invalid_argument] on unknown attribute names. *)
+
+val project_positions : ?name:string -> Relation.t -> int list -> Relation.t
+
+val dedup_max : ?name:string -> Relation.t -> Relation.t
+(** Collapse tuples with identical value vectors, keeping the max degree. *)
+
+val union_max : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Fuzzy union: max degree per value vector. Schemas must have equal
+    arity. *)
+
+val intersect_min : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Fuzzy intersection: for value vectors present in both operands, the
+    [min] of their degrees. Schemas must have equal arity. *)
+
+val difference : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Fuzzy set difference: degree [min(mu_R(t), 1 - mu_S(t))] per value
+    vector (tuples absent from [s] keep their degree). Schemas must have
+    equal arity. *)
+
+val threshold : ?name:string -> Relation.t -> Fuzzy.Degree.t -> Relation.t
+(** [WITH D >= z]. *)
+
+val product : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Cross product; degree = [min] of the operand degrees. *)
+
+val group :
+  Relation.t -> key:int list -> (Value.t array * Ftuple.t list) list
+(** In-memory grouping by structural equality of the key values (GROUPBY);
+    groups are returned in ascending key order. *)
+
+val rename : Relation.t -> string -> Relation.t
+(** Change the schema name (FROM-clause aliasing); shares storage. *)

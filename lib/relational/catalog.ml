@@ -1,0 +1,11 @@
+type t = {
+  env : Storage.Env.t;
+  rels : (string, Relation.t) Hashtbl.t;
+}
+
+let create env = { env; rels = Hashtbl.create 16 }
+let env t = t.env
+let key name = String.lowercase_ascii name
+let add t rel = Hashtbl.replace t.rels (key (Schema.name (Relation.schema rel))) rel
+let find t name = Hashtbl.find_opt t.rels (key name)
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [] |> List.sort compare

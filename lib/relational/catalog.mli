@@ -1,0 +1,13 @@
+(** Named relations of a fuzzy database. *)
+
+type t
+
+val create : Storage.Env.t -> t
+val env : t -> Storage.Env.t
+
+val add : t -> Relation.t -> unit
+(** Registers the relation under its schema name (case-insensitive); replaces
+    any previous relation of that name. *)
+
+val find : t -> string -> Relation.t option
+val names : t -> string list

@@ -1,0 +1,15 @@
+(** Binary serialization of fuzzy tuples for heap-file storage.
+
+    Ill-known data needs more storage than crisp data (a motivation the paper
+    gives for why I/O matters more in fuzzy databases): a trapezoid costs
+    four doubles where a crisp number costs one. [pad_to] reproduces the
+    fixed tuple sizes (128-2048 bytes) of the experiments by padding the
+    encoding with zero bytes. *)
+
+val encode : ?pad_to:int -> Ftuple.t -> bytes
+(** Raises [Invalid_argument] if the natural encoding exceeds [pad_to]. *)
+
+val decode : bytes -> Ftuple.t
+
+val encoded_size : Ftuple.t -> int
+(** Size of [encode ?pad_to:None]. *)

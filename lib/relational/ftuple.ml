@@ -1,0 +1,34 @@
+type t = { values : Value.t array; degree : Fuzzy.Degree.t }
+
+let make values degree = { values; degree }
+let value t i = t.values.(i)
+let degree t = t.degree
+let with_degree t degree = { t with degree }
+
+let concat a b degree = { values = Array.append a.values b.values; degree }
+
+let project t positions =
+  { t with values = Array.of_list (List.map (Array.get t.values) positions) }
+
+let values_equal a b =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let compare_values a b =
+  let la = Array.length a.values and lb = Array.length b.values in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        match Value.compare_structural a.values.(i) b.values.(i) with
+        | 0 -> go (i + 1)
+        | c -> c
+    in
+    go 0
+
+let pp ppf t =
+  Format.fprintf ppf "(%s | D=%a)"
+    (String.concat ", "
+       (Array.to_list (Array.map Value.to_string t.values)))
+    Fuzzy.Degree.pp t.degree

@@ -1,0 +1,70 @@
+open Fuzzy
+
+let center v =
+  let sup = Value.support v in
+  (Interval.lo sup +. Interval.hi sup) /. 2.0
+
+(* Extend every tuple of [rel] with one helper attribute computed by [f];
+   the helper drives the interval sweep. *)
+let with_helper rel f =
+  let schema = Relation.schema rel in
+  let helper_name = "__SWEEP" in
+  let out_schema =
+    Schema.make ~name:(Schema.name schema)
+      (Array.to_list (Schema.attrs schema) @ [ (helper_name, Schema.TNum) ])
+  in
+  let out = Relation.create (Relation.env rel) out_schema in
+  Relation.iter rel (fun tup ->
+      Relation.insert out
+        (Ftuple.make
+           (Array.append tup.Ftuple.values [| f tup |])
+           (Ftuple.degree tup)));
+  (out, Schema.arity schema)
+
+(* A rectangular ("crisp-interval") distribution: membership 1 on [lo, hi],
+   0 outside — its equality height against another rectangle is 1 exactly
+   when they intersect. *)
+let rectangle lo hi = Value.Fuzzy (Possibility.trap (Trapezoid.make lo lo hi hi))
+
+let sweep_join ?(name = "band_join") ~outer ~inner ~mem_pages ~outer_helper
+    ~inner_helper () =
+  let outer2, o_pos = with_helper outer outer_helper in
+  let inner2, i_pos = with_helper inner inner_helper in
+  let joined =
+    Join_merge.join_eq ~name ~outer:outer2 ~inner:inner2 ~outer_attr:o_pos
+      ~inner_attr:i_pos ~mem_pages ()
+  in
+  (* Drop the helper columns (positions o_pos and o_pos + 1 + i_pos of the
+     concatenated schema). *)
+  let keep =
+    List.filter
+      (fun p -> p <> o_pos && p <> o_pos + 1 + i_pos)
+      (List.init (Schema.arity (Relation.schema joined)) Fun.id)
+  in
+  let out = Algebra.project_positions ~name joined keep in
+  Relation.destroy outer2;
+  Relation.destroy inner2;
+  Relation.destroy joined;
+  out
+
+let band_join ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~c1 ~c2 () =
+  if c1 < 0.0 || c2 < 0.0 then invalid_arg "Join_band.band_join: negative band";
+  sweep_join ?name ~outer ~inner ~mem_pages
+    ~outer_helper:(fun tup ->
+      let c = center (Ftuple.value tup outer_attr) in
+      rectangle (c -. c1) (c +. c2))
+    ~inner_helper:(fun tup ->
+      let c = center (Ftuple.value tup inner_attr) in
+      rectangle c c)
+    ()
+
+let interval_join ?(name = "interval_join") ~outer ~inner ~outer_attr
+    ~inner_attr ~mem_pages () =
+  sweep_join ~name ~outer ~inner ~mem_pages
+    ~outer_helper:(fun tup ->
+      let sup = Value.support (Ftuple.value tup outer_attr) in
+      rectangle (Interval.lo sup) (Interval.hi sup))
+    ~inner_helper:(fun tup ->
+      let sup = Value.support (Ftuple.value tup inner_attr) in
+      rectangle (Interval.lo sup) (Interval.hi sup))
+    ()

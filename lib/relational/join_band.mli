@@ -1,0 +1,30 @@
+(** Band joins and interval (valid-time style) joins.
+
+    Section 3 of the paper relates the fuzzy equi-join to two crisp
+    relatives: the band join of DeWitt et al. (every value is a point, all
+    join intervals have the same fixed length) and the valid-time natural
+    join of temporal databases (explicit intervals of arbitrary length).
+    Both are special cases of the interval sweep that drives the extended
+    merge-join, and both are provided here on top of the same machinery —
+    with boolean (degree 0/1) match semantics, since the intervals are crisp.
+
+    These exist both as usable operators and as an executable statement of
+    the paper's claim that "fuzzy joins are more general than the two kinds
+    of joins". *)
+
+val band_join :
+  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  inner_attr:int -> mem_pages:int -> c1:float -> c2:float -> unit -> Relation.t
+(** Pairs (r, s) with [r.x - c1 <= s.x <= r.x + c2] (DeWitt et al.'s band
+    predicate), evaluated by sorting on the Definition 3.1 order of the
+    widened supports and sweeping once. Attributes must be numeric; fuzzy
+    values participate through their support centers. Result degree =
+    [min(D_r, D_s)]. Raises [Invalid_argument] if [c1] or [c2] is
+    negative. *)
+
+val interval_join :
+  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  inner_attr:int -> mem_pages:int -> unit -> Relation.t
+(** Pairs whose attribute supports intersect — the valid-time natural join
+    when the attributes hold [TRAP(b, b, e, e)] intervals. Result degree =
+    [min(D_r, D_s)] for overlapping pairs. *)

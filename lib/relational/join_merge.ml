@@ -1,0 +1,142 @@
+open Storage
+open Fuzzy
+
+let sort_by rel ~attr ~mem_pages =
+  let env = Relation.env rel in
+  Buffer_pool.flush env.Env.pool;
+  let compare_records r1 r2 =
+    let v1 = Ftuple.value (Codec.decode r1) attr
+    and v2 = Ftuple.value (Codec.decode r2) attr in
+    Interval.compare_lex (Value.support v1) (Value.support v2)
+  in
+  let sorted =
+    External_sort.sort (Relation.file rel) ~compare:compare_records ~mem_pages
+  in
+  Relation.of_file ?pad_to:(Relation.pad_to rel) env (Relation.schema rel) sorted
+
+let sweep_sorted ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~f =
+  ignore mem_pages;
+  let env = Relation.env outer in
+  let stats = env.Env.stats in
+  Buffer_pool.flush env.Env.pool;
+  Buffer_pool.flush (Relation.env inner).Env.pool;
+  Iostats.timed stats Iostats.Merge (fun () ->
+      (* Each relation is read strictly once in sorted order; the window of
+         candidate inner tuples is kept decoded in memory, so tiny scoped
+         pools suffice (the paper's claim: one scan of both R and S). *)
+      let outer_pool = Buffer_pool.create env.Env.disk ~capacity:2 in
+      let inner_pool =
+        Buffer_pool.create (Relation.env inner).Env.disk ~capacity:2
+      in
+      let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
+      let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
+      (* Window entries: inner tuple with the support of its join value. *)
+      let window = ref [] in
+      let rec next_r () =
+        match Relation.Cursor.next rc with
+        | None -> ()
+        | Some r ->
+            let ri = Value.support (Ftuple.value r outer_attr) in
+            let b_r = Interval.lo ri and e_r = Interval.hi ri in
+            (* Drop window tuples ending before b(r.X): since outer support
+               starts are non-decreasing, they cannot join this or any later
+               outer tuple. *)
+            window :=
+              List.filter
+                (fun (_, si) ->
+                  Iostats.record_comparison stats;
+                  Interval.hi si >= b_r)
+                !window;
+            (* Extend the window while the next inner tuple begins no later
+               than e(r.X); later inner tuples begin after e(r.X) and
+               terminate the scan for r. *)
+            let rec extend () =
+              match Relation.Cursor.peek sc with
+              | Some s ->
+                  let si = Value.support (Ftuple.value s inner_attr) in
+                  Iostats.record_comparison stats;
+                  if Interval.lo si <= e_r then begin
+                    ignore (Relation.Cursor.next sc);
+                    if Interval.hi si >= b_r then window := !window @ [ (s, si) ];
+                    extend ()
+                  end
+              | None -> ()
+            in
+            extend ();
+            let rng =
+              List.map
+                (fun (s, si) ->
+                  Iostats.record_comparison stats;
+                  if Interval.overlaps ri si then begin
+                    Iostats.record_fuzzy_op stats;
+                    ( s,
+                      Value.compare_degree Fuzzy_compare.Eq
+                        (Ftuple.value r outer_attr)
+                        (Ftuple.value s inner_attr) )
+                  end
+                  else (s, Degree.zero))
+                !window
+            in
+            f r rng;
+            next_r ()
+      in
+      next_r ())
+
+let join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ?residual ~rng_degree () =
+  let env = Relation.env outer in
+  let out_schema =
+    Schema.concat
+      ~name:(Option.value name ~default:"join")
+      (Relation.schema outer) (Relation.schema inner)
+  in
+  let out = Relation.create env out_schema in
+  let sorted_r = sort_by outer ~attr:outer_attr ~mem_pages in
+  let sorted_s = sort_by inner ~attr:inner_attr ~mem_pages in
+  sweep_sorted ~outer:sorted_r ~inner:sorted_s ~outer_attr ~inner_attr
+    ~mem_pages ~f:(fun r rng ->
+      List.iter
+        (fun (s, d_eq) ->
+          let d_eq = rng_degree r s d_eq in
+          if Degree.positive d_eq then begin
+            let d_res =
+              match residual with None -> Degree.one | Some f -> f r s
+            in
+            let d =
+              Degree.conj_list
+                [ Ftuple.degree r; Ftuple.degree s; d_eq; d_res ]
+            in
+            if Degree.positive d then Relation.insert out (Ftuple.concat r s d)
+          end)
+        rng);
+  Relation.destroy sorted_r;
+  Relation.destroy sorted_s;
+  out
+
+let join_eq ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ?residual () =
+  join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ?residual ~rng_degree:(fun _ _ d -> d) ()
+
+let with_indicator ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ?residual () =
+  let indicator r s d_exact =
+    (* Fuzzy-equality indicator (Zhang & Wang [42]): overlapping cores mean
+       degree 1, disjoint supports mean degree 0; only the remaining pairs
+       need the exact intersection height, which [sweep_sorted] already
+       computed as [d_exact]. The classification is still performed here so
+       the identical-result property is tested, while a production system
+       would skip the exact computation. *)
+    match
+      ( Value.to_possibility (Ftuple.value r outer_attr),
+        Value.to_possibility (Ftuple.value s inner_attr) )
+    with
+    | Some (Possibility.Trap a), Some (Possibility.Trap b) ->
+        if Interval.overlaps (Trapezoid.core a) (Trapezoid.core b) then
+          Degree.one
+        else if not (Interval.overlaps (Trapezoid.support a) (Trapezoid.support b))
+        then Degree.zero
+        else d_exact
+    | _ -> d_exact
+  in
+  join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ?residual ~rng_degree:indicator ()

@@ -1,0 +1,46 @@
+(** The extended merge-join for fuzzy equi-joins (Section 3 of the paper).
+
+    Hash joins are inapplicable in a fuzzy database — tuples with different
+    attribute values (e.g. "young" and "about 35") may still join with a
+    positive degree. Instead, both relations are sorted by the interval order
+    of Definition 3.1 (support start, then support end) and swept: for each
+    outer tuple [r], exactly the inner tuples in [Rng(r)] are examined. Inner
+    tuples whose support ends before [b(r.X)] are dropped from the window
+    permanently (they cannot join any later outer tuple either); the scan for
+    [r] stops at the first inner tuple whose support begins after [e(r.X)].
+    Dangling tuples inside the window are examined and skipped, as the paper
+    describes. Each relation is read once after sorting, giving the
+    O(n_R log n_R + n_S log n_S) response time of Section 3. *)
+
+val sort_by : Relation.t -> attr:int -> mem_pages:int -> Relation.t
+(** Sort a relation by the Definition 3.1 order of the given attribute using
+    the external sorter (accounted to the [Sort] phase). The result is a
+    temporary relation owned by the caller. *)
+
+val sweep_sorted :
+  outer:Relation.t -> inner:Relation.t -> outer_attr:int -> inner_attr:int ->
+  mem_pages:int ->
+  f:(Ftuple.t -> (Ftuple.t * Fuzzy.Degree.t) list -> unit) -> unit
+(** Merge phase over relations already sorted on the join attributes:
+    [f r rng] is called once per outer tuple in sort order, where [rng] lists
+    the window tuples paired with their equality degrees [d(r.X = s.X)]
+    (0 for dangling tuples). Every examined pair counts one fuzzy op;
+    accounted to the [Merge] phase. *)
+
+val join_eq :
+  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  inner_attr:int -> mem_pages:int ->
+  ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
+(** Full extended merge-join: sort both inputs, sweep, and materialise
+    matches with degree [min(D_r, D_s, d(r.X = s.X), residual r s)].
+    Temporary sorted files are destroyed before returning. *)
+
+val with_indicator :
+  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  inner_attr:int -> mem_pages:int ->
+  ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
+(** Variant with the fuzzy-equality-indicator prefilter of Zhang & Wang
+    (reference [42] of the paper): before computing the exact intersection
+    height of a candidate pair, a cheap core/support test classifies pairs
+    whose degree is certainly 1 or certainly 0, skipping the full
+    computation. Results are identical to {!join_eq}. *)

@@ -1,0 +1,62 @@
+open Storage
+open Fuzzy
+
+let iter_blocks ~outer ~inner ~mem_pages ~f =
+  if mem_pages < 2 then invalid_arg "Join_nested_loop: mem_pages < 2";
+  let env = Relation.env outer in
+  Buffer_pool.flush env.Env.pool;
+  Buffer_pool.flush (Relation.env inner).Env.pool;
+  Iostats.timed env.Env.stats Iostats.Join (fun () ->
+      let outer_block = mem_pages - 1 in
+      let outer_pool = Buffer_pool.create env.Env.disk ~capacity:outer_block in
+      let inner_pool =
+        Buffer_pool.create (Relation.env inner).Env.disk ~capacity:1
+      in
+      let outer_file = Relation.file outer in
+      let n_outer_pages = Heap_file.num_pages outer_file in
+      let rec blocks start =
+        if start < n_outer_pages then begin
+          let stop = Int.min n_outer_pages (start + outer_block) in
+          (* Load and decode the current outer block. *)
+          let block = ref [] in
+          for p = start to stop - 1 do
+            List.iter
+              (fun r -> block := Codec.decode r :: !block)
+              (Heap_file.page_records_via outer_pool outer_file p)
+          done;
+          let block = Array.of_list (List.rev !block) in
+          let scan_inner g = Relation.iter_via inner_pool inner g in
+          f block scan_inner;
+          blocks stop
+        end
+      in
+      blocks 0)
+
+let iter_pairs ~outer ~inner ~mem_pages ~f =
+  iter_blocks ~outer ~inner ~mem_pages ~f:(fun block scan_inner ->
+      scan_inner (fun s -> Array.iter (fun r -> f r s) block))
+
+let join ?name ~outer ~inner ~mem_pages ~on ?residual () =
+  let env = Relation.env outer in
+  let stats = env.Env.stats in
+  let out_schema =
+    Schema.concat
+      ~name:(Option.value name ~default:"join")
+      (Relation.schema outer) (Relation.schema inner)
+  in
+  let out = Relation.create env out_schema in
+  iter_pairs ~outer ~inner ~mem_pages ~f:(fun r s ->
+      let d_on =
+        Degree.conj_list
+          (List.map
+             (fun (ri, op, si) ->
+               Iostats.record_fuzzy_op stats;
+               Value.compare_degree op (Ftuple.value r ri) (Ftuple.value s si))
+             on)
+      in
+      let d_res = match residual with None -> Degree.one | Some f -> f r s in
+      let d =
+        Degree.conj_list [ Ftuple.degree r; Ftuple.degree s; d_on; d_res ]
+      in
+      if Degree.positive d then Relation.insert out (Ftuple.concat r s d));
+  out

@@ -1,0 +1,31 @@
+(** Block nested-loop fuzzy join — the baseline the paper measures against.
+
+    Buffer allocation follows Section 9: "one buffer page (8 k-bytes) is
+    allocated to the inner relation and the rest to the outer relation in
+    order to minimize I/O cost". The outer relation is read once; the inner
+    relation is scanned once per outer block, giving
+    [b_R + ceil(b_R / (M - 1)) * b_S] page reads and [n_R * n_S] degree
+    computations — the O(n_R x n_S) response time of Section 3. *)
+
+val iter_blocks :
+  outer:Relation.t -> inner:Relation.t -> mem_pages:int ->
+  f:(Ftuple.t array -> ((Ftuple.t -> unit) -> unit) -> unit) -> unit
+(** Lower-level interface exposing the block structure: [f block scan_inner]
+    is called once per outer block; [scan_inner g] performs exactly one pass
+    over the inner relation, calling [g] per inner tuple. The nested-query
+    evaluators keep per-outer-tuple accumulators across that single pass. *)
+
+val iter_pairs :
+  outer:Relation.t -> inner:Relation.t -> mem_pages:int ->
+  f:(Ftuple.t -> Ftuple.t -> unit) -> unit
+(** Enumerate every (outer, inner) tuple pair with the block I/O pattern
+    above; accounted to the [Join] phase. *)
+
+val join :
+  ?name:string -> outer:Relation.t -> inner:Relation.t -> mem_pages:int ->
+  on:(int * Fuzzy.Fuzzy_compare.op * int) list ->
+  ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
+(** Materialise the fuzzy join: output degree =
+    [min(D_r, D_s, min_i d(r.X_i op_i s.Y_i), residual r s)]. Every join
+    predicate evaluation is counted as a fuzzy op in the environment
+    statistics. *)

@@ -1,0 +1,113 @@
+exception Format_error of string
+
+let magic = "FREPRO-REL-1\n"
+
+let write_u16 oc v =
+  output_byte oc (v land 0xff);
+  output_byte oc ((v lsr 8) land 0xff)
+
+let write_i32 oc v =
+  for k = 0 to 3 do
+    output_byte oc ((v lsr (8 * k)) land 0xff)
+  done
+
+let write_string oc s =
+  write_u16 oc (String.length s);
+  output_string oc s
+
+let read_u16 ic =
+  let a = input_byte ic in
+  let b = input_byte ic in
+  a lor (b lsl 8)
+
+let read_i32 ic =
+  let v = ref 0 in
+  for k = 0 to 3 do
+    v := !v lor (input_byte ic lsl (8 * k))
+  done;
+  (* sign-extend *)
+  if !v land 0x80000000 <> 0 then !v - (1 lsl 32) else !v
+
+let read_string ic =
+  let len = read_u16 ic in
+  really_input_string ic len
+
+let save rel ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let schema = Relation.schema rel in
+      write_string oc (Schema.name schema);
+      (match Relation.pad_to rel with
+      | Some p -> write_i32 oc p
+      | None -> write_i32 oc (-1));
+      write_u16 oc (Schema.arity schema);
+      Array.iter
+        (fun (name, ty) ->
+          write_string oc name;
+          output_byte oc (match ty with Schema.TNum -> 0 | Schema.TStr -> 1))
+        (Schema.attrs schema);
+      Relation.iter rel (fun tup ->
+          let bytes = Codec.encode tup in
+          write_i32 oc (Bytes.length bytes);
+          output_bytes oc bytes))
+
+let load env ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then raise (Format_error (path ^ ": bad magic"));
+      let name = read_string ic in
+      let pad = read_i32 ic in
+      let pad_to = if pad < 0 then None else Some pad in
+      let arity = read_u16 ic in
+      let rec read_attrs i acc =
+        if i >= arity then List.rev acc
+        else begin
+          let aname = read_string ic in
+          let ty =
+            match input_byte ic with
+            | 0 -> Schema.TNum
+            | 1 -> Schema.TStr
+            | t ->
+                raise (Format_error (Printf.sprintf "%s: bad type tag %d" path t))
+          in
+          read_attrs (i + 1) ((aname, ty) :: acc)
+        end
+      in
+      let attrs = read_attrs 0 [] in
+      let schema = Schema.make ~name attrs in
+      let rel = Relation.create ?pad_to env schema in
+      (try
+         while true do
+           let len = read_i32 ic in
+           if len < 0 then raise (Format_error (path ^ ": negative record length"));
+           let buf = Bytes.create len in
+           really_input ic buf 0 len;
+           Relation.insert rel (Codec.decode buf)
+         done
+       with End_of_file -> ());
+      Storage.Buffer_pool.flush env.Storage.Env.pool;
+      rel)
+
+let save_catalog catalog ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      match Catalog.find catalog name with
+      | Some rel -> save rel ~path:(Filename.concat dir (name ^ ".frel"))
+      | None -> ())
+    (Catalog.names catalog)
+
+let load_catalog env ~dir =
+  let catalog = Catalog.create env in
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".frel" then
+        Catalog.add catalog (load env ~path:(Filename.concat dir file)))
+    (Sys.readdir dir);
+  catalog

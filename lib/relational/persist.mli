@@ -1,0 +1,22 @@
+(** Saving and loading fuzzy relations on the host filesystem.
+
+    The file layout is a small header (magic, schema, optional fixed tuple
+    size) followed by length-prefixed {!Codec} records. This lets example
+    databases and generated workloads be reused across runs and lets the
+    [fsql] shell persist its session. *)
+
+exception Format_error of string
+
+val save : Relation.t -> path:string -> unit
+(** Writes the relation's schema and all tuples; overwrites [path]. *)
+
+val load : Storage.Env.t -> path:string -> Relation.t
+(** Recreates the relation inside [env]. Raises [Format_error] on a
+    malformed file and [Sys_error] on I/O failure. *)
+
+val save_catalog : Catalog.t -> dir:string -> unit
+(** Saves every relation of the catalog as [dir/<name>.frel] (creates
+    [dir] if missing). *)
+
+val load_catalog : Storage.Env.t -> dir:string -> Catalog.t
+(** Loads every [*.frel] file of the directory into a fresh catalog. *)

@@ -1,0 +1,55 @@
+open Storage
+
+type t = {
+  schema : Schema.t;
+  env : Env.t;
+  file : Heap_file.t;
+  pad_to : int option;
+}
+
+let create ?pad_to env schema = { schema; env; file = Heap_file.create env; pad_to }
+let schema t = t.schema
+let with_name t name = { t with schema = Schema.with_name t.schema name }
+let env t = t.env
+let file t = t.file
+let pad_to t = t.pad_to
+
+let insert t tup =
+  if Fuzzy.Degree.positive (Ftuple.degree tup) then
+    Heap_file.append t.file (Codec.encode ?pad_to:t.pad_to tup)
+
+let of_file ?pad_to env schema file = { schema; env; file; pad_to }
+
+let of_list ?pad_to env schema tuples =
+  let t = create ?pad_to env schema in
+  List.iter (insert t) tuples;
+  Buffer_pool.flush env.Env.pool;
+  t
+
+let cardinality t = Heap_file.num_records t.file
+let num_pages t = Heap_file.num_pages t.file
+let iter t f = Heap_file.iter t.file (fun r -> f (Codec.decode r))
+let fold t ~init ~f = Heap_file.fold t.file ~init ~f:(fun acc r -> f acc (Codec.decode r))
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc tup -> tup :: acc))
+
+let iter_via pool t f =
+  for i = 0 to Heap_file.num_pages t.file - 1 do
+    List.iter (fun r -> f (Codec.decode r)) (Heap_file.page_records_via pool t.file i)
+  done
+
+let destroy t = Heap_file.destroy t.file
+
+module Cursor = struct
+  type relation = t
+  type t = Heap_file.Cursor.t
+
+  let of_relation ?pool r = Heap_file.Cursor.of_file ?pool r.file
+  let peek c = Option.map Codec.decode (Heap_file.Cursor.peek c)
+  let next c = Option.map Codec.decode (Heap_file.Cursor.next c)
+  let pos = Heap_file.Cursor.pos
+  let seek = Heap_file.Cursor.seek
+end
+
+let pp ppf t =
+  Format.fprintf ppf "%a@." Schema.pp t.schema;
+  iter t (fun tup -> Format.fprintf ppf "  %a@." Ftuple.pp tup)

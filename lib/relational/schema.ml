@@ -1,0 +1,62 @@
+type ty = TNum | TStr
+
+type t = { name : string; attrs : (string * ty) array }
+
+let make ~name attrs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" a);
+      Hashtbl.add seen a ())
+    attrs;
+  { name; attrs = Array.of_list attrs }
+
+let name t = t.name
+let with_name t name = { t with name }
+let arity t = Array.length t.attrs
+let attrs t = t.attrs
+
+let split_qualified s =
+  match String.index_opt s '.' with
+  | Some i -> (Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (None, s)
+
+let index_of t attr =
+  let qualifier, bare = split_qualified attr in
+  let matches (name, _) =
+    match qualifier with
+    | Some q ->
+        (q = t.name && name = bare)
+        (* Attributes of concatenated schemas are stored pre-qualified. *)
+        || name = attr
+    | None ->
+        name = bare
+        || (match split_qualified name with _, b -> b = bare)
+  in
+  let found = ref None in
+  Array.iteri
+    (fun i a -> if !found = None && matches a then found := Some i)
+    t.attrs;
+  !found
+
+let ty_of t i = snd t.attrs.(i)
+let attr_name t i = fst t.attrs.(i)
+
+let qualify prefix (name, ty) =
+  match split_qualified name with
+  | Some _, _ -> (name, ty) (* already qualified *)
+  | None, _ -> (prefix ^ "." ^ name, ty)
+
+let concat ~name a b =
+  {
+    name;
+    attrs =
+      Array.append
+        (Array.map (qualify a.name) a.attrs)
+        (Array.map (qualify b.name) b.attrs);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.name
+    (String.concat ", " (Array.to_list (Array.map fst t.attrs)))

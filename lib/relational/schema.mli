@@ -1,0 +1,31 @@
+(** Relation schemas: ordered attribute lists with names.
+
+    Attribute positions are resolved once at planning time; executors work
+    with integer indices. The distinguished membership-degree attribute [D]
+    of the paper is not part of the schema — it lives on every tuple
+    (see {!Ftuple}). *)
+
+type ty = TNum | TStr
+
+type t
+
+val make : name:string -> (string * ty) list -> t
+(** Raises [Invalid_argument] on duplicate attribute names. *)
+
+val name : t -> string
+val with_name : t -> string -> t
+val arity : t -> int
+val attrs : t -> (string * ty) array
+
+val index_of : t -> string -> int option
+(** Accepts both bare ("AGE") and qualified ("M.AGE") attribute names; a
+    qualified name matches only if the qualifier equals the schema name. *)
+
+val ty_of : t -> int -> ty
+val attr_name : t -> int -> string
+
+val concat : name:string -> t -> t -> t
+(** Schema of a join result: attributes of both inputs, qualified by their
+    source schema names to stay unambiguous. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type frame = {
+  page_id : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;
+}
+
+type t = {
+  disk : Sim_disk.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create disk ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity";
+  {
+    disk;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let disk t = t.disk
+
+let touch t f =
+  t.clock <- t.clock + 1;
+  f.last_use <- t.clock
+
+let write_back t f =
+  if f.dirty then begin
+    Sim_disk.write t.disk f.page_id f.data;
+    f.dirty <- false
+  end
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ f best ->
+        if f.pins > 0 then best
+        else
+          match best with
+          | Some b when b.last_use <= f.last_use -> best
+          | _ -> Some f)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some f ->
+      write_back t f;
+      Hashtbl.remove t.frames f.page_id
+
+let load t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      touch t f;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      let f =
+        { page_id; data = Sim_disk.read t.disk page_id; dirty = false;
+          pins = 0; last_use = 0 }
+      in
+      touch t f;
+      Hashtbl.replace t.frames page_id f;
+      f
+
+let read t page_id = (load t page_id).data
+
+let with_write t page_id fn =
+  let f = load t page_id in
+  fn f.data;
+  f.dirty <- true
+
+let pin t page_id =
+  let f = load t page_id in
+  f.pins <- f.pins + 1
+
+let unpin t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f when f.pins > 0 -> f.pins <- f.pins - 1
+  | Some _ | None -> invalid_arg "Buffer_pool.unpin: page not pinned"
+
+let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let drop t =
+  flush t;
+  Hashtbl.reset t.frames
+
+let hits t = t.hits
+let misses t = t.misses

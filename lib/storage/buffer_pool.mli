@@ -1,0 +1,36 @@
+(** LRU buffer pool over the simulated disk.
+
+    The paper gives both methods a 2 MB buffer (256 pages of 8 KB). Reads go
+    through the pool: a hit costs no I/O, a miss reads the page from disk and
+    may evict the least-recently-used unpinned frame (writing it back if
+    dirty). Pinned frames are never evicted — the join algorithms pin the
+    frames of the current merge window, mirroring "the page stays in the main
+    memory" of Section 3. *)
+
+type t
+
+val create : Sim_disk.t -> capacity:int -> t
+(** [capacity] in pages; must be >= 1. *)
+
+val capacity : t -> int
+val disk : t -> Sim_disk.t
+
+val read : t -> int -> bytes
+(** The cached frame (do not mutate; use {!with_write} to modify). *)
+
+val with_write : t -> int -> (bytes -> unit) -> unit
+(** Mutate the page through the pool and mark the frame dirty. *)
+
+val pin : t -> int -> unit
+val unpin : t -> int -> unit
+(** Pin counts nest. Raises [Failure] if every frame is pinned on a miss. *)
+
+val flush : t -> unit
+(** Write back all dirty frames. *)
+
+val drop : t -> unit
+(** Discard all frames (flushing dirty ones first); used between experiment
+    runs so each starts cold. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,17 @@
+type t = {
+  stats : Iostats.t;
+  disk : Sim_disk.t;
+  pool : Buffer_pool.t;
+}
+
+let create ?(page_size = 8192) ?(pool_pages = 256) () =
+  let stats = Iostats.create () in
+  let disk = Sim_disk.create ~page_size stats in
+  let pool = Buffer_pool.create disk ~capacity:pool_pages in
+  { stats; disk; pool }
+
+let page_size t = Sim_disk.page_size t.disk
+
+let reset_stats t =
+  Buffer_pool.drop t.pool;
+  Iostats.reset t.stats

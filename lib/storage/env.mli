@@ -1,0 +1,17 @@
+(** A storage environment bundles the simulated disk, its buffer pool, and
+    the statistics they report into. One environment per experiment run. *)
+
+type t = {
+  stats : Iostats.t;
+  disk : Sim_disk.t;
+  pool : Buffer_pool.t;
+}
+
+val create : ?page_size:int -> ?pool_pages:int -> unit -> t
+(** Defaults: 8 KB pages, 256-page (2 MB) pool — the configuration of the
+    paper's experiments. *)
+
+val page_size : t -> int
+val reset_stats : t -> unit
+(** Zero the counters and drop the buffer pool so a measurement starts
+    cold. *)

@@ -1,0 +1,209 @@
+(* Binary min-heap of cursor heads for the k-way merge. *)
+module Heap = struct
+  type 'a t = { mutable data : 'a array; mutable size : int; le : 'a -> 'a -> bool }
+
+  let create le = { data = [||]; size = 0; le }
+  let is_empty h = h.size = 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.le h.data.(i) h.data.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && h.le h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && h.le h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (Int.max 4 (2 * h.size)) x in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    top
+end
+
+let write_run env records =
+  let run = Heap_file.create env in
+  Array.iter (fun r -> Heap_file.append run r) records;
+  run
+
+let make_runs env input ~compare ~mem_pages =
+  let stats = env.Env.stats in
+  let budget = mem_pages * Env.page_size env in
+  let counted a b =
+    Iostats.record_comparison stats;
+    compare a b
+  in
+  let runs = ref [] in
+  let batch = ref [] in
+  let batch_bytes = ref 0 in
+  let flush () =
+    if !batch <> [] then begin
+      let arr = Array.of_list (List.rev !batch) in
+      Array.sort counted arr;
+      runs := write_run env arr :: !runs;
+      batch := [];
+      batch_bytes := 0
+    end
+  in
+  Heap_file.iter input (fun r ->
+      batch := r :: !batch;
+      batch_bytes := !batch_bytes + Bytes.length r + 2;
+      if !batch_bytes >= budget then flush ());
+  flush ();
+  List.rev !runs
+
+(* Replacement selection: keep a heap of records; pop the smallest that is
+   >= the last record written to the current run; records smaller than the
+   last output are frozen for the next run. On random input this doubles the
+   average run length (Knuth's snow-plough argument). *)
+let make_runs_replacement env input ~compare ~mem_pages =
+  let stats = env.Env.stats in
+  let budget = mem_pages * Env.page_size env in
+  let counted_le a b =
+    Iostats.record_comparison stats;
+    compare a b <= 0
+  in
+  let heap = Heap.create counted_le in
+  let frozen = ref [] in
+  let frozen_bytes = ref 0 in
+  let in_memory = ref 0 in
+  let cursor = Heap_file.Cursor.of_file input in
+  let refill () =
+    let continue = ref true in
+    while !in_memory + !frozen_bytes < budget && !continue do
+      match Heap_file.Cursor.next cursor with
+      | Some r ->
+          Heap.push heap r;
+          in_memory := !in_memory + Bytes.length r + 2
+      | None -> continue := false
+    done
+  in
+  refill ();
+  let runs = ref [] in
+  while not (Heap.is_empty heap) do
+    let run = Heap_file.create env in
+    let last = ref None in
+    while not (Heap.is_empty heap) do
+      let r = Heap.pop heap in
+      in_memory := !in_memory - (Bytes.length r + 2);
+      (match !last with
+      | Some prev when compare r prev < 0 ->
+          (* Should not happen: candidates below [last] are frozen before
+             they are pushed. *)
+          assert false
+      | _ -> ());
+      Heap_file.append run r;
+      last := Some r;
+      (* Admit the next input record: into the heap if it can still join
+         this run, frozen otherwise. *)
+      match Heap_file.Cursor.next cursor with
+      | Some next ->
+          Iostats.record_comparison stats;
+          if compare next r >= 0 then begin
+            Heap.push heap next;
+            in_memory := !in_memory + Bytes.length next + 2
+          end
+          else begin
+            frozen := next :: !frozen;
+            frozen_bytes := !frozen_bytes + Bytes.length next + 2
+          end
+      | None -> ()
+    done;
+    runs := run :: !runs;
+    (* Thaw the frozen records into the heap for the next run. *)
+    List.iter
+      (fun r ->
+        Heap.push heap r;
+        in_memory := !in_memory + Bytes.length r + 2)
+      !frozen;
+    frozen := [];
+    frozen_bytes := 0;
+    refill ()
+  done;
+  List.rev !runs
+
+type run_strategy = Load_sort | Replacement_selection
+
+let initial_runs strategy input ~compare ~mem_pages =
+  let env = Heap_file.env input in
+  match strategy with
+  | Load_sort -> make_runs env input ~compare ~mem_pages
+  | Replacement_selection -> make_runs_replacement env input ~compare ~mem_pages
+
+let merge_runs env runs ~compare =
+  let stats = env.Env.stats in
+  let out = Heap_file.create env in
+  let le (r1, _) (r2, _) =
+    Iostats.record_comparison stats;
+    compare r1 r2 <= 0
+  in
+  let heap = Heap.create le in
+  List.iter
+    (fun run ->
+      let c = Heap_file.Cursor.of_file run in
+      match Heap_file.Cursor.next c with
+      | Some r -> Heap.push heap (r, c)
+      | None -> ())
+    runs;
+  while not (Heap.is_empty heap) do
+    let r, c = Heap.pop heap in
+    Heap_file.append out r;
+    match Heap_file.Cursor.next c with
+    | Some r' -> Heap.push heap (r', c)
+    | None -> ()
+  done;
+  List.iter Heap_file.destroy runs;
+  out
+
+let sort ?(run_strategy = Load_sort) input ~compare ~mem_pages =
+  if mem_pages < 3 then invalid_arg "External_sort.sort: mem_pages < 3";
+  let env = Heap_file.env input in
+  Iostats.timed env.Env.stats Iostats.Sort (fun () ->
+      let fan_in = mem_pages - 1 in
+      let rec merge_all = function
+        | [] -> Heap_file.create env
+        | [ only ] -> only
+        | runs ->
+            let rec take k acc = function
+              | rest when k = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | r :: rest -> take (k - 1) (r :: acc) rest
+            in
+            let rec pass acc = function
+              | [] -> List.rev acc
+              | runs ->
+                  let group, rest = take fan_in [] runs in
+                  pass (merge_runs env group ~compare :: acc) rest
+            in
+            merge_all (pass [] runs)
+      in
+      merge_all (initial_runs run_strategy input ~compare ~mem_pages))

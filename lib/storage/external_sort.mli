@@ -1,0 +1,30 @@
+(** External merge sort over heap files, standing in for the Opt-Tech Sort
+    package used in the paper's experiments.
+
+    Classic two-phase sort with a user-specified memory budget: run
+    generation fills [mem_pages] buffer pages, sorts in memory and writes a
+    run; merging combines up to [mem_pages - 1] runs per pass until one
+    sorted file remains. All I/O flows through the environment's buffer pool
+    and statistics, and the whole call is accounted to the [Sort] phase, so
+    the Table 3 "sorting time" breakdown can be reproduced. *)
+
+type run_strategy =
+  | Load_sort
+      (** fill memory, sort, write a run: runs of ~[mem_pages] pages *)
+  | Replacement_selection
+      (** heap-based run formation: ~2x longer runs on random input, hence
+          fewer runs and fewer merge passes when memory is scarce *)
+
+val sort :
+  ?run_strategy:run_strategy -> Heap_file.t ->
+  compare:(bytes -> bytes -> int) -> mem_pages:int -> Heap_file.t
+(** Returns a new heap file with the records in non-decreasing order;
+    intermediate runs are destroyed. The input file is left intact.
+    [mem_pages] must be >= 3 (one output page + two run pages). Default
+    strategy: [Load_sort]. *)
+
+val initial_runs :
+  run_strategy -> Heap_file.t -> compare:(bytes -> bytes -> int) ->
+  mem_pages:int -> Heap_file.t list
+(** The run-formation phase alone (each returned file is sorted); exposed for
+    tests and the sort ablation bench. Caller destroys the runs. *)

@@ -1,0 +1,60 @@
+(** Heap files: unordered sequences of variable-length byte records stored in
+    pages of the simulated disk.
+
+    Page layout: a 2-byte record count followed by [u16 length][payload]
+    records. Records never span pages, so a record must fit in
+    [page_size - 4] bytes. All reads go through the buffer pool, so scans
+    cost one logical page read per page plus pool hits. *)
+
+type t
+
+val create : Env.t -> t
+
+val env : t -> Env.t
+
+val append : t -> bytes -> unit
+(** Raises [Invalid_argument] if the record cannot fit in a page. *)
+
+val num_records : t -> int
+val num_pages : t -> int
+
+val iter : t -> (bytes -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> bytes -> 'a) -> 'a
+
+val page_records : t -> int -> bytes list
+(** Records of the [i]-th page (0-based); one pool read. *)
+
+val page_records_via : Buffer_pool.t -> t -> int -> bytes list
+(** Same, but reading through a caller-supplied pool — used by operators that
+    manage their own buffer allocation (e.g. "one page for the inner
+    relation" in the paper's nested-loop join). *)
+
+val pin_page : t -> int -> unit
+val unpin_page : t -> int -> unit
+
+val destroy : t -> unit
+(** Return the file's pages to the disk free list (temporary files). *)
+
+module Cursor : sig
+  type file = t
+  type t
+
+  val of_file : ?pool:Buffer_pool.t -> file -> t
+  (** Cursor positioned at the first record; reads through [pool] when given
+      (default: the file's environment pool). *)
+
+  val peek : t -> bytes option
+  (** Current record, or [None] at end of file. *)
+
+  val next : t -> bytes option
+  (** Current record, advancing the cursor past it. *)
+
+  val pos : t -> int
+  (** Zero-based index of the current record. *)
+
+  val seek : t -> int -> unit
+  (** Reposition to the given record index (clamped to [0, num_records]). *)
+
+  val page_index : t -> int option
+  (** Page holding the current record. *)
+end

@@ -1,0 +1,56 @@
+type t = {
+  page_size : int;
+  stats : Iostats.t;
+  mutable pages : bytes array;
+  mutable used : int;
+  mutable free_list : int list;
+}
+
+let create ?(page_size = 8192) stats =
+  if page_size <= 0 then invalid_arg "Sim_disk.create: page_size";
+  { page_size; stats; pages = Array.make 64 Bytes.empty; used = 0; free_list = [] }
+
+let page_size t = t.page_size
+let stats t = t.stats
+
+let grow t =
+  let cap = Array.length t.pages in
+  if t.used >= cap then begin
+    let bigger = Array.make (cap * 2) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 cap;
+    t.pages <- bigger
+  end
+
+let alloc t =
+  match t.free_list with
+  | id :: rest ->
+      t.free_list <- rest;
+      Bytes.fill t.pages.(id) 0 t.page_size '\000';
+      id
+  | [] ->
+      grow t;
+      let id = t.used in
+      t.pages.(id) <- Bytes.make t.page_size '\000';
+      t.used <- t.used + 1;
+      id
+
+let check_id t id =
+  if id < 0 || id >= t.used then invalid_arg "Sim_disk: bad page id"
+
+let read t id =
+  check_id t id;
+  Iostats.record_read t.stats;
+  Bytes.copy t.pages.(id)
+
+let write t id buf =
+  check_id t id;
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Sim_disk.write: buffer size mismatch";
+  Iostats.record_write t.stats;
+  Bytes.blit buf 0 t.pages.(id) 0 t.page_size
+
+let num_pages t = t.used
+
+let free t ids =
+  List.iter (fun id -> check_id t id) ids;
+  t.free_list <- ids @ t.free_list

@@ -1,0 +1,30 @@
+(** Simulated disk: a growable array of fixed-size pages.
+
+    Stands in for the SPARC/IPC workstation disk of the paper's experiments.
+    Every page transfer is recorded in an {!Iostats.t}, which is how the
+    benchmark harness reproduces the I/O columns of Section 9. *)
+
+type t
+
+val create : ?page_size:int -> Iostats.t -> t
+(** Default page size is 8192 bytes — the paper's "one buffer page
+    (8 k-bytes)". *)
+
+val page_size : t -> int
+val stats : t -> Iostats.t
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page; returns its page id. Allocation itself does
+    not count as I/O (the write that follows does). *)
+
+val read : t -> int -> bytes
+(** Copy of the page contents; counts one page read. *)
+
+val write : t -> int -> bytes -> unit
+(** Counts one page write. Raises [Invalid_argument] on wrong-size buffers or
+    bad ids. *)
+
+val num_pages : t -> int
+
+val free : t -> int list -> unit
+(** Return pages to the free list for reuse (e.g. temporary sort runs). *)

@@ -1,0 +1,84 @@
+(** Join-order selection for unnested chain queries.
+
+    Section 8: "To evaluate Query Q'_K, an optimal join order may be
+    determined by using, say, a dynamic programming method, to minimize the
+    sizes of the intermediate relations." A chain's join graph is a path, so
+    connected left-deep orders are exactly the ways of growing a contiguous
+    block interval one step left or right; the classic interval DP finds the
+    order minimising the sum of estimated intermediate cardinalities in
+    O(K^2) states.
+
+    Cardinalities are estimated from equi-width histograms over each link's
+    attributes ({!Relational.Histogram}): the expected per-tuple fan-out of
+    the join between adjacent blocks k and k+1 is
+    [est_pairs(k, k+1) / (card_k * card_{k+1})] scaled by the joining side. *)
+
+open Relational
+
+type order = {
+  start : int;  (** index of the first block materialised *)
+  steps : int list;  (** block indices joined in, each adjacent to the set *)
+  estimated_cost : float;  (** sum of estimated intermediate cardinalities *)
+}
+
+let left_to_right k =
+  { start = 0; steps = List.init (k - 1) (fun i -> i + 1); estimated_cost = nan }
+
+(** Estimated join-pair count between adjacent blocks [k] and [k+1], from
+    histograms on Y_k and X_{k+1}. *)
+let adjacent_pairs (blocks : Classify.chain_block array) k =
+  let b = blocks.(k) and b' = blocks.(k + 1) in
+  match b.Classify.link_attr with
+  | None -> 0.0
+  | Some y ->
+      let h1 = Histogram.build b.Classify.rel ~attr:y in
+      let h2 = Histogram.build b'.Classify.rel ~attr:b'.Classify.out_attr in
+      Histogram.estimate_eq_join h1 h2
+
+let plan (chain : Classify.chain) : order =
+  let blocks = Array.of_list chain.Classify.blocks in
+  let k = Array.length blocks in
+  if k < 2 then { start = 0; steps = []; estimated_cost = 0.0 }
+  else begin
+    let card = Array.map (fun b -> float_of_int (Relation.cardinality b.Classify.rel)) blocks in
+    let pairs = Array.init (k - 1) (adjacent_pairs blocks) in
+    (* fan.(i): expected matches in block i+1 per tuple of a set containing
+       block i, and symmetrically fan_left.(i) for extending to block i. *)
+    let fan_right = Array.init (k - 1) (fun i -> pairs.(i) /. Float.max 1.0 card.(i)) in
+    let fan_left = Array.init (k - 1) (fun i -> pairs.(i) /. Float.max 1.0 card.(i + 1)) in
+    (* DP over intervals: best.(i).(j) = (cost, card, order). *)
+    let best = Array.make_matrix k k None in
+    for i = 0 to k - 1 do
+      best.(i).(i) <- Some (0.0, card.(i), { start = i; steps = []; estimated_cost = 0.0 })
+    done;
+    for len = 2 to k do
+      for i = 0 to k - len do
+        let j = i + len - 1 in
+        (* extend [i+1..j] to the left with block i *)
+        let from_left =
+          match best.(i + 1).(j) with
+          | Some (cost, c, ord) ->
+              let c' = c *. fan_left.(i) in
+              Some (cost +. c', c', { ord with steps = ord.steps @ [ i ] })
+          | None -> None
+        in
+        (* extend [i..j-1] to the right with block j *)
+        let from_right =
+          match best.(i).(j - 1) with
+          | Some (cost, c, ord) ->
+              let c' = c *. fan_right.(j - 1) in
+              Some (cost +. c', c', { ord with steps = ord.steps @ [ j ] })
+          | None -> None
+        in
+        best.(i).(j) <-
+          (match (from_left, from_right) with
+          | Some (c1, _, _), Some (c2, _, _) when c2 <= c1 -> from_right
+          | Some _, Some _ -> from_left
+          | (Some _ as only), None | None, (Some _ as only) -> only
+          | None, None -> None)
+      done
+    done;
+    match best.(0).(k - 1) with
+    | Some (cost, _, ord) -> { ord with estimated_cost = cost }
+    | None -> left_to_right k
+  end

@@ -1,0 +1,21 @@
+(** Join-order selection for unnested chain queries (Section 8).
+
+    A chain's join graph is a path, so connected left-deep orders are exactly
+    the ways of growing a contiguous block interval one step left or right;
+    the interval dynamic program finds the order minimising the sum of
+    estimated intermediate cardinalities in O(K^2) states, with per-join
+    fan-outs estimated from {!Relational.Histogram}s over the link
+    attributes. *)
+
+type order = {
+  start : int;  (** index of the first block materialised *)
+  steps : int list;  (** blocks joined in, each adjacent to the current set *)
+  estimated_cost : float;  (** sum of estimated intermediate cardinalities *)
+}
+
+val left_to_right : int -> order
+(** The syntactic order: start at block 0, join 1, 2, ... (cost not
+    estimated). *)
+
+val plan : Classify.chain -> order
+(** The DP-optimal order under the histogram estimates. *)

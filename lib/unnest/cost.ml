@@ -1,0 +1,45 @@
+(** Analytic cost model (Section 3 and the per-type response-time orders of
+    Sections 4-8).
+
+    Used by the planner to choose a method, and by the ablation bench to
+    compare predicted with measured growth. Units are abstract "operations";
+    only relative magnitudes matter. *)
+
+type estimate = {
+  cpu_ops : float;
+  io_pages : float;
+}
+
+(** Nested loop over relations with [nr], [ns] tuples / [br], [bs] pages and
+    [m] buffer pages: CPU O(nr * ns), I/O br + ceil(br/(m-1)) * bs. *)
+let nested_loop ~nr ~ns ~br ~bs ~m =
+  {
+    cpu_ops = float_of_int nr *. float_of_int ns;
+    io_pages =
+      float_of_int br
+      +. (Float.of_int bs
+         *. Float.round
+              (ceil (float_of_int br /. float_of_int (Int.max 1 (m - 1)))));
+  }
+
+(** Extended merge-join: CPU O(nr log nr + ns log ns + nr + C * nr), I/O for
+    a two-pass sort (read + write runs, read for merge) plus one scan each in
+    the join phase. *)
+let merge_join ~nr ~ns ~br ~bs ~fanout =
+  let n = float_of_int in
+  let log2 x = if x < 2.0 then 1.0 else Float.log x /. Float.log 2.0 in
+  {
+    cpu_ops =
+      (n nr *. log2 (n nr)) +. (n ns *. log2 (n ns)) +. (n nr *. (1.0 +. fanout));
+    io_pages = (3.0 *. n br) +. (3.0 *. n bs) +. n br +. n bs;
+  }
+
+let response_time ~io_latency ~cpu_op_seconds { cpu_ops; io_pages } =
+  (cpu_ops *. cpu_op_seconds) +. (io_pages *. io_latency)
+
+(** True when the model predicts the merge-join beats the nested loop —
+    always, beyond trivial sizes; exposed for the planner and tests. *)
+let merge_wins ~nr ~ns ~br ~bs ~m ~fanout =
+  let nl = nested_loop ~nr ~ns ~br ~bs ~m in
+  let mj = merge_join ~nr ~ns ~br ~bs ~fanout in
+  mj.cpu_ops +. mj.io_pages < nl.cpu_ops +. nl.io_pages

@@ -1,0 +1,5 @@
+(** EXPLAIN: a textual account of how the planner will evaluate a query —
+    the classified shape, the chosen method, the sort/sweep attributes, the
+    correlation residuals, and histogram-based cardinality estimates. *)
+
+val explain : Fuzzysql.Bound.query -> string

@@ -1,0 +1,153 @@
+(** Multi-relation outer blocks.
+
+    The paper's nested-query types have one relation per block. A query such
+    as [SELECT R.X FROM R, S WHERE R.W <= S.W AND R.Y IN (SELECT ...)] is
+    outside that class, but becomes unnestable after the outer block's FROM
+    product (with its local predicates folded into tuple degrees) is
+    materialised as a single relation and every attribute reference is
+    remapped into the concatenated schema. This module performs that
+    materialisation and rewrite; the planner then re-classifies and runs the
+    unnesting executors. *)
+
+open Relational
+open Fuzzysql
+
+(* Offsets of each FROM entry's attributes inside the concatenated tuples. *)
+let offsets_of from =
+  let rec go acc off = function
+    | [] -> List.rev acc
+    | (_, rel) :: rest ->
+        go (off :: acc) (off + Schema.arity (Relation.schema rel)) rest
+  in
+  go [] 0 from
+
+let remap_ref offsets (r : Bound.attr_ref) ~depth =
+  (* References to the flattened block sit [depth] levels out from where the
+     reference occurs; their from_idx collapses to 0 with a shifted
+     attribute index. *)
+  if r.Bound.up = depth then
+    {
+      r with
+      Bound.from_idx = 0;
+      attr_idx = List.nth offsets r.Bound.from_idx + r.Bound.attr_idx;
+    }
+  else r
+
+let remap_operand offsets ~depth = function
+  | Bound.Ref r -> Bound.Ref (remap_ref offsets r ~depth)
+  | Bound.Lit _ as l -> l
+
+let rec remap_pred offsets ~depth = function
+  | Bound.Cmp (l, op, r) ->
+      Bound.Cmp (remap_operand offsets ~depth l, op, remap_operand offsets ~depth r)
+  | Bound.Cmp_sub (l, op, sub) ->
+      Bound.Cmp_sub
+        (remap_operand offsets ~depth l, op, remap_query offsets ~depth:(depth + 1) sub)
+  | Bound.In (l, sub) ->
+      Bound.In (remap_operand offsets ~depth l, remap_query offsets ~depth:(depth + 1) sub)
+  | Bound.Not_in (l, sub) ->
+      Bound.Not_in
+        (remap_operand offsets ~depth l, remap_query offsets ~depth:(depth + 1) sub)
+  | Bound.Quant (l, op, quant, sub) ->
+      Bound.Quant
+        (remap_operand offsets ~depth l, op, quant,
+         remap_query offsets ~depth:(depth + 1) sub)
+  | Bound.Exists sub -> Bound.Exists (remap_query offsets ~depth:(depth + 1) sub)
+  | Bound.Not_exists sub ->
+      Bound.Not_exists (remap_query offsets ~depth:(depth + 1) sub)
+
+and remap_query offsets ~depth (q : Bound.query) =
+  {
+    q with
+    Bound.select =
+      List.map
+        (function
+          | Bound.Col r -> Bound.Col (remap_ref offsets r ~depth)
+          | Bound.Agg (a, r) -> Bound.Agg (a, remap_ref offsets r ~depth))
+        q.Bound.select;
+    where = List.map (remap_pred offsets ~depth) q.Bound.where;
+    group_by = List.map (fun r -> remap_ref offsets r ~depth) q.Bound.group_by;
+  }
+
+let is_local_cmp = function
+  | Bound.Cmp (l, _, r) ->
+      let local = function Bound.Lit _ -> true | Bound.Ref a -> a.Bound.up = 0 in
+      local l && local r
+  | _ -> false
+
+let has_subquery = Classify.pred_has_subquery
+
+(** Rewrite a query whose outer block has several FROM relations and exactly
+    one subquery predicate into an equivalent query over the materialised
+    FROM product (local predicates folded into the degrees). Returns [None]
+    when the shape does not call for flattening (single FROM) or does not
+    allow it (several subqueries, grouping, non-local residual preds). *)
+let flatten_outer (q : Bound.query) : Bound.query option =
+  match q.Bound.from with
+  | [] | [ _ ] -> None
+  | from ->
+      let subqueries, locals = List.partition has_subquery q.Bound.where in
+      if
+        List.length subqueries <> 1
+        || (not (List.for_all is_local_cmp locals))
+        || q.Bound.group_by <> [] || q.Bound.having <> []
+      then None
+      else begin
+        match
+          (* duplicate aliases would produce colliding qualified names *)
+          List.fold_left
+            (fun acc (_, rel) ->
+              match acc with
+              | None -> None
+              | Some s -> (
+                  try Some (Schema.concat ~name:"flattened" s (Relation.schema rel))
+                  with Invalid_argument _ -> None))
+            (Some (Relation.schema (snd (List.hd from))))
+            (List.tl from)
+        with
+        | None -> None
+        | Some combined_schema ->
+        let env = Relation.env (snd (List.hd from)) in
+        let stats = env.Storage.Env.stats in
+        let combined_schema = Schema.with_name combined_schema "flattened" in
+        let out = Relation.create env combined_schema in
+        (* Enumerate the FROM product, folding membership degrees and the
+           local predicates. *)
+        let rels = List.map snd from in
+        let rec product frame_rev degree = function
+          | [] ->
+              let frame = Array.of_list (List.rev frame_rev) in
+              let stack = [ frame ] in
+              let d =
+                List.fold_left
+                  (fun acc p ->
+                    if Fuzzy.Degree.positive acc then
+                      match p with
+                      | Bound.Cmp (l, op, r) ->
+                          Fuzzy.Degree.conj acc
+                            (Semantics.cmp_degree stats stack l op r)
+                      | _ -> assert false
+                    else acc)
+                  degree locals
+              in
+              if Fuzzy.Degree.positive d then begin
+                let values =
+                  Array.concat
+                    (List.map (fun t -> t.Ftuple.values) (List.rev frame_rev))
+                in
+                Relation.insert out (Ftuple.make values d)
+              end
+          | rel :: rest ->
+              Relation.iter rel (fun tup ->
+                  let d = Fuzzy.Degree.conj degree (Ftuple.degree tup) in
+                  if Fuzzy.Degree.positive d then
+                    product (tup :: frame_rev) d rest)
+        in
+        product [] Fuzzy.Degree.one rels;
+        let offsets = offsets_of from in
+        let q' =
+          remap_query offsets ~depth:0
+            { q with Bound.where = subqueries }
+        in
+        Some { q' with Bound.from = [ ("flattened", out) ] }
+      end

@@ -1,0 +1,454 @@
+(** Unnested evaluation with the extended merge-join: the paper's
+    contribution (Sections 4-8).
+
+    Each nested-query type is rewritten to its flat equivalent and evaluated
+    as one sorted sweep:
+    - type N / J   (Theorems 4.1, 4.2): merge-join on [R.Y = S.Z] with the
+      correlation predicates as residuals, then max-dedup projection;
+    - type JX      (Theorem 5.1): the grouped MIN(D) of Query JX' evaluated
+      per outer tuple over its window [Rng(r)] — tuples outside the window
+      contribute the neutral value, so one sweep suffices;
+    - type JALL    (Theorem 7.1, and its SOME dual): same grouped sweep with
+      the quantifier folded into [1 - min(..., 1 - d(y op z))];
+    - type JA      (Theorem 6.1): the pipelined T1 / T2 / JA' cascade —
+      aggregate each outer tuple's window group, compare, project, including
+      the COUNT left-outer-join branch;
+    - chain queries (Theorem 8.1): a cascade of merge-joins, outermost block
+      first, correlation predicates evaluated as residuals on the
+      accumulated intermediate tuples.
+
+    Prerequisite: the sweep needs one equality predicate linking outer and
+    inner (the IN attribute pair or an equality correlation). [Not_unnestable]
+    is raised otherwise and the planner falls back to the nested-loop
+    method. *)
+
+open Relational
+open Fuzzy
+open Fuzzysql
+
+exception Not_unnestable of string
+
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_structural
+end)
+
+let residual_degree stats (corr : Classify.corr list) r s =
+  List.fold_left
+    (fun acc (c : Classify.corr) ->
+      Storage.Iostats.record_fuzzy_op stats;
+      Degree.conj acc
+        (Value.compare_degree c.Classify.op
+           (Ftuple.value s c.Classify.local_attr)
+           (Ftuple.value r c.Classify.outer_attr)))
+    Degree.one corr
+
+(* Split off one equality correlation predicate to sweep on. *)
+let split_eq_corr corr =
+  let rec go acc = function
+    | [] -> None
+    | (c : Classify.corr) :: rest when c.Classify.op = Fuzzy_compare.Eq ->
+        Some (c, List.rev_append acc rest)
+    | c :: rest -> go (c :: acc) rest
+  in
+  go [] corr
+
+let project_insert out select r d =
+  if Degree.positive d then
+    Relation.insert out
+      (Ftuple.make (Array.of_list (List.map (fun p -> Ftuple.value r p) select)) d)
+
+(* "Notice that if no join predicate exists in the inner block, the inner
+   block produces the same single value for every tuple of R and no
+   unnesting is needed" (Section 6). For uncorrelated quantifier, aggregate,
+   and EXISTS subqueries the temporary relation T is computed once: the
+   aggregate / EXISTS link degree is then a constant, and quantifiers only
+   need one pass of R' against the duplicate-eliminated T. *)
+let run_constant_inner ~stats ~out ~select ~outer' ~inner' link =
+  let module Vm = Vmap in
+  (* T: the fuzzy value set of the whole (reduced) inner relation. *)
+  let collect z =
+    Relation.fold inner' ~init:Vm.empty ~f:(fun m s ->
+        let d = Ftuple.degree s in
+        if Degree.positive d then
+          Vm.update (Ftuple.value s z)
+            (function None -> Some d | Some d' -> Some (Degree.disj d d'))
+            m
+        else m)
+  in
+  match link with
+  | Classify.Exists_link { negated; corr = [] } ->
+      let m =
+        Relation.fold inner' ~init:Degree.zero ~f:(fun acc s ->
+            Degree.disj acc (Ftuple.degree s))
+      in
+      let d_link = if negated then Degree.neg m else m in
+      Relation.iter outer' (fun r ->
+          project_insert out select r (Degree.conj (Ftuple.degree r) d_link))
+  | Classify.Agg_link { y; op1; agg; z; corr = [] } ->
+      let t = collect z in
+      let vs = List.map fst (Vm.bindings t) in
+      let result =
+        match (Aggregate.apply agg vs, agg) with
+        | (Some _ as res), _ -> res
+        | None, Aggregate.Count -> Some (Value.Int 0)
+        | None, _ -> None
+      in
+      (match result with
+      | None -> () (* NULL aggregate: no answers *)
+      | Some a ->
+          Relation.iter outer' (fun r ->
+              Storage.Iostats.record_fuzzy_op stats;
+              let d_link = Value.compare_degree op1 (Ftuple.value r y) a in
+              project_insert out select r
+                (Degree.conj (Ftuple.degree r) d_link)))
+  | Classify.Quant_link { y; op; quant; z; corr = [] } ->
+      let t = Vm.bindings (collect z) in
+      Relation.iter outer' (fun r ->
+          let m =
+            List.fold_left
+              (fun acc (zv, dz) ->
+                Storage.Iostats.record_fuzzy_op stats;
+                let d_cmp = Value.compare_degree op (Ftuple.value r y) zv in
+                let term =
+                  match quant with
+                  | Ast.All -> Degree.neg d_cmp
+                  | Ast.Some_ -> d_cmp
+                in
+                Degree.disj acc (Degree.conj dz term))
+              Degree.zero t
+          in
+          let d_link =
+            match quant with Ast.All -> Degree.neg m | Ast.Some_ -> m
+          in
+          project_insert out select r (Degree.conj (Ftuple.degree r) d_link))
+  | Classify.In_link _ | Classify.Not_in_link _ | Classify.Exists_link _
+  | Classify.Agg_link _ | Classify.Quant_link _ ->
+      invalid_arg "run_constant_inner: link is not constant-inner"
+
+let is_constant_inner = function
+  | Classify.Exists_link { corr = []; _ }
+  | Classify.Agg_link { corr = []; _ }
+  | Classify.Quant_link { corr = []; _ } ->
+      true
+  | Classify.In_link _ | Classify.Not_in_link _ | Classify.Exists_link _
+  | Classify.Agg_link _ | Classify.Quant_link _ ->
+      false
+
+let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
+    =
+  let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
+  let env = Relation.env outer in
+  let stats = env.Storage.Env.stats in
+  let out_schema =
+    Schema.make ~name
+      (List.map (fun i -> (Schema.attrs (Relation.schema outer)).(i)) select)
+  in
+  let out = Relation.create env out_schema in
+  (* Reduction: only tuples satisfying p1 / p2 positively are sorted
+     (their satisfaction degrees are folded into the tuple degrees). With no
+     local predicates the base relation is used directly — no copy. The WITH
+     threshold is pushed into the reduction where sound (see {!Pushdown}). *)
+  let reduced rel preds ~prune =
+    if preds = [] && not prune then (rel, false)
+    else
+      ( Algebra.select rel ~pred:(fun tup ->
+            let d = Semantics.local_degree stats tup preds in
+            if
+              prune
+              && Pushdown.cannot_pass threshold
+                   (Degree.conj (Ftuple.degree tup) d)
+            then Degree.zero
+            else d),
+        true )
+  in
+  let prune = threshold <> None in
+  let outer', outer_owned = reduced outer p1 ~prune
+  and inner', inner_owned =
+    reduced inner p2 ~prune:(prune && Pushdown.inner_prunable link)
+  in
+  if is_constant_inner link then begin
+    run_constant_inner ~stats ~out ~select ~outer' ~inner' link;
+    if outer_owned then Relation.destroy outer';
+    if inner_owned then Relation.destroy inner';
+    let deduped = Algebra.dedup_max ~name out in
+    Semantics.apply_threshold deduped threshold
+  end
+  else begin
+  (* Pick the sweep equality and the per-pair term evaluation. *)
+  let sweep_y, sweep_z, handle_r =
+    match link with
+    | Classify.In_link { y; z; corr } ->
+        ( y, z,
+          fun (r : Ftuple.t) rng ->
+            let m =
+              List.fold_left
+                (fun acc (s, d_eq) ->
+                  if Degree.positive d_eq then
+                    Degree.disj acc
+                      (Degree.conj_list
+                         [ Ftuple.degree s; d_eq; residual_degree stats corr r s ])
+                  else acc)
+                Degree.zero rng
+            in
+            project_insert out select r (Degree.conj (Ftuple.degree r) m) )
+    | Classify.Not_in_link { y; z; corr } ->
+        ( y, z,
+          fun r rng ->
+            (* min over all s of 1 - min(mu_s, d_eq, d_corr); s outside the
+               window has d_eq = 0, contributing the neutral 1. *)
+            let m =
+              List.fold_left
+                (fun acc (s, d_eq) ->
+                  Degree.disj acc
+                    (Degree.conj_list
+                       [ Ftuple.degree s; d_eq; residual_degree stats corr r s ]))
+                Degree.zero rng
+            in
+            project_insert out select r
+              (Degree.conj (Ftuple.degree r) (Degree.neg m)) )
+    | Classify.Quant_link { y; op; quant; z; corr } -> (
+        match split_eq_corr corr with
+        | None ->
+            raise
+              (Not_unnestable
+                 "quantified subquery without an equality correlation \
+                  predicate")
+        | Some (eq, rest) ->
+            ( eq.Classify.outer_attr, eq.Classify.local_attr,
+              fun r rng ->
+                let m =
+                  List.fold_left
+                    (fun acc (s, d_eq) ->
+                      if Degree.positive d_eq then begin
+                        Storage.Iostats.record_fuzzy_op stats;
+                        let d_cmp =
+                          Value.compare_degree op (Ftuple.value r y)
+                            (Ftuple.value s z)
+                        in
+                        let inner_term =
+                          match quant with
+                          | Ast.All -> Degree.neg d_cmp
+                          | Ast.Some_ -> d_cmp
+                        in
+                        Degree.disj acc
+                          (Degree.conj_list
+                             [
+                               Ftuple.degree s; d_eq;
+                               residual_degree stats rest r s; inner_term;
+                             ])
+                      end
+                      else acc)
+                    Degree.zero rng
+                in
+                let d_link =
+                  match quant with
+                  | Ast.All -> Degree.neg m
+                  | Ast.Some_ -> m
+                in
+                project_insert out select r
+                  (Degree.conj (Ftuple.degree r) d_link) ))
+    | Classify.Exists_link { negated; corr } -> (
+        match split_eq_corr corr with
+        | None ->
+            raise
+              (Not_unnestable
+                 "EXISTS subquery without an equality correlation predicate")
+        | Some (eq, rest) ->
+            (* Fuzzy semi-join (anti-join when negated): d(EXISTS) is the max
+               over the window of min(mu_s, d_eq, d_rest); tuples outside the
+               window have d_eq = 0 and cannot raise the max. *)
+            ( eq.Classify.outer_attr, eq.Classify.local_attr,
+              fun r rng ->
+                let m =
+                  List.fold_left
+                    (fun acc (s, d_eq) ->
+                      if Degree.positive d_eq then
+                        Degree.disj acc
+                          (Degree.conj_list
+                             [
+                               Ftuple.degree s; d_eq;
+                               residual_degree stats rest r s;
+                             ])
+                      else acc)
+                    Degree.zero rng
+                in
+                let d_link = if negated then Degree.neg m else m in
+                project_insert out select r
+                  (Degree.conj (Ftuple.degree r) d_link) ))
+    | Classify.Agg_link { y; op1; agg; z; corr } -> (
+        match split_eq_corr corr with
+        | None ->
+            raise
+              (Not_unnestable
+                 "aggregate subquery without an equality correlation \
+                  predicate")
+        | Some (eq, rest) ->
+            ( eq.Classify.outer_attr, eq.Classify.local_attr,
+              fun r rng ->
+                (* T'(u): the fuzzy value set of the group for u = r.U. *)
+                let set =
+                  List.fold_left
+                    (fun m (s, d_eq) ->
+                      let d =
+                        Degree.conj_list
+                          [
+                            Ftuple.degree s; d_eq;
+                            residual_degree stats rest r s;
+                          ]
+                      in
+                      if Degree.positive d then
+                        Vmap.update (Ftuple.value s z)
+                          (function
+                            | None -> Some d
+                            | Some d' -> Some (Degree.disj d d'))
+                          m
+                      else m)
+                    Vmap.empty rng
+                in
+                let vs = List.map fst (Vmap.bindings set) in
+                let result =
+                  match (Aggregate.apply agg vs, agg) with
+                  | (Some _ as res), _ -> res
+                  | None, Aggregate.Count ->
+                      (* COUNT over an empty group: the left outer join branch
+                         of Query COUNT' compares with 0. *)
+                      Some (Value.Int 0)
+                  | None, _ -> None
+                in
+                match result with
+                | None -> ()
+                | Some a ->
+                    Storage.Iostats.record_fuzzy_op stats;
+                    let d_link =
+                      Value.compare_degree op1 (Ftuple.value r y) a
+                    in
+                    project_insert out select r
+                      (Degree.conj (Ftuple.degree r) d_link) ))
+  in
+  let sorted_r = Join_merge.sort_by outer' ~attr:sweep_y ~mem_pages in
+  let sorted_s = Join_merge.sort_by inner' ~attr:sweep_z ~mem_pages in
+  Join_merge.sweep_sorted ~outer:sorted_r ~inner:sorted_s ~outer_attr:sweep_y
+    ~inner_attr:sweep_z ~mem_pages ~f:handle_r;
+  Relation.destroy sorted_r;
+  Relation.destroy sorted_s;
+  if outer_owned then Relation.destroy outer';
+  if inner_owned then Relation.destroy inner';
+  let deduped = Algebra.dedup_max ~name out in
+  Semantics.apply_threshold deduped threshold
+  end
+
+let run_chain ?(name = "answer") ?order (chain : Classify.chain) ~mem_pages :
+    Relation.t =
+  let { Classify.blocks; top_select; chain_threshold } = chain in
+  let blocks_arr = Array.of_list blocks in
+  let k = Array.length blocks_arr in
+  if k = 0 then invalid_arg "Merge_exec.run_chain: no blocks";
+  let stats_of rel = (Relation.env rel).Storage.Env.stats in
+  let stats = stats_of blocks_arr.(0).Classify.rel in
+  (* Pre-select each block's relation with its local predicates. *)
+  let reduced =
+    Array.map
+      (fun (b : Classify.chain_block) ->
+        if b.Classify.p_local = [] then (b.Classify.rel, false)
+        else
+          ( Algebra.select b.Classify.rel ~pred:(fun tup ->
+                Semantics.local_degree stats tup b.Classify.p_local),
+            true ))
+      blocks_arr
+  in
+  let { Chain_order.start; steps; _ } =
+    match order with
+    | Some o -> o
+    | None -> Chain_order.left_to_right k
+  in
+  (* Grow a contiguous interval of blocks with merge-joins, applying each
+     correlation predicate as soon as both of its endpoints are present in
+     the accumulated intermediate tuples. [offsets.(b)] is block [b]'s
+     attribute offset inside the intermediate; -1 while absent. *)
+  let offsets = Array.make k (-1) in
+  offsets.(start) <- 0;
+  let lo = ref start and hi = ref start in
+  let arity b = Schema.arity (Relation.schema blocks_arr.(b).Classify.rel) in
+  let acc = ref (fst reduced.(start)) in
+  let acc_owned = ref false in
+  let acc_arity = ref (arity start) in
+  let in_set b = offsets.(b) >= 0 in
+  let add_block b =
+    if b <> !lo - 1 && b <> !hi + 1 then
+      invalid_arg "Merge_exec.run_chain: order step not adjacent to the set";
+    let new_rel = fst reduced.(b) in
+    (* The equality linking block [b] to the set: the link between b and
+       b+1 when extending left, between b-1 and b when extending right. *)
+    let outer_attr, inner_attr =
+      if b = !hi + 1 then
+        match blocks_arr.(b - 1).Classify.link_attr with
+        | Some y -> (offsets.(b - 1) + y, blocks_arr.(b).Classify.out_attr)
+        | None -> invalid_arg "Merge_exec.run_chain: missing link attribute"
+      else
+        match blocks_arr.(b).Classify.link_attr with
+        | Some y -> (offsets.(b + 1) + blocks_arr.(b + 1).Classify.out_attr, y)
+        | None -> invalid_arg "Merge_exec.run_chain: missing link attribute"
+    in
+    (* Correlation predicates that become applicable now: those of block [b]
+       whose target is already present, and those of present blocks whose
+       target is [b]. *)
+    let of_new =
+      List.filter
+        (fun (c : Classify.corr) -> in_set (b - c.Classify.up))
+        blocks_arr.(b).Classify.corr
+    in
+    let onto_new =
+      List.concat
+        (List.init k (fun blk ->
+             if in_set blk then
+               List.filter_map
+                 (fun (c : Classify.corr) ->
+                   if blk - c.Classify.up = b then Some (blk, c) else None)
+                 blocks_arr.(blk).Classify.corr
+             else []))
+    in
+    let residual r s =
+      let d1 =
+        List.fold_left
+          (fun acc (c : Classify.corr) ->
+            Storage.Iostats.record_fuzzy_op stats;
+            Degree.conj acc
+              (Value.compare_degree c.Classify.op
+                 (Ftuple.value s c.Classify.local_attr)
+                 (Ftuple.value r (offsets.(b - c.Classify.up) + c.Classify.outer_attr))))
+          Degree.one of_new
+      in
+      List.fold_left
+        (fun acc (blk, (c : Classify.corr)) ->
+          Storage.Iostats.record_fuzzy_op stats;
+          Degree.conj acc
+            (Value.compare_degree c.Classify.op
+               (Ftuple.value r (offsets.(blk) + c.Classify.local_attr))
+               (Ftuple.value s c.Classify.outer_attr)))
+        d1 onto_new
+    in
+    let joined =
+      Join_merge.join_eq ~outer:!acc ~inner:new_rel ~outer_attr ~inner_attr
+        ~mem_pages ~residual ()
+    in
+    if !acc_owned then Relation.destroy !acc;
+    acc := joined;
+    acc_owned := true;
+    offsets.(b) <- !acc_arity;
+    acc_arity := !acc_arity + arity b;
+    if b < !lo then lo := b;
+    if b > !hi then hi := b
+  in
+  List.iter add_block steps;
+  Array.iteri
+    (fun i (rel, owned) ->
+      ignore i;
+      if owned then Relation.destroy rel)
+    reduced;
+  let out =
+    Algebra.project_positions ~name !acc
+      (List.map (fun p -> offsets.(0) + p) top_select)
+  in
+  Semantics.apply_threshold out chain_threshold

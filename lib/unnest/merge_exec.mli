@@ -1,0 +1,33 @@
+(** Unnested evaluation with the extended merge-join: the paper's
+    contribution (Sections 4-8).
+
+    Each nested-query type is rewritten to its flat equivalent and evaluated
+    as one sorted sweep:
+    - type N / J (Theorems 4.1, 4.2): merge-join on [R.Y = S.Z] with the
+      correlation predicates as residuals, then max-dedup projection;
+    - type JX (Theorem 5.1): the grouped MIN(D) of Query JX' evaluated per
+      outer tuple over its window [Rng(r)] — tuples outside the window
+      contribute the neutral value, so one sweep suffices;
+    - type JALL (Theorem 7.1) and its SOME dual: the same grouped sweep with
+      the quantifier folded into [1 - min(..., 1 - d(y op z))];
+    - type JA (Theorem 6.1): the pipelined T1 / T2 / JA' cascade, including
+      the COUNT left-outer-join branch;
+    - EXISTS / NOT EXISTS: fuzzy semi- / anti-joins;
+    - chain queries (Theorem 8.1): a cascade of merge-joins growing a
+      contiguous block interval in a configurable order, correlation
+      predicates applied as soon as both endpoints are available. *)
+
+exception Not_unnestable of string
+(** Raised when no equality predicate links outer and inner (quantified,
+    aggregate, or EXISTS subqueries whose correlation is order-only); the
+    planner falls back to the nested-loop method. *)
+
+val run :
+  ?name:string -> Classify.two_level -> mem_pages:int -> Relational.Relation.t
+
+val run_chain :
+  ?name:string -> ?order:Chain_order.order -> Classify.chain ->
+  mem_pages:int -> Relational.Relation.t
+(** Default order: left-to-right (outermost block first). The order's steps
+    must each be adjacent to the already-joined interval
+    ([Invalid_argument] otherwise). *)

@@ -1,0 +1,21 @@
+(** Naive evaluation of (nested) Fuzzy SQL queries, straight from the
+    execution semantics of Sections 2 and 4-7 of the paper.
+
+    Subqueries are re-evaluated for every candidate binding of the enclosing
+    blocks — the inner relation is scanned once per outer tuple, which is
+    exactly the behaviour whose cost the paper sets out to eliminate. This
+    evaluator is the correctness oracle for the unnesting executors
+    (Theorems 4.1-8.1 are property-tested against it), and the only
+    evaluator for query shapes outside the unnestable classes (including
+    flat multi-relation queries with GROUPBY / HAVING / aggregates). *)
+
+val query : ?name:string -> Fuzzysql.Bound.query -> Relational.Relation.t
+(** Evaluate a bound query to its answer: a fuzzy relation with max-degree
+    duplicate elimination and the WITH threshold applied. [name] names the
+    answer schema. *)
+
+val pred_degree :
+  Storage.Iostats.t -> stack:Semantics.stack -> Fuzzysql.Bound.pred ->
+  Fuzzy.Degree.t
+(** Satisfaction degree of one predicate under a binding stack; subqueries
+    are evaluated recursively. Exposed for the executors and tests. *)

@@ -1,0 +1,17 @@
+(** The nested-loop method: the only way a *nested* fuzzy query can be
+    evaluated (Section 3), and the baseline of every experiment in
+    Section 9.
+
+    Buffer allocation follows the paper: one page for the inner relation,
+    the rest for outer blocks. For each outer block the inner relation is
+    scanned once while per-outer-tuple accumulators absorb each inner
+    tuple's contribution to the linking predicate; this is semantically
+    identical to re-evaluating the inner block per outer tuple (max / min of
+    mins commute with the scan order) but has the paper's measured I/O
+    pattern [b_R + ceil(b_R / (M-1)) * b_S]. *)
+
+val run :
+  ?name:string -> Classify.two_level -> mem_pages:int -> Relational.Relation.t
+(** Evaluate a classified 2-level nested query with the blocked nested-loop
+    method. Applicable to every link type (IN, NOT IN, ALL/SOME, EXISTS,
+    aggregates), with the WITH threshold pushed down where sound. *)

@@ -1,0 +1,119 @@
+(** Entry point of the query processor: classify, choose a method, execute.
+
+    Three strategies are available:
+    - [Naive]: the recursive interpreter (inner blocks re-evaluated per outer
+      binding) — always applicable;
+    - [Nested_loop]: the paper's blocked nested-loop method for 2-level
+      shapes;
+    - [Unnest_merge]: the paper's unnesting transformations evaluated with
+      the extended merge-join.
+
+    [Auto] picks [Unnest_merge] whenever the query's shape supports it,
+    falling back to [Nested_loop] (for 2-level shapes without an equality to
+    sweep on) and finally to [Naive] — mirroring the paper's conclusion that
+    unnested evaluation dominates whenever it applies. *)
+
+open Relational
+
+type strategy = Auto | Naive | Nested_loop | Unnest_merge
+
+let strategy_to_string = function
+  | Auto -> "auto"
+  | Naive -> "naive"
+  | Nested_loop -> "nested-loop"
+  | Unnest_merge -> "unnest+merge-join"
+
+exception Unsupported of string
+
+let default_mem_pages = 256 (* 2 MB of 8 KB pages, the paper's buffer *)
+
+(* ORDER BY D [DESC|ASC] and LIMIT k: rank the answer by membership degree
+   and keep the top k. Ties break on the value vectors so results are
+   deterministic. *)
+let rank_and_limit answer ~order ~limit =
+  match (order, limit) with
+  | None, None -> answer
+  | _ ->
+      let tuples = Relation.to_list answer in
+      let sorted =
+        match order with
+        | None -> tuples
+        | Some dir ->
+            List.sort
+              (fun a b ->
+                let c =
+                  Float.compare (Ftuple.degree b) (Ftuple.degree a)
+                in
+                let c = match dir with Fuzzysql.Ast.Desc -> c | Fuzzysql.Ast.Asc -> -c in
+                if c <> 0 then c else Ftuple.compare_values a b)
+              tuples
+      in
+      let truncated =
+        match limit with
+        | None -> sorted
+        | Some k ->
+            let rec take n = function
+              | x :: rest when n > 0 -> x :: take (n - 1) rest
+              | _ -> []
+            in
+            take k sorted
+      in
+      Relation.of_list (Relation.env answer) (Relation.schema answer) truncated
+
+let run_unranked ?(name = "answer") ?(strategy = Auto)
+    ?(mem_pages = default_mem_pages) ?(chain_dp = true)
+    (q : Fuzzysql.Bound.query) : Relation.t =
+  let shape = Classify.classify q in
+  let chain_order chain =
+    if chain_dp then Some (Chain_order.plan chain) else None
+  in
+  (* Multi-relation outer blocks become unnestable after the outer FROM
+     product is materialised (see {!Flatten}); [fallback] runs when the
+     rewrite does not apply or does not help. *)
+  let try_flattened ~fallback =
+    match Flatten.flatten_outer q with
+    | None -> fallback ()
+    | Some q' -> (
+        match Classify.classify q' with
+        | Classify.Two_level two -> (
+            try Merge_exec.run ~name two ~mem_pages
+            with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
+        | Classify.Chain_query chain -> (
+            try
+              Merge_exec.run_chain ~name ?order:(chain_order chain) chain
+                ~mem_pages
+            with Merge_exec.Not_unnestable _ -> fallback ())
+        | Classify.Flat | Classify.General -> fallback ())
+  in
+  match (strategy, shape) with
+  | Naive, _ -> Naive_eval.query ~name q
+  | Nested_loop, Classify.Two_level shape -> Nl_exec.run ~name shape ~mem_pages
+  | Nested_loop, (Classify.Flat | Classify.General | Classify.Chain_query _) ->
+      Naive_eval.query ~name q
+  | Unnest_merge, Classify.Two_level shape ->
+      Merge_exec.run ~name shape ~mem_pages
+  | Unnest_merge, Classify.Chain_query chain ->
+      Merge_exec.run_chain ~name ?order:(chain_order chain) chain ~mem_pages
+  | Unnest_merge, Classify.Flat -> Naive_eval.query ~name q
+  | Unnest_merge, Classify.General ->
+      try_flattened ~fallback:(fun () ->
+          raise (Unsupported "query shape cannot be unnested; use Auto or Naive"))
+  | Auto, Classify.Two_level two -> (
+      try Merge_exec.run ~name two ~mem_pages
+      with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
+  | Auto, Classify.Chain_query chain -> (
+      try Merge_exec.run_chain ~name ?order:(chain_order chain) chain ~mem_pages
+      with Merge_exec.Not_unnestable _ -> Naive_eval.query ~name q)
+  | Auto, Classify.Flat -> Naive_eval.query ~name q
+  | Auto, Classify.General ->
+      try_flattened ~fallback:(fun () -> Naive_eval.query ~name q)
+
+let run ?name ?strategy ?mem_pages ?chain_dp (q : Fuzzysql.Bound.query) :
+    Relation.t =
+  let answer = run_unranked ?name ?strategy ?mem_pages ?chain_dp q in
+  rank_and_limit answer ~order:q.Fuzzysql.Bound.order_by_d
+    ~limit:q.Fuzzysql.Bound.limit
+
+let run_string ?name ?strategy ?mem_pages ?chain_dp ~catalog ~terms sql =
+  run ?name ?strategy ?mem_pages ?chain_dp
+    (Fuzzysql.Analyzer.bind_string ~catalog ~terms sql)

@@ -1,0 +1,34 @@
+(** Entry point of the query processor: classify, choose a method, execute.
+
+    [Auto] picks the unnesting merge-join whenever the query's shape supports
+    it, falling back to the nested-loop method (for 2-level shapes without an
+    equality to sweep on) and finally to the naive interpreter — mirroring
+    the paper's conclusion that unnested evaluation dominates whenever it
+    applies. *)
+
+type strategy =
+  | Auto
+  | Naive  (** recursive interpreter: the execution semantics, literally *)
+  | Nested_loop  (** the paper's blocked nested-loop baseline *)
+  | Unnest_merge  (** unnesting + extended merge-join *)
+
+val strategy_to_string : strategy -> string
+
+exception Unsupported of string
+(** Raised by [Unnest_merge] on shapes outside the unnestable classes. *)
+
+val default_mem_pages : int
+(** 256 pages = the paper's 2 MB buffer. *)
+
+val run :
+  ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
+  Fuzzysql.Bound.query -> Relational.Relation.t
+(** [chain_dp] (default true) selects the chain join order with the
+    dynamic-programming search of {!Chain_order}; false uses the syntactic
+    left-to-right order. *)
+
+val run_string :
+  ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
+  catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> string ->
+  Relational.Relation.t
+(** Parse, bind, and run. *)

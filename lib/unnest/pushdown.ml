@@ -1,0 +1,38 @@
+(** WITH-threshold pushdown.
+
+    A [WITH D >= z] clause is a filter on the answer's membership degrees.
+    Because every executor combines degrees with [min] and duplicate answers
+    with [max], some work can be pruned early without changing the answer:
+
+    - an outer tuple whose degree (with p1 folded in) already fails the
+      threshold can never produce a passing answer — safe for every link
+      type, since the answer degree is [min(d_r, ...)];
+    - an inner tuple whose degree (with p2) fails the threshold contributes a
+      term [<= d_s] to a *maximum* — dropping it can only lower that maximum,
+      and any answer whose maximum came solely from dropped terms fails the
+      threshold anyway. This is safe exactly for the max-combining links
+      (IN, SOME, EXISTS) and **unsafe** for the min-combining ones (NOT IN,
+      ALL, NOT EXISTS — dropping a term would *raise* their [1 - max]) and
+      for aggregates (every group member changes the aggregate value).
+
+    The executors consult this module; the equivalence property tests
+    generate random WITH clauses, so correctness of the pruning is checked
+    against the naive evaluator on every run. *)
+
+open Fuzzysql
+
+(** [cannot_pass threshold d] is true when a tuple of degree [d] can never
+    appear in the answer no matter what it joins with. *)
+let cannot_pass threshold d =
+  match threshold with
+  | None -> false
+  | Some { Ast.strict; value } -> if strict then d <= value else d < value
+
+(** Whether inner-side pruning is sound for the given link. *)
+let inner_prunable = function
+  | Classify.In_link _ -> true
+  | Classify.Quant_link { quant = Ast.Some_; _ } -> true
+  | Classify.Exists_link { negated = false; _ } -> true
+  | Classify.Not_in_link _ | Classify.Quant_link { quant = Ast.All; _ }
+  | Classify.Exists_link { negated = true; _ } | Classify.Agg_link _ ->
+      false

@@ -1,0 +1,10 @@
+(** WITH-threshold pushdown (see the implementation header for the soundness
+    argument: outer-side pruning is always sound; inner-side pruning only
+    for the max-combining links). Correctness is exercised by the
+    equivalence property tests, which generate random WITH clauses. *)
+
+val cannot_pass : Fuzzysql.Ast.threshold option -> Fuzzy.Degree.t -> bool
+(** True when a tuple of this degree can never appear in the answer. *)
+
+val inner_prunable : Classify.link -> bool
+(** Whether inner-side pruning is sound for the given link type. *)

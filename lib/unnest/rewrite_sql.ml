@@ -1,0 +1,169 @@
+(** Render the unnesting rewrites as Fuzzy SQL text, in the notation the
+    paper itself uses: a classified nested query is shown as its flat
+    equivalent — Query N' / J' (Theorems 4.1/4.2), the grouped-MIN Query JX'
+    (Theorem 5.1), the T1/T2 cascade of Query JA' and Query COUNT'
+    (Theorem 6.1), Query JALL' (Theorem 7.1), and the K-way join Query Q'_K
+    (Theorem 8.1). Purely presentational — the executors do not interpret
+    this text — but invaluable for understanding and teaching the
+    transformation (EXPLAIN prints it). *)
+
+open Relational
+
+let attr rel i =
+  Printf.sprintf "%s.%s"
+    (Schema.name (Relation.schema rel))
+    (Schema.attr_name (Relation.schema rel) i)
+
+let op_str = Fuzzy.Fuzzy_compare.op_to_string
+
+let corr_str ~outer ~inner (c : Classify.corr) =
+  Printf.sprintf "%s %s %s" (attr inner c.Classify.local_attr)
+    (op_str c.Classify.op)
+    (attr outer c.Classify.outer_attr)
+
+let conj parts = String.concat " AND " (List.filter (fun s -> s <> "") parts)
+
+let names rel select = String.concat ", " (List.map (attr rel) select)
+
+let p_str label preds = if preds = [] then "" else label
+
+let threshold_str = function
+  | None -> ""
+  | Some { Fuzzysql.Ast.strict; value } ->
+      Printf.sprintf " WITH D %s %g" (if strict then ">" else ">=") value
+
+let two_level (t : Classify.two_level) : string =
+  let { Classify.select; outer; inner; p1; p2; link; threshold; _ } = t in
+  let r = Schema.name (Relation.schema outer)
+  and s = Schema.name (Relation.schema inner) in
+  let p1s = p_str "p1" p1 and p2s = p_str "p2" p2 in
+  let w = threshold_str threshold in
+  match link with
+  | Classify.In_link { y; z; corr } ->
+      (* Query N' / J' *)
+      Printf.sprintf "SELECT %s FROM %s, %s WHERE %s%s"
+        (names outer select) r s
+        (conj
+           (p1s :: p2s
+            :: Printf.sprintf "%s = %s" (attr outer y) (attr inner z)
+            :: List.map (corr_str ~outer ~inner) corr))
+        w
+  | Classify.Not_in_link { y; z; corr } ->
+      (* Query JX': grouped MIN(D) over the negated join *)
+      Printf.sprintf
+        "JXT(K, X) = (SELECT %s.K, %s, MIN(D) FROM %s, %s WHERE %s.D AND \
+         NOT(%s.D AND %s) WITH D >= 0 GROUPBY %s.K);  SELECT X FROM JXT%s"
+        r (names outer select) r s r s
+        (conj
+           (p2s
+            :: Printf.sprintf "%s = %s" (attr outer y) (attr inner z)
+            :: List.map (corr_str ~outer ~inner) corr))
+        r w
+  | Classify.Quant_link { y; op; quant; z; corr } ->
+      (* Query JALL' (and the SOME dual, which unnests like J') *)
+      let cmp = Printf.sprintf "%s %s %s" (attr outer y) (op_str op) (attr inner z) in
+      (match quant with
+      | Fuzzysql.Ast.All ->
+          Printf.sprintf
+            "T1(K, X, D) = (SELECT %s.K, %s, MIN(D) FROM %s, %s WHERE %s.D \
+             AND NOT(%s.D AND %s AND NOT(%s)) WITH D >= 0 GROUPBY %s.K);  \
+             SELECT X FROM T1%s"
+            r (names outer select) r s r s
+            (conj (p2s :: List.map (corr_str ~outer ~inner) corr))
+            cmp r w
+      | Fuzzysql.Ast.Some_ ->
+          Printf.sprintf "SELECT %s FROM %s, %s WHERE %s%s"
+            (names outer select) r s
+            (conj
+               (p1s :: p2s :: cmp :: List.map (corr_str ~outer ~inner) corr))
+            w)
+  | Classify.Agg_link { y; op1; agg; z; corr } ->
+      (* Query JA' (or Query COUNT' with the left outer join). *)
+      let agg_s = Aggregate.to_string agg in
+      let t2_join =
+        conj (p2s :: List.map (corr_str ~outer:inner ~inner) [])
+        (* T2 joins S against T1.U below *)
+      in
+      ignore t2_join;
+      let u =
+        match corr with
+        | c :: _ -> attr outer c.Classify.outer_attr
+        | [] -> "?"
+      in
+      let v =
+        match corr with
+        | c :: _ -> attr inner c.Classify.local_attr
+        | [] -> "?"
+      in
+      let t1 =
+        Printf.sprintf "T1(U) = (SELECT %s FROM %s%s)" u r
+          (if p1 = [] then "" else " WHERE p1")
+      in
+      let t2 =
+        Printf.sprintf
+          "T2(U, A) = (SELECT T1.U, %s(%s) FROM T1, %s WHERE %s GROUPBY T1.U)"
+          agg_s (attr inner z) s
+          (conj [ p2s; Printf.sprintf "%s = T1.U" v ])
+      in
+      let final =
+        if agg = Aggregate.Count then
+          Printf.sprintf
+            "SELECT %s FROM %s, T2 WHERE %s += T2.U [%s %s T2.A : %s %s 0]%s"
+            (names outer select) r u (attr outer y) (op_str op1) (attr outer y)
+            (op_str op1) w
+        else
+          Printf.sprintf
+            "SELECT %s FROM %s, T2 WHERE %s AND %s = T2.U AND %s %s T2.A%s"
+            (names outer select) r
+            (if p1 = [] then "TRUE" else "p1")
+            u (attr outer y) (op_str op1) w
+      in
+      String.concat ";  " [ t1; t2; final ]
+  | Classify.Exists_link { negated; corr } ->
+      Printf.sprintf "SELECT %s FROM %s, %s WHERE %s%s  -- fuzzy %s-join"
+        (names outer select) r s
+        (conj (p1s :: p2s :: List.map (corr_str ~outer ~inner) corr))
+        w
+        (if negated then "anti" else "semi")
+
+let chain (c : Classify.chain) : string =
+  (* Query Q'_K of Theorem 8.1. *)
+  let blocks = Array.of_list c.Classify.blocks in
+  let k = Array.length blocks in
+  let rel i = blocks.(i).Classify.rel in
+  let froms =
+    String.concat ", "
+      (Array.to_list (Array.map (fun (b : Classify.chain_block) ->
+           Schema.name (Relation.schema b.Classify.rel)) blocks))
+  in
+  let link_preds =
+    List.concat
+      (List.init (k - 1) (fun i ->
+           match blocks.(i).Classify.link_attr with
+           | Some y ->
+               [ Printf.sprintf "%s = %s" (attr (rel i) y)
+                   (attr (rel (i + 1)) blocks.(i + 1).Classify.out_attr) ]
+           | None -> []))
+  in
+  let corr_preds =
+    List.concat
+      (List.init k (fun i ->
+           List.map
+             (fun (cr : Classify.corr) ->
+               Printf.sprintf "%s %s %s"
+                 (attr (rel i) cr.Classify.local_attr)
+                 (op_str cr.Classify.op)
+                 (attr (rel (i - cr.Classify.up)) cr.Classify.outer_attr))
+             blocks.(i).Classify.corr))
+  in
+  let locals =
+    List.concat
+      (List.init k (fun i ->
+           if blocks.(i).Classify.p_local = [] then []
+           else [ Printf.sprintf "p%d" (i + 1) ]))
+  in
+  Printf.sprintf "SELECT %s FROM %s WHERE %s%s"
+    (names (rel 0) c.Classify.top_select)
+    froms
+    (conj (locals @ link_preds @ corr_preds))
+    (threshold_str c.Classify.chain_threshold)

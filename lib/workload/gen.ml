@@ -1,0 +1,84 @@
+open Relational
+open Fuzzy
+
+type spec = {
+  n : int;
+  tuple_bytes : int;
+  groups : int;
+  fuzzy_fraction : float;
+  max_spread : float;
+  random_degrees : bool;
+}
+
+let default_spec =
+  {
+    n = 1000;
+    tuple_bytes = 128;
+    groups = 100;
+    fuzzy_fraction = 0.5;
+    max_spread = 40.0;
+    random_degrees = false;
+  }
+
+let grid_pitch = 200.0
+
+let schema ~name =
+  Schema.make ~name
+    [ ("ID", Schema.TNum); ("X", Schema.TNum); ("W", Schema.TNum) ]
+
+let join_value rng spec =
+  let group = Random.State.int rng spec.groups in
+  let center = float_of_int group *. grid_pitch in
+  if Random.State.float rng 1.0 < spec.fuzzy_fraction then begin
+    (* A random trapezoid around the grid point, support within
+       [center - max_spread, center + max_spread]. *)
+    let spread = 1.0 +. Random.State.float rng (Float.max 1.0 (spec.max_spread -. 1.0)) in
+    let a = center -. spread in
+    let d = center +. spread in
+    let b = a +. Random.State.float rng (spread /. 2.0) in
+    let c = d -. Random.State.float rng (spread /. 2.0) in
+    let b = Float.min b c and c = Float.max b c in
+    Value.Fuzzy (Possibility.trap (Trapezoid.make a b c d))
+  end
+  else Value.crisp_num center
+
+let make_tuple rng spec id =
+  let x = join_value rng spec in
+  let w = Value.crisp_num (Random.State.float rng 1000.0) in
+  let d =
+    if spec.random_degrees then 0.01 +. Random.State.float rng 0.99 else 1.0
+  in
+  Ftuple.make [| Value.Int id; x; w |] d
+
+let relation env ~seed ~name spec =
+  if spec.max_spread *. 2.0 >= grid_pitch then
+    invalid_arg "Gen.relation: max_spread too large for the join grid";
+  let rng = Random.State.make [| seed |] in
+  let rel = Relation.create ~pad_to:spec.tuple_bytes env (schema ~name) in
+  for id = 0 to spec.n - 1 do
+    Relation.insert rel (make_tuple rng spec id)
+  done;
+  Storage.Buffer_pool.flush env.Storage.Env.pool;
+  rel
+
+let join_pair env ~seed ~outer ~inner =
+  let r = relation env ~seed ~name:"R" outer in
+  let s = relation env ~seed:(seed + 7919) ~name:"S" inner in
+  (r, s)
+
+let random_trapezoid rng ~lo ~hi =
+  let p () = lo +. Random.State.float rng (hi -. lo) in
+  match List.sort Float.compare [ p (); p (); p (); p () ] with
+  | [ a; b; c; d ] -> Trapezoid.make a b c d
+  | _ -> assert false
+
+let random_possibility rng ~lo ~hi =
+  match Random.State.int rng 4 with
+  | 0 -> Possibility.crisp (lo +. Random.State.float rng (hi -. lo))
+  | 1 | 2 -> Possibility.trap (random_trapezoid rng ~lo ~hi)
+  | _ ->
+      let n = 1 + Random.State.int rng 4 in
+      Possibility.discrete
+        (List.init n (fun _ ->
+             ( lo +. Random.State.float rng (hi -. lo),
+               0.1 +. Random.State.float rng 0.9 )))

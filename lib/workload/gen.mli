@@ -1,0 +1,50 @@
+(** Workload generators for the Section 9 experiments.
+
+    The paper's setup: randomly generated relations; a tuple of one relation
+    joins, on average, [C] tuples of the other; tuple sizes are fixed
+    (128-2048 bytes); join-attribute intervals are kept small ("data may be
+    imprecise but not very vague").
+
+    Generation scheme: join values sit on a coarse grid whose pitch exceeds
+    twice the maximum spread, so only same-grid-point values can join; the
+    average fan-out is then [n_inner / groups], and fuzziness only affects
+    the join degree, not the match structure. *)
+
+type spec = {
+  n : int;  (** number of tuples *)
+  tuple_bytes : int;  (** on-disk size of every tuple (paper: 128-2048) *)
+  groups : int;  (** number of distinct join-grid points *)
+  fuzzy_fraction : float;  (** fraction of fuzzy (vs crisp) join values *)
+  max_spread : float;  (** maximum half-width of a fuzzy value's support *)
+  random_degrees : bool;  (** tuple membership degrees uniform in (0,1] *)
+}
+
+val default_spec : spec
+(** 1000 tuples, 128 bytes, 100 groups, 50% fuzzy, spread <= 40,
+    degrees = 1. *)
+
+val schema : name:string -> Relational.Schema.t
+(** Generated relations have schema (ID: num, X: num, W: num): ID is a unique
+    crisp key, X the join attribute, W an independent numeric attribute for
+    selection predicates. *)
+
+val relation :
+  Storage.Env.t -> seed:int -> name:string -> spec -> Relational.Relation.t
+
+val join_pair :
+  Storage.Env.t -> seed:int -> outer:spec -> inner:spec ->
+  Relational.Relation.t * Relational.Relation.t
+(** Generate relations R and S sharing a join grid; with equal [groups] the
+    average fan-out of R against S is [inner.n / groups]. *)
+
+val grid_pitch : float
+(** Distance between join-grid points (200.0); [max_spread] must stay below
+    half of it for the fan-out accounting to be exact. *)
+
+val random_trapezoid :
+  Random.State.t -> lo:float -> hi:float -> Fuzzy.Trapezoid.t
+(** A random trapezoid with support inside [lo, hi] (for property tests). *)
+
+val random_possibility :
+  Random.State.t -> lo:float -> hi:float -> Fuzzy.Possibility.t
+(** Random trapezoidal, crisp, or discrete distribution inside [lo, hi]. *)

@@ -1,0 +1,31 @@
+The runnable examples produce the paper's numbers deterministically.
+
+Quickstart reproduces Example 4.1:
+
+  $ ../../examples/quickstart.exe | head -6
+  query shape : type N
+  answer      : answer(NAME)
+    ("Ann" | D=0.7)
+    ("Betty" | D=0.7)
+  
+  naive check : answer(F.NAME)
+
+Query 4 (type JX antijoin):
+
+  $ ../../examples/employee_antijoin.exe | grep -c 'D='
+  9
+
+Query 5 (type JA aggregate) classification:
+
+  $ ../../examples/city_income.exe | grep classified
+  classified as: type JA
+
+Appendix semantics:
+
+  $ ../../examples/appendix_semantics.exe | head -6
+  single-measure semantics (the paper's): one fuzzy relation
+  answer(R.X)
+    ("x1" | D=1)
+    ("x2" | D=0.8)
+    ("x3" | D=0.9)
+    ("x4" | D=0.7)

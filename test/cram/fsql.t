@@ -1,0 +1,36 @@
+The fsql shell over the paper's demo database, scripted end to end.
+
+  $ cat > session.sql <<'SQL'
+  > \timing
+  > \d
+  > SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN
+  > (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age');
+  > \shape SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.W <= R.W);
+  > \strategy naive
+  > SELECT F.NAME FROM F WHERE F.AGE = 'very medium young';
+  > \save db
+  > \load db/f.frel
+  > SELECT COUNT(F.ID) FROM F;
+  > \q
+  > SQL
+  $ fsql < session.sql
+  timing off
+    F(ID, NAME, AGE, INCOME)  (4 tuples, 1 pages)
+    M(ID, NAME, AGE, INCOME)  (4 tuples, 1 pages)
+    R(ID, X, W)  (500 tuples, 8 pages)
+    S(ID, X, W)  (500 tuples, 8 pages)
+  answer(NAME)
+    ("Ann" | D=0.7)
+    ("Betty" | D=0.7)
+  (2 tuples)
+  type J
+  strategy set to naive
+  answer(F.NAME)
+    ("Ann" | D=1)
+    ("Betty" | D=0.4667)
+  (2 tuples)
+  saved 4 relation(s) to db
+  loaded F(ID, NAME, AGE, INCOME) (4 tuples)
+  answer(COUNT_F.ID)
+    (4 | D=1)
+  (1 tuple)

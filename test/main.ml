@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "frepro"
+    (Test_fuzzy.suites @ Test_storage.suites @ Test_relational.suites
+   @ Test_joins.suites @ Test_sql.suites @ Test_equivalence.suites
+   @ Test_paper.suites @ Test_extensions.suites @ Test_grouping.suites
+   @ Test_frontend.suites)

@@ -1,0 +1,207 @@
+(** Additional front-end tests: a random-AST pretty/parse round-trip
+    property, constant parsing, and the CSV loader. *)
+
+open Frepro
+open Frepro.Relational
+open Frepro.Fuzzysql
+
+let tc = Alcotest.test_case
+
+(* ---------- random AST round-trip ---------- *)
+
+let gen_query =
+  let open QCheck.Gen in
+  let ident = oneofl [ "X"; "Y"; "Z"; "R.X"; "R.Y"; "S.Z" ] in
+  let const =
+    oneof
+      [
+        map (fun n -> Ast.Num (float_of_int n)) (int_range 0 100);
+        map (fun s -> Ast.Str s) (oneofl [ "young"; "high"; "abc" ]);
+        map
+          (fun (a, b) ->
+            let a = float_of_int a and b = float_of_int b in
+            Ast.Trap (a, a +. 1., a +. 2., a +. 2. +. b))
+          (pair (int_range 0 50) (int_range 0 10));
+        map
+          (fun (v, s) -> Ast.About (float_of_int v, float_of_int (s + 1)))
+          (pair (int_range 0 50) (int_range 0 10));
+        map
+          (fun vs ->
+            Ast.Discrete
+              (List.mapi (fun i v -> (float_of_int (10 * i), 0.1 +. (0.05 *. float_of_int v))) vs))
+          (list_size (int_range 1 3) (int_range 0 9));
+      ]
+  in
+  let operand =
+    oneof [ map (fun a -> Ast.Attr a) ident; map (fun c -> Ast.Const c) const ]
+  in
+  let op = oneofl Fuzzy.Fuzzy_compare.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+  let rec query depth =
+    let pred =
+      if depth <= 0 then
+        map3 (fun l o r -> Ast.Cmp (l, o, r)) operand op operand
+      else
+        frequency
+          [
+            (3, map3 (fun l o r -> Ast.Cmp (l, o, r)) operand op operand);
+            (1, map2 (fun l q -> Ast.In (l, q)) operand (query (depth - 1)));
+            (1, map2 (fun l q -> Ast.Not_in (l, q)) operand (query (depth - 1)));
+            ( 1,
+              map3
+                (fun l o q -> Ast.Quant (l, o, Ast.All, q))
+                operand op (query (depth - 1)) );
+            (1, map (fun q -> Ast.Exists q) (query (depth - 1)));
+          ]
+    in
+    let select =
+      oneof
+        [
+          map (fun a -> [ Ast.Col a ]) ident;
+          map (fun a -> [ Ast.Agg (Aggregate.Max, a) ]) ident;
+          map2 (fun a b -> [ Ast.Col a; Ast.Col b ]) ident ident;
+        ]
+    in
+    map3
+      (fun select from (where, with_d) ->
+        {
+          Ast.distinct = false;
+          select;
+          from;
+          where;
+          group_by = [];
+          having = [];
+          with_d;
+          order_by_d = None;
+          limit = None;
+        })
+      select
+      (oneofl [ [ ("R", None) ]; [ ("R", Some "A") ]; [ ("R", None); ("S", None) ] ])
+      (pair
+         (list_size (int_range 0 3) pred)
+         (oneofl [ None; Some { Ast.strict = false; value = 0.5 };
+                   Some { Ast.strict = true; value = 0.25 } ]))
+  in
+  query 2
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"pretty |> parse |> pretty is stable"
+    (QCheck.make ~print:Pretty.query_to_string gen_query) (fun q ->
+      let s1 = Pretty.query_to_string q in
+      let q2 = Parser.parse s1 in
+      String.equal s1 (Pretty.query_to_string q2))
+
+let const_tests =
+  [
+    tc "parse_const forms" `Quick (fun () ->
+        (match Parser.parse_const "42.5" with
+        | Ast.Num f -> Alcotest.(check (float 0.)) "num" 42.5 f
+        | _ -> Alcotest.fail "num");
+        (match Parser.parse_const "'medium young'" with
+        | Ast.Str s -> Alcotest.(check string) "quoted" "medium young" s
+        | _ -> Alcotest.fail "quoted");
+        (match Parser.parse_const "medium young" with
+        | Ast.Str s -> Alcotest.(check string) "bare words" "medium young" s
+        | _ -> Alcotest.fail "bare");
+        (match Parser.parse_const "TRAP(1, 2, 3, 4)" with
+        | Ast.Trap (1., 2., 3., 4.) -> ()
+        | _ -> Alcotest.fail "trap");
+        Alcotest.(check bool) "garbage rejected" true
+          (try ignore (Parser.parse_const "TRAP(1,2"); false
+           with Parser.Error _ -> true));
+  ]
+
+(* ---------- CSV loader ---------- *)
+
+let people_schema =
+  [ ("NAME", Schema.TStr); ("AGE", Schema.TNum); ("INCOME", Schema.TNum) ]
+
+let loader_tests =
+  [
+    tc "loads crisp, fuzzy-literal, and term cells with degrees" `Quick
+      (fun () ->
+        let env = Test_util.fresh_env () in
+        let csv =
+          "NAME,AGE,INCOME,D\n\
+           Ann,\"TRI(30, 35, 40)\",\"about 60K\",1\n\
+           Betty,middle age,high,0.9\n\
+           Carl,29,\"ABOUT(40, 10)\",0.5\n"
+        in
+        let rel =
+          Loader.load_csv_string env ~name:"PEOPLE" ~schema:people_schema csv
+        in
+        Alcotest.(check int) "three tuples" 3 (Relation.cardinality rel);
+        let rows = Relation.to_list rel in
+        let by_name n =
+          List.find (fun t -> Value.equal (Ftuple.value t 0) (Value.Str n)) rows
+        in
+        let ann = by_name "Ann" in
+        Alcotest.(check bool) "Ann age fuzzy" true
+          (Value.equal (Ftuple.value ann 1)
+             (Value.Fuzzy (Fuzzy.Possibility.triangle 30. 35. 40.)));
+        Alcotest.(check bool) "Ann income resolved via terms" true
+          (Value.equal (Ftuple.value ann 2) (Test_util.term "about 60K"));
+        let betty = by_name "Betty" in
+        Test_util.check_degree "Betty degree" 0.9 (Ftuple.degree betty);
+        let carl = by_name "Carl" in
+        Alcotest.(check bool) "Carl crisp age" true
+          (Value.equal (Ftuple.value carl 1) (Value.crisp_num 29.)));
+    tc "column order from header, extra columns ignored" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let csv = "JUNK,INCOME,NAME,AGE\nx,55,Dora,41\n" in
+        let rel = Loader.load_csv_string env ~name:"P" ~schema:people_schema csv in
+        match Relation.to_list rel with
+        | [ t ] ->
+            Alcotest.(check bool) "name" true (Value.equal (Ftuple.value t 0) (Value.Str "Dora"));
+            Alcotest.(check bool) "age" true (Value.equal (Ftuple.value t 1) (Value.crisp_num 41.))
+        | _ -> Alcotest.fail "one tuple");
+    tc "quoted separators and escaped quotes" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let csv = "NAME,AGE,INCOME\n\"Smith, Jr. said \"\"hi\"\"\",30,40\n" in
+        let rel = Loader.load_csv_string env ~name:"P" ~schema:people_schema csv in
+        match Relation.to_list rel with
+        | [ t ] ->
+            Alcotest.(check bool) "name kept separator and quote" true
+              (Value.equal (Ftuple.value t 0) (Value.Str "Smith, Jr. said \"hi\""))
+        | _ -> Alcotest.fail "one tuple");
+    tc "loader errors carry line numbers" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let bad csv expected_fragment =
+          try
+            ignore (Loader.load_csv_string env ~name:"P" ~schema:people_schema csv);
+            Alcotest.failf "should fail: %s" csv
+          with Loader.Error msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%S mentions %S" msg expected_fragment)
+              true
+              (let nh = String.length msg and nn = String.length expected_fragment in
+               let rec go i =
+                 i + nn <= nh && (String.sub msg i nn = expected_fragment || go (i + 1))
+               in
+               go 0)
+        in
+        bad "NAME,AGE\nx,1\n" "missing column";
+        bad "NAME,AGE,INCOME\nx,notanage,3\n" "line 2";
+        bad "NAME,AGE,INCOME,D\nx,1,2,1.5\n" "outside [0, 1]";
+        bad "NAME,AGE,INCOME\nonlyname\n" "fields");
+    tc "loaded relation answers queries" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let csv =
+          "NAME,AGE,INCOME\nAnn,about 35,about 60K\nBetty,middle age,high\n"
+        in
+        let rel = Loader.load_csv_string env ~name:"F" ~schema:people_schema csv in
+        let catalog = Catalog.create env in
+        Catalog.add catalog rel;
+        let ans =
+          Unnest.Planner.run_string ~catalog ~terms:Fuzzy.Term.paper
+            "SELECT F.NAME FROM F WHERE F.AGE = 'medium young'"
+        in
+        (* Ann (about 35): 0.5; Betty (middle age): 0.7 *)
+        Alcotest.(check int) "two partial matches" 2 (Relation.cardinality ans));
+  ]
+
+let suites =
+  [
+    ("frontend.roundtrip_prop", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ("frontend.const", const_tests);
+    ("frontend.loader", loader_tests);
+  ]

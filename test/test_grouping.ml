@@ -1,0 +1,249 @@
+(** Tests of GROUPBY / HAVING / aggregate-select execution (flat queries are
+    evaluated by the interpreter; the grouped-row semantics follow
+    Section 6's aggregate definitions with fuzzy-OR group degrees). *)
+
+open Frepro
+open Frepro.Relational
+
+let tc = Alcotest.test_case
+
+let sales_catalog env =
+  let catalog = Catalog.create env in
+  let schema =
+    Schema.make ~name:"SALES"
+      [ ("REGION", Schema.TStr); ("AMOUNT", Schema.TNum); ("Q", Schema.TNum) ]
+  in
+  let t region amount q d =
+    Test_util.tuple [ Value.Str region; Value.crisp_num amount; Value.crisp_num q ] d
+  in
+  Catalog.add catalog
+    (Relation.of_list env schema
+       [
+         t "east" 10. 1. 1.0;
+         t "east" 20. 2. 0.8;
+         t "east" 30. 3. 0.5;
+         t "west" 100. 1. 1.0;
+         t "west" 200. 2. 0.9;
+         t "north" 5. 1. 0.4;
+       ]);
+  catalog
+
+let run env catalog sql =
+  Test_util.answer_of_relation
+    (Unnest.Planner.run
+       (Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql))
+  |> fun l ->
+  ignore env;
+  l
+
+let find_group ans key =
+  List.find_map
+    (fun (vs, d) ->
+      match vs.(0) with
+      | Value.Str k when k = key -> Some (vs, d)
+      | _ -> None)
+    ans
+
+let grouping_tests =
+  [
+    tc "COUNT per group with fuzzy-OR group degree" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        let ans = run env catalog
+            "SELECT SALES.REGION, COUNT(SALES.AMOUNT) FROM SALES GROUPBY SALES.REGION" in
+        Alcotest.(check int) "three groups" 3 (List.length ans);
+        (match find_group ans "east" with
+        | Some (vs, d) ->
+            Alcotest.(check bool) "count east" true (Value.equal vs.(1) (Value.Int 3));
+            Test_util.check_degree "max degree east" 1.0 d
+        | None -> Alcotest.fail "no east group");
+        match find_group ans "north" with
+        | Some (vs, d) ->
+            Alcotest.(check bool) "count north" true (Value.equal vs.(1) (Value.Int 1));
+            Test_util.check_degree "degree north" 0.4 d
+        | None -> Alcotest.fail "no north group");
+    tc "SUM / AVG / MIN / MAX per group" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        let one agg =
+          let ans = run env catalog
+              (Printf.sprintf
+                 "SELECT SALES.REGION, %s(SALES.AMOUNT) FROM SALES GROUPBY SALES.REGION"
+                 agg)
+          in
+          match find_group ans "west" with
+          | Some (vs, _) -> vs.(1)
+          | None -> Alcotest.failf "%s: no west group" agg
+        in
+        (match one "SUM" with
+        | Value.Fuzzy p -> Alcotest.(check (float 1e-9)) "sum" 300.0 (Fuzzy.Defuzz.core_center p)
+        | v -> Alcotest.failf "sum shape %s" (Value.to_string v));
+        (match one "AVG" with
+        | Value.Fuzzy p -> Alcotest.(check (float 1e-9)) "avg" 150.0 (Fuzzy.Defuzz.core_center p)
+        | v -> Alcotest.failf "avg shape %s" (Value.to_string v));
+        Alcotest.(check bool) "min" true (Value.equal (one "MIN") (Value.crisp_num 100.));
+        Alcotest.(check bool) "max" true (Value.equal (one "MAX") (Value.crisp_num 200.)));
+    tc "HAVING filters groups" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        let ans = run env catalog
+            "SELECT SALES.REGION FROM SALES GROUPBY SALES.REGION HAVING \
+             COUNT(SALES.AMOUNT) >= 2" in
+        Alcotest.(check int) "two groups survive" 2 (List.length ans);
+        Alcotest.(check bool) "no north" true (find_group ans "north" = None));
+    tc "HAVING with fuzzy comparison grades groups" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        (* AVG(east) = 20 crisp; compared with ABOUT(25, 10): degree 0.5. *)
+        let ans = run env catalog
+            "SELECT SALES.REGION FROM SALES GROUPBY SALES.REGION HAVING \
+             AVG(SALES.AMOUNT) = ABOUT(25, 10)" in
+        match find_group ans "east" with
+        | Some (_, d) -> Test_util.check_degree "graded having" 0.5 d
+        | None -> Alcotest.fail "east should pass partially");
+    tc "aggregate without GROUPBY collapses to one row" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        let ans = run env catalog "SELECT COUNT(SALES.AMOUNT) FROM SALES" in
+        match ans with
+        | [ (vs, d) ] ->
+            Alcotest.(check bool) "count all" true (Value.equal vs.(0) (Value.Int 6));
+            Test_util.check_degree "degree" 1.0 d
+        | _ -> Alcotest.failf "expected one row, got %d" (List.length ans));
+    tc "non-aggregated select column must be in GROUPBY" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (run env catalog
+                 "SELECT SALES.REGION, COUNT(SALES.AMOUNT) FROM SALES GROUPBY SALES.Q");
+             false
+           with Invalid_argument _ -> true));
+    tc "WHERE combines with GROUPBY (degrees flow into groups)" `Quick
+      (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = sales_catalog env in
+        let ans = run env catalog
+            "SELECT SALES.REGION, COUNT(SALES.AMOUNT) FROM SALES WHERE \
+             SALES.Q >= 2 GROUPBY SALES.REGION" in
+        Alcotest.(check int) "two groups" 2 (List.length ans);
+        match find_group ans "east" with
+        | Some (vs, d) ->
+            Alcotest.(check bool) "east count 2" true (Value.equal vs.(1) (Value.Int 2));
+            Test_util.check_degree "east degree 0.8" 0.8 d
+        | None -> Alcotest.fail "no east group");
+  ]
+
+let algebra_set_tests =
+  [
+    tc "fuzzy difference and intersection" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let schema = Schema.make ~name:"R" [ ("K", Schema.TStr) ] in
+        let mk name rows =
+          Relation.of_list env (Schema.with_name schema name)
+            (List.map (fun (k, d) -> Test_util.tuple [ Value.Str k ] d) rows)
+        in
+        let a = mk "A" [ ("x", 0.9); ("y", 0.6); ("z", 0.3) ] in
+        let b = mk "B" [ ("x", 0.5); ("y", 1.0) ] in
+        let diff = Test_util.answer_of_relation (Algebra.difference a b) in
+        (* x: min(0.9, 1-0.5) = 0.5; y: min(0.6, 0) = 0 (gone); z: 0.3 *)
+        Alcotest.(check int) "two rows" 2 (List.length diff);
+        List.iter
+          (fun (vs, d) ->
+            match vs.(0) with
+            | Value.Str "x" -> Test_util.check_degree "x" 0.5 d
+            | Value.Str "z" -> Test_util.check_degree "z" 0.3 d
+            | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+          diff;
+        let inter = Test_util.answer_of_relation (Algebra.intersect_min a b) in
+        Alcotest.(check int) "two common rows" 2 (List.length inter);
+        List.iter
+          (fun (vs, d) ->
+            match vs.(0) with
+            | Value.Str "x" -> Test_util.check_degree "x" 0.5 d
+            | Value.Str "y" -> Test_util.check_degree "y" 0.6 d
+            | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+          inter);
+  ]
+
+(* ---------- ORDER BY D / LIMIT ---------- *)
+
+let ranking_tests =
+  [
+    tc "ORDER BY D DESC LIMIT k ranks by degree" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = Test_util.paper_db env in
+        let run sql =
+          Relation.to_list
+            (Unnest.Planner.run
+               (Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql))
+        in
+        (* degrees: Ann(about 35) 0.5, Ann(medium young) 1 -> dedup 1;
+           Betty 0.7; Cathy 0. Deduped: Ann 1, Betty 0.7. *)
+        let top =
+          run
+            "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' ORDER BY D \
+             DESC LIMIT 1"
+        in
+        (match top with
+        | [ t ] ->
+            Alcotest.(check bool) "Ann first" true
+              (Value.equal (Ftuple.value t 0) (Value.Str "Ann"));
+            Test_util.check_degree "degree 1" 1.0 (Ftuple.degree t)
+        | l -> Alcotest.failf "expected 1 row, got %d" (List.length l));
+        let asc =
+          run "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' ORDER BY D ASC"
+        in
+        (match asc with
+        | first :: _ ->
+            Alcotest.(check bool) "Betty first ascending" true
+              (Value.equal (Ftuple.value first 0) (Value.Str "Betty"))
+        | [] -> Alcotest.fail "nonempty");
+        let limited = run "SELECT F.NAME FROM F LIMIT 2" in
+        Alcotest.(check int) "bare LIMIT truncates" 2 (List.length limited));
+    tc "ORDER BY / LIMIT interact with WITH and nested queries" `Quick
+      (fun () ->
+        let env = Test_util.fresh_env () in
+        let catalog = Test_util.paper_db env in
+        let run sql =
+          Relation.to_list
+            (Unnest.Planner.run
+               (Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql))
+        in
+        let ranked =
+          run
+            "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME \
+             IN (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age') ORDER BY \
+             D DESC LIMIT 5 WITH D >= 0.5"
+        in
+        Alcotest.(check int) "both answers survive" 2 (List.length ranked));
+    tc "ORDER BY / LIMIT rejected in subqueries; parser errors" `Quick
+      (fun () ->
+        let env = Test_util.fresh_env () in
+        Alcotest.(check bool) "subquery LIMIT rejected" true
+          (try
+             ignore
+               (Test_util.bind_paper_query env
+                  "SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT M.INCOME \
+                   FROM M LIMIT 2)");
+             false
+           with Fuzzysql.Analyzer.Error _ -> true);
+        let bad sql =
+          try
+            ignore (Fuzzysql.Parser.parse sql);
+            false
+          with Fuzzysql.Parser.Error _ -> true
+        in
+        Alcotest.(check bool) "ORDER BY X rejected" true
+          (bad "SELECT F.NAME FROM F ORDER BY NAME");
+        Alcotest.(check bool) "fractional LIMIT rejected" true
+          (bad "SELECT F.NAME FROM F LIMIT 2.5");
+        Alcotest.(check bool) "duplicate LIMIT rejected" true
+          (bad "SELECT F.NAME FROM F LIMIT 2 LIMIT 3"));
+  ]
+
+let suites =
+  [
+    ("grouping", grouping_tests); ("algebra.sets", algebra_set_tests);
+    ("ranking", ranking_tests);
+  ]

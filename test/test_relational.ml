@@ -1,0 +1,257 @@
+(** Tests of the relational layer: values, schemas, codec, relations,
+    algebra, and aggregates. *)
+
+open Frepro
+open Frepro.Relational
+
+let tc = Alcotest.test_case
+let eq = Fuzzy.Fuzzy_compare.Eq
+let gt = Fuzzy.Fuzzy_compare.Gt
+
+let value_tests =
+  [
+    tc "crisp comparisons are boolean" `Quick (fun () ->
+        Test_util.check_degree "5 = 5" 1.0
+          (Value.compare_degree eq (Value.crisp_num 5.) (Value.crisp_num 5.));
+        Test_util.check_degree "5 = 6" 0.0
+          (Value.compare_degree eq (Value.crisp_num 5.) (Value.crisp_num 6.));
+        Test_util.check_degree "int/fuzzy promote" 1.0
+          (Value.compare_degree eq (Value.Int 5) (Value.crisp_num 5.)));
+    tc "string comparisons are lexicographic and crisp" `Quick (fun () ->
+        Test_util.check_degree "abc = abc" 1.0
+          (Value.compare_degree eq (Value.Str "abc") (Value.Str "abc"));
+        Test_util.check_degree "abc > abb" 1.0
+          (Value.compare_degree gt (Value.Str "abc") (Value.Str "abb"));
+        Test_util.check_degree "type mismatch" 0.0
+          (Value.compare_degree eq (Value.Str "5") (Value.crisp_num 5.)));
+    tc "fuzzy equality via possibility kernel" `Quick (fun () ->
+        let v1 = Test_util.term "medium young" and v2 = Test_util.term "about 35" in
+        Test_util.check_degree "0.5 crossing" 0.5 (Value.compare_degree eq v1 v2));
+    tc "structural equality for dedup" `Quick (fun () ->
+        Alcotest.(check bool) "same trapezoid" true
+          (Value.equal (Test_util.term "high") (Test_util.term "high"));
+        Alcotest.(check bool) "Int vs equivalent crisp" true
+          (Value.equal (Value.Int 3) (Value.crisp_num 3.0));
+        Alcotest.(check bool) "different shapes differ" false
+          (Value.equal (Test_util.term "high") (Test_util.term "low")));
+    tc "support intervals" `Quick (fun () ->
+        Test_util.(Alcotest.check interval) "term support"
+          (Fuzzy.Interval.make 20. 35.)
+          (Value.support (Test_util.term "medium young"));
+        Test_util.(Alcotest.check interval) "int support"
+          (Fuzzy.Interval.point 7.) (Value.support (Value.Int 7)));
+  ]
+
+let schema_tests =
+  [
+    tc "index_of handles bare and qualified names" `Quick (fun () ->
+        let s = Schema.make ~name:"R" [ ("X", Schema.TNum); ("Y", Schema.TStr) ] in
+        Alcotest.(check (option int)) "bare" (Some 0) (Schema.index_of s "X");
+        Alcotest.(check (option int)) "qualified" (Some 1) (Schema.index_of s "R.Y");
+        Alcotest.(check (option int)) "wrong qualifier" None (Schema.index_of s "S.Y");
+        Alcotest.(check (option int)) "missing" None (Schema.index_of s "Z"));
+    tc "duplicate attributes rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try ignore (Schema.make ~name:"R" [ ("X", Schema.TNum); ("X", Schema.TNum) ]); false
+           with Invalid_argument _ -> true));
+    tc "concat qualifies attribute names" `Quick (fun () ->
+        let r = Schema.make ~name:"R" [ ("X", Schema.TNum) ] in
+        let s = Schema.make ~name:"S" [ ("X", Schema.TNum) ] in
+        let j = Schema.concat ~name:"J" r s in
+        Alcotest.(check int) "arity" 2 (Schema.arity j);
+        Alcotest.(check (option int)) "R.X" (Some 0) (Schema.index_of j "R.X");
+        Alcotest.(check (option int)) "S.X" (Some 1) (Schema.index_of j "S.X"));
+  ]
+
+let arb_value =
+  let open QCheck.Gen in
+  let gen =
+    frequency
+      [
+        (2, map (fun i -> Value.Int i) (int_range (-1000) 1000));
+        (2, map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 20)));
+        ( 3,
+          map
+            (fun (a, b, c, d) ->
+              match List.sort Float.compare [ a; b; c; d ] with
+              | [ a; b; c; d ] ->
+                  Value.Fuzzy (Fuzzy.Possibility.trap (Fuzzy.Trapezoid.make a b c d))
+              | _ -> assert false)
+            (quad (float_bound_inclusive 100.) (float_bound_inclusive 100.)
+               (float_bound_inclusive 100.) (float_bound_inclusive 100.)) );
+        ( 1,
+          map
+            (fun pts -> Value.Fuzzy (Fuzzy.Possibility.discrete pts))
+            (list_size (int_range 1 5)
+               (pair (float_bound_inclusive 50.)
+                  (map (fun d -> 0.1 +. (0.9 *. d)) (float_bound_inclusive 1.0)))) );
+      ]
+  in
+  QCheck.make ~print:Value.to_string gen
+
+let arb_tuple =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Ftuple.pp t)
+    QCheck.Gen.(
+      map2
+        (fun vs d -> Ftuple.make (Array.of_list vs) (0.01 +. (0.99 *. d)))
+        (list_size (int_range 0 6) (QCheck.gen arb_value))
+        (float_bound_inclusive 1.0))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"codec roundtrip" arb_tuple (fun t ->
+      let t' = Codec.decode (Codec.encode t) in
+      Ftuple.values_equal t t' && Fuzzy.Degree.equal (Ftuple.degree t) (Ftuple.degree t'))
+
+let prop_codec_padding =
+  QCheck.Test.make ~count:200 ~name:"codec padding to fixed size" arb_tuple
+    (fun t ->
+      let natural = Codec.encoded_size t in
+      let padded = Codec.encode ~pad_to:(natural + 64) t in
+      Bytes.length padded = natural + 64
+      && Ftuple.values_equal t (Codec.decode padded))
+
+let codec_tests =
+  [
+    tc "pad_to smaller than encoding rejected" `Quick (fun () ->
+        let t = Test_util.tuple [ Value.Str "hello world" ] 1.0 in
+        Alcotest.(check bool) "raises" true
+          (try ignore (Codec.encode ~pad_to:4 t); false
+           with Invalid_argument _ -> true));
+  ]
+
+let relation_tests =
+  [
+    tc "zero-degree tuples are not members" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let s = Schema.make ~name:"R" [ ("X", Schema.TNum) ] in
+        let r =
+          Relation.of_list env s
+            [ Test_util.tuple [ Value.Int 1 ] 0.0; Test_util.tuple [ Value.Int 2 ] 0.4 ]
+        in
+        Alcotest.(check int) "only positive degrees" 1 (Relation.cardinality r));
+    tc "of_list / to_list roundtrip with padding" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let s = Schema.make ~name:"R" [ ("X", Schema.TNum) ] in
+        let tuples = List.init 100 (fun i -> Test_util.tuple [ Value.Int i ] 1.0) in
+        let r = Relation.of_list ~pad_to:128 env s tuples in
+        Alcotest.(check int) "cardinality" 100 (Relation.cardinality r);
+        Alcotest.(check bool) "pages reflect padding" true (Relation.num_pages r >= 2);
+        let back = Relation.to_list r in
+        Alcotest.(check bool) "same values" true
+          (List.for_all2 Ftuple.values_equal tuples back));
+  ]
+
+let mk_rel env name rows =
+  let s = Schema.make ~name [ ("K", Schema.TStr); ("V", Schema.TNum) ] in
+  Relation.of_list env s
+    (List.map (fun (k, v, d) -> Test_util.tuple [ Value.Str k; Value.crisp_num v ] d) rows)
+
+let algebra_tests =
+  [
+    tc "select combines degrees by min" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.9); ("b", 2., 0.3) ] in
+        let out = Algebra.select r ~pred:(fun _ -> 0.5) in
+        let ds = List.map Ftuple.degree (Relation.to_list out) in
+        Alcotest.(check (list (float 1e-9))) "min degrees" [ 0.5; 0.3 ] ds);
+    tc "dedup keeps max degree (fuzzy OR)" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.3); ("a", 1., 0.7); ("b", 1., 0.2) ] in
+        let out = Algebra.dedup_max r in
+        let ans = Test_util.answer_of_relation out in
+        Alcotest.(check int) "two rows" 2 (List.length ans);
+        let d_a = List.assoc "a" (List.map (fun (vs, d) ->
+          (match vs.(0) with Value.Str s -> s | _ -> "?"), d) ans) in
+        Alcotest.(check (float 1e-9)) "max kept" 0.7 d_a);
+    tc "project then dedup" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.3); ("a", 2., 0.8) ] in
+        let out = Algebra.project r ~attrs:[ "K" ] in
+        Alcotest.(check int) "single row" 1 (Relation.cardinality out);
+        match Relation.to_list out with
+        | [ t ] -> Alcotest.(check (float 1e-9)) "max degree" 0.8 (Ftuple.degree t)
+        | _ -> Alcotest.fail "expected one tuple");
+    tc "project unknown attribute errors" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 1.) ] in
+        Alcotest.(check bool) "raises" true
+          (try ignore (Algebra.project r ~attrs:[ "NOPE" ]); false
+           with Invalid_argument _ -> true));
+    tc "union_max merges by max" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.4) ] in
+        let s = mk_rel env "S" [ ("a", 1., 0.6); ("b", 2., 0.5) ] in
+        let u = Algebra.union_max r s in
+        Alcotest.(check int) "rows" 2 (Relation.cardinality u));
+    tc "threshold implements WITH D >= z" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.4); ("b", 1., 0.8) ] in
+        let out = Algebra.threshold r 0.5 in
+        Alcotest.(check int) "one survives" 1 (Relation.cardinality out));
+    tc "product multiplies cardinalities, degree is min" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 0.9); ("b", 2., 0.8) ] in
+        let s = mk_rel env "S" [ ("x", 3., 0.5) ] in
+        let p = Algebra.product r s in
+        Alcotest.(check int) "2x1" 2 (Relation.cardinality p);
+        List.iter
+          (fun t -> Alcotest.(check bool) "degree <= 0.5" true (Ftuple.degree t <= 0.5))
+          (Relation.to_list p));
+    tc "group collects by key" `Quick (fun () ->
+        let env = Test_util.fresh_env () in
+        let r = mk_rel env "R" [ ("a", 1., 1.); ("a", 2., 1.); ("b", 3., 1.) ] in
+        let groups = Algebra.group r ~key:[ 0 ] in
+        Alcotest.(check int) "two groups" 2 (List.length groups);
+        let sizes = List.map (fun (_, ts) -> List.length ts) groups in
+        Alcotest.(check (list int)) "sizes" [ 2; 1 ] sizes);
+  ]
+
+let aggregate_tests =
+  [
+    tc "count / empty semantics" `Quick (fun () ->
+        Alcotest.(check bool) "count []" true
+          (Aggregate.apply Aggregate.Count [] = Some (Value.Int 0));
+        Alcotest.(check bool) "sum [] is NULL" true (Aggregate.apply Aggregate.Sum [] = None);
+        Alcotest.(check bool) "min [] is NULL" true (Aggregate.apply Aggregate.Min [] = None));
+    tc "sum and avg use fuzzy arithmetic" `Quick (fun () ->
+        let vs = [ Value.crisp_num 10.; Value.crisp_num 20. ] in
+        (match Aggregate.apply Aggregate.Sum vs with
+        | Some (Value.Fuzzy p) ->
+            Alcotest.(check (float 1e-9)) "sum" 30.0 (Fuzzy.Defuzz.core_center p)
+        | _ -> Alcotest.fail "sum shape");
+        match Aggregate.apply Aggregate.Avg vs with
+        | Some (Value.Fuzzy p) ->
+            Alcotest.(check (float 1e-9)) "avg" 15.0 (Fuzzy.Defuzz.core_center p)
+        | _ -> Alcotest.fail "avg shape");
+    tc "min/max defuzzify by core center and return originals" `Quick (fun () ->
+        let low = Test_util.term "about 40K" and high = Test_util.term "high" in
+        (match Aggregate.apply Aggregate.Max [ low; high ] with
+        | Some v -> Alcotest.(check bool) "max is high" true (Value.equal v high)
+        | None -> Alcotest.fail "max");
+        match Aggregate.apply Aggregate.Min [ low; high ] with
+        | Some v -> Alcotest.(check bool) "min is about 40K" true (Value.equal v low)
+        | None -> Alcotest.fail "min");
+    tc "non-numeric aggregation rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try ignore (Aggregate.apply Aggregate.Sum [ Value.Str "x" ]); false
+           with Invalid_argument _ -> true));
+    tc "degree strategies" `Quick (fun () ->
+        Test_util.check_degree "always one" 1.0 (Aggregate.result_degree [ 0.2; 0.4 ]);
+        Test_util.check_degree "average" 0.3
+          (Aggregate.result_degree ~strategy:Aggregate.Average_membership [ 0.2; 0.4 ]);
+        Test_util.check_degree "weighted on empty" 1.0
+          (Aggregate.result_degree ~strategy:Aggregate.Weighted_membership []));
+  ]
+
+let suites =
+  [
+    ("relational.value", value_tests);
+    ("relational.schema", schema_tests);
+    ( "relational.codec",
+      List.map QCheck_alcotest.to_alcotest [ prop_codec_roundtrip; prop_codec_padding ]
+      @ codec_tests );
+    ("relational.relation", relation_tests);
+    ("relational.algebra", algebra_tests);
+    ("relational.aggregate", aggregate_tests);
+  ]

@@ -1,0 +1,318 @@
+(** Tests of the storage substrate: simulated disk, buffer pool, heap files,
+    external sort, and the I/O statistics they feed. *)
+
+open Frepro.Storage
+
+let tc = Alcotest.test_case
+
+let disk_tests =
+  [
+    tc "read/write roundtrip counts I/O" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:64 stats in
+        let p = Sim_disk.alloc disk in
+        let buf = Bytes.make 64 'x' in
+        Sim_disk.write disk p buf;
+        let back = Sim_disk.read disk p in
+        Alcotest.(check bytes) "contents" buf back;
+        Alcotest.(check int) "reads" 1 (Iostats.page_reads stats);
+        Alcotest.(check int) "writes" 1 (Iostats.page_writes stats));
+    tc "alloc zeroes reused pages" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:16 stats in
+        let p = Sim_disk.alloc disk in
+        Sim_disk.write disk p (Bytes.make 16 'z');
+        Sim_disk.free disk [ p ];
+        let p2 = Sim_disk.alloc disk in
+        Alcotest.(check int) "page reused" p p2;
+        Alcotest.(check bytes) "zeroed" (Bytes.make 16 '\000') (Sim_disk.read disk p2));
+    tc "bad page id rejected" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create stats in
+        Alcotest.(check bool) "raises" true
+          (try ignore (Sim_disk.read disk 42); false
+           with Invalid_argument _ -> true));
+  ]
+
+let pool_tests =
+  [
+    tc "hits avoid disk reads" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:16 stats in
+        let pool = Buffer_pool.create disk ~capacity:2 in
+        let p = Sim_disk.alloc disk in
+        ignore (Buffer_pool.read pool p);
+        ignore (Buffer_pool.read pool p);
+        Alcotest.(check int) "one miss" 1 (Iostats.page_reads stats);
+        Alcotest.(check int) "one hit" 1 (Buffer_pool.hits pool));
+    tc "LRU eviction writes dirty page back" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:16 stats in
+        let pool = Buffer_pool.create disk ~capacity:1 in
+        let p1 = Sim_disk.alloc disk and p2 = Sim_disk.alloc disk in
+        Buffer_pool.with_write pool p1 (fun b -> Bytes.set b 0 'A');
+        ignore (Buffer_pool.read pool p2) (* evicts dirty p1 *);
+        Alcotest.(check int) "write-back happened" 1 (Iostats.page_writes stats);
+        Buffer_pool.drop pool;
+        Alcotest.(check char) "contents survived eviction" 'A'
+          (Bytes.get (Sim_disk.read disk p1) 0));
+    tc "pinned frames never evicted" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:16 stats in
+        let pool = Buffer_pool.create disk ~capacity:1 in
+        let p1 = Sim_disk.alloc disk and p2 = Sim_disk.alloc disk in
+        Buffer_pool.pin pool p1;
+        Alcotest.(check bool) "miss with all pinned fails" true
+          (try ignore (Buffer_pool.read pool p2); false with Failure _ -> true);
+        Buffer_pool.unpin pool p1;
+        ignore (Buffer_pool.read pool p2));
+    tc "sequential scan misses once per page" `Quick (fun () ->
+        let stats = Iostats.create () in
+        let disk = Sim_disk.create ~page_size:16 stats in
+        let pool = Buffer_pool.create disk ~capacity:3 in
+        let pages = List.init 10 (fun _ -> Sim_disk.alloc disk) in
+        List.iter (fun p -> ignore (Buffer_pool.read pool p)) pages;
+        Alcotest.(check int) "10 misses" 10 (Buffer_pool.misses pool));
+  ]
+
+let heap_tests =
+  [
+    tc "append / iter roundtrip across pages" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        let records =
+          List.init 50 (fun i -> Bytes.of_string (Printf.sprintf "rec-%03d" i))
+        in
+        List.iter (Heap_file.append f) records;
+        Alcotest.(check int) "record count" 50 (Heap_file.num_records f);
+        Alcotest.(check bool) "multiple pages" true (Heap_file.num_pages f > 1);
+        let back = ref [] in
+        Heap_file.iter f (fun r -> back := r :: !back);
+        Alcotest.(check (list bytes)) "order preserved" records (List.rev !back));
+    tc "oversized record rejected" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:4 () in
+        let f = Heap_file.create env in
+        Alcotest.(check bool) "raises" true
+          (try Heap_file.append f (Bytes.make 100 'x'); false
+           with Invalid_argument _ -> true));
+    tc "cursor peek/next/seek" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        for i = 0 to 19 do
+          Heap_file.append f (Bytes.of_string (Printf.sprintf "%02d" i))
+        done;
+        let c = Heap_file.Cursor.of_file f in
+        Alcotest.(check (option bytes)) "peek first" (Some (Bytes.of_string "00"))
+          (Heap_file.Cursor.peek c);
+        ignore (Heap_file.Cursor.next c);
+        Alcotest.(check int) "pos" 1 (Heap_file.Cursor.pos c);
+        Heap_file.Cursor.seek c 15;
+        Alcotest.(check (option bytes)) "after seek" (Some (Bytes.of_string "15"))
+          (Heap_file.Cursor.next c);
+        Heap_file.Cursor.seek c 20;
+        Alcotest.(check (option bytes)) "end" None (Heap_file.Cursor.next c));
+    tc "destroy returns pages for reuse" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        for _ = 1 to 30 do Heap_file.append f (Bytes.make 20 'a') done;
+        Buffer_pool.flush env.Env.pool;
+        let used_before = Sim_disk.num_pages env.Env.disk in
+        Heap_file.destroy f;
+        let g = Heap_file.create env in
+        for _ = 1 to 30 do Heap_file.append g (Bytes.make 20 'b') done;
+        Alcotest.(check int) "no disk growth" used_before
+          (Sim_disk.num_pages env.Env.disk));
+  ]
+
+let sort_record i = Bytes.of_string (Printf.sprintf "%06d" i)
+
+let sort_tests =
+  [
+    tc "external sort orders and preserves multiset" `Quick (fun () ->
+        let env = Env.create ~page_size:128 ~pool_pages:16 () in
+        let f = Heap_file.create env in
+        let rng = Random.State.make [| 42 |] in
+        let input = List.init 500 (fun _ -> Random.State.int rng 1000) in
+        List.iter (fun i -> Heap_file.append f (sort_record i)) input;
+        let sorted = External_sort.sort f ~compare:Bytes.compare ~mem_pages:3 in
+        let out = ref [] in
+        Heap_file.iter sorted (fun r -> out := Bytes.to_string r :: !out);
+        let out = List.rev !out in
+        Alcotest.(check int) "size" 500 (List.length out);
+        Alcotest.(check (list string)) "sorted & same multiset"
+          (List.sort compare (List.map (fun i -> Printf.sprintf "%06d" i) input))
+          out);
+    tc "sort counts comparisons and I/O in the Sort phase" `Quick (fun () ->
+        let env = Env.create ~page_size:128 ~pool_pages:16 () in
+        let f = Heap_file.create env in
+        for i = 0 to 199 do Heap_file.append f (sort_record (199 - i)) done;
+        Iostats.reset env.Env.stats;
+        ignore (External_sort.sort f ~compare:Bytes.compare ~mem_pages:3);
+        Alcotest.(check bool) "comparisons counted" true
+          (Iostats.comparisons env.Env.stats > 0);
+        Alcotest.(check bool) "sort time attributed" true
+          (Iostats.phase_seconds env.Env.stats Iostats.Sort >= 0.0);
+        Alcotest.(check bool) "I/O happened" true (Iostats.total_ios env.Env.stats > 0));
+    tc "multi-pass merge with tiny memory" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        for i = 0 to 299 do Heap_file.append f (sort_record ((i * 7919) mod 1000)) done;
+        let sorted = External_sort.sort f ~compare:Bytes.compare ~mem_pages:3 in
+        let prev = ref Bytes.empty in
+        let ok = ref true in
+        Heap_file.iter sorted (fun r ->
+            if Bytes.compare !prev r > 0 then ok := false;
+            prev := r);
+        Alcotest.(check bool) "nondecreasing" true !ok;
+        Alcotest.(check int) "size" 300 (Heap_file.num_records sorted));
+    tc "mem_pages < 3 rejected" `Quick (fun () ->
+        let env = Env.create () in
+        let f = Heap_file.create env in
+        Alcotest.(check bool) "raises" true
+          (try ignore (External_sort.sort f ~compare:Bytes.compare ~mem_pages:2); false
+           with Invalid_argument _ -> true));
+    tc "replacement selection sorts correctly" `Quick (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        let rng = Random.State.make [| 5 |] in
+        let input = List.init 400 (fun _ -> Random.State.int rng 1000) in
+        List.iter (fun i -> Heap_file.append f (sort_record i)) input;
+        let sorted =
+          External_sort.sort ~run_strategy:External_sort.Replacement_selection
+            f ~compare:Bytes.compare ~mem_pages:3
+        in
+        let out = ref [] in
+        Heap_file.iter sorted (fun r -> out := Bytes.to_string r :: !out);
+        Alcotest.(check (list string)) "sorted & same multiset"
+          (List.sort compare (List.map (fun i -> Printf.sprintf "%06d" i) input))
+          (List.rev !out));
+    tc "replacement selection produces longer runs on random input" `Quick
+      (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:16 () in
+        let f = Heap_file.create env in
+        let rng = Random.State.make [| 6 |] in
+        for _ = 1 to 600 do
+          Heap_file.append f (sort_record (Random.State.int rng 100000))
+        done;
+        let count strategy =
+          let runs =
+            External_sort.initial_runs strategy f ~compare:Bytes.compare
+              ~mem_pages:3
+          in
+          let n = List.length runs in
+          List.iter Heap_file.destroy runs;
+          n
+        in
+        let load = count External_sort.Load_sort in
+        let replacement = count External_sort.Replacement_selection in
+        Alcotest.(check bool)
+          (Printf.sprintf "replacement %d < load %d runs" replacement load)
+          true (replacement < load));
+    tc "replacement selection on presorted input yields one run" `Quick
+      (fun () ->
+        let env = Env.create ~page_size:64 ~pool_pages:8 () in
+        let f = Heap_file.create env in
+        for i = 0 to 299 do Heap_file.append f (sort_record i) done;
+        let runs =
+          External_sort.initial_runs External_sort.Replacement_selection f
+            ~compare:Bytes.compare ~mem_pages:3
+        in
+        Alcotest.(check int) "single run" 1 (List.length runs);
+        List.iter Heap_file.destroy runs);
+  ]
+
+(* Model-based property test of the buffer pool: random reads/writes against
+   a trivial in-memory reference model must agree on contents; the pool must
+   never hold more frames than its capacity allows (observable through the
+   miss count lower bound). *)
+let prop_pool_model =
+  QCheck.Test.make ~count:200 ~name:"buffer pool agrees with a flat model"
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, cap_sel) ->
+      let capacity = 1 + cap_sel in
+      let stats = Iostats.create () in
+      let disk = Sim_disk.create ~page_size:8 stats in
+      let pool = Buffer_pool.create disk ~capacity in
+      let n_pages = 6 in
+      let pages = Array.init n_pages (fun _ -> Sim_disk.alloc disk) in
+      let model = Array.make n_pages '\000' in
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to 100 do
+        let p = Random.State.int rng n_pages in
+        if Random.State.bool rng then begin
+          let c = Char.chr (Random.State.int rng 256) in
+          Buffer_pool.with_write pool pages.(p) (fun b -> Bytes.set b 0 c);
+          model.(p) <- c
+        end
+        else begin
+          let b = Buffer_pool.read pool pages.(p) in
+          if Bytes.get b 0 <> model.(p) then failwith "pool diverged from model"
+        end
+      done;
+      Buffer_pool.flush pool;
+      Array.iteri
+        (fun i p ->
+          if Bytes.get (Sim_disk.read disk p) 0 <> model.(i) then
+            failwith "disk diverged after flush")
+        pages;
+      true)
+
+let prop_cursor_seek =
+  QCheck.Test.make ~count:100 ~name:"cursor seek agrees with sequential scan"
+    QCheck.(pair (int_bound 10_000) (int_bound 200))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let env = Env.create ~page_size:64 ~pool_pages:8 () in
+      let f = Heap_file.create env in
+      for i = 0 to n - 1 do
+        Heap_file.append f (Bytes.of_string (Printf.sprintf "%05d" i))
+      done;
+      let c = Heap_file.Cursor.of_file f in
+      let rng = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let target = Random.State.int rng (n + 2) in
+        Heap_file.Cursor.seek c target;
+        (match Heap_file.Cursor.next c with
+        | Some r ->
+            if int_of_string (Bytes.to_string r) <> Int.min target n then ok := false
+        | None -> if target < n then ok := false)
+      done;
+      !ok)
+
+let stats_tests =
+  [
+    tc "timed phases are exclusive" `Quick (fun () ->
+        let s = Iostats.create () in
+        Iostats.timed s Iostats.Sort (fun () ->
+            Iostats.timed s Iostats.Join (fun () -> Sys.opaque_identity ()));
+        let total = Iostats.cpu_seconds s in
+        let parts =
+          Iostats.phase_seconds s Iostats.Sort +. Iostats.phase_seconds s Iostats.Join
+        in
+        Alcotest.(check (float 1e-6)) "exclusive buckets" total parts);
+    tc "response time model" `Quick (fun () ->
+        let s = Iostats.create () in
+        Iostats.record_read s;
+        Iostats.record_read s;
+        Iostats.record_write s;
+        Alcotest.(check (float 1e-9)) "3 IOs at 10ms" 0.03
+          (Iostats.response_time s ~io_latency:0.01 -. Iostats.cpu_seconds s));
+    tc "add_into accumulates" `Quick (fun () ->
+        let a = Iostats.create () and b = Iostats.create () in
+        Iostats.record_read a;
+        Iostats.record_read b;
+        Iostats.record_fuzzy_op b;
+        Iostats.add_into a b;
+        Alcotest.(check int) "reads" 2 (Iostats.page_reads a);
+        Alcotest.(check int) "fuzzy" 1 (Iostats.fuzzy_ops a));
+  ]
+
+let suites =
+  [
+    ("storage.disk", disk_tests);
+    ("storage.pool", pool_tests @ [ QCheck_alcotest.to_alcotest prop_pool_model ]);
+    ("storage.heap", heap_tests @ [ QCheck_alcotest.to_alcotest prop_cursor_seek ]);
+    ("storage.sort", sort_tests);
+    ("storage.stats", stats_tests);
+  ]
