@@ -23,6 +23,7 @@ type config = {
   scale : int;  (** divide paper sizes by this (1 = paper scale) *)
   io_latency : float;  (** seconds per page transfer (1995 disk ~ 20 ms) *)
   seed : int;
+  domains : int;  (** merge-join execution parallelism (1 = sequential) *)
 }
 
 (* Calibration of [io_latency]: the paper's SPARC/IPC spent ~7.8 us per
@@ -33,7 +34,7 @@ type config = {
    latency keeps the paper's CPU : I/O ratio (20 ms scaled by the ~40x CPU
    speedup => 0.5 ms); pass [--io-latency 0.02] for the period-accurate
    disk. *)
-let default_config = { scale = 4; io_latency = 0.0005; seed = 42 }
+let default_config = { scale = 4; io_latency = 0.0005; seed = 42; domains = 1 }
 
 (* The paper's buffer: 2 MB of 8 KB pages, scaled. *)
 let mem_pages cfg = Int.max 8 (256 / cfg.scale)
@@ -54,11 +55,69 @@ let spec_of ~paper_mb ~tuple_bytes ~fanout cfg =
 type metrics = {
   response : float;  (** seconds: cpu + io * latency *)
   cpu : float;
+  wall : float;  (** actual wall-clock seconds of the evaluation *)
+  sort_s : float;  (** coordinator wall seconds in the Sort phase *)
+  merge_s : float;  (** coordinator wall seconds in the Merge phase *)
   ios : int;
   sort_share : float;  (** fraction of response spent sorting *)
   fuzzy_ops : int;
   answer_size : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every measured cell is appended to an
+   in-memory log and dumped as BENCH_results.json at the end of the run,
+   so plots and regression checks don't have to scrape the tables. *)
+
+type row = {
+  row_bench : string;
+  row_cell : string;
+  row_method : string;
+  row_domains : int;
+  row_scale : int;
+  row_wall_s : float;
+  row_response_s : float;
+  row_cpu_s : float;
+  row_ios : int;
+  row_fuzzy_ops : int;
+  row_answer_size : int;
+}
+
+let results : row list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results path =
+  let oc = open_out path in
+  let rows = List.rev !results in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"bench\": \"%s\", \"cell\": \"%s\", \"method\": \"%s\", \
+         \"domains\": %d, \"scale\": %d, \"wall_s\": %.6f, \"response_s\": \
+         %.6f, \"cpu_s\": %.6f, \"ios\": %d, \"fuzzy_ops\": %d, \
+         \"answer_size\": %d}%s\n"
+        (json_escape r.row_bench) (json_escape r.row_cell)
+        (json_escape r.row_method) r.row_domains r.row_scale r.row_wall_s
+        r.row_response_s r.row_cpu_s r.row_ios r.row_fuzzy_ops
+        r.row_answer_size
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
 
 (* The canonical type J query of the experiments (Section 9 uses type J to
    illustrate): correlated IN subquery joining on the fuzzy attribute X. *)
@@ -70,7 +129,7 @@ let method_name = function
   | Nested_loop -> "Nested Loop"
   | Merge_join -> "Merge-join"
 
-let run_cell cfg ~outer ~inner method_ =
+let run_cell ?(bench = "adhoc") ?(cell = "") cfg ~outer ~inner method_ =
   let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
   let r, s = Workload.Gen.join_pair env ~seed:cfg.seed ~outer ~inner in
   let catalog = Catalog.create env in
@@ -85,12 +144,18 @@ let run_cell cfg ~outer ~inner method_ =
   in
   let stats = env.Storage.Env.stats in
   Storage.Env.reset_stats env;
+  let wall_start = Unix.gettimeofday () in
   let answer =
     Storage.Iostats.timed stats Storage.Iostats.Other (fun () ->
         match method_ with
         | Nested_loop -> Unnest.Nl_exec.run shape ~mem_pages:(mem_pages cfg)
-        | Merge_join -> Unnest.Merge_exec.run shape ~mem_pages:(mem_pages cfg))
+        | Merge_join ->
+            if cfg.domains > 1 then
+              Storage.Task_pool.with_pool ~domains:cfg.domains (fun pool ->
+                  Unnest.Merge_exec.run ~pool shape ~mem_pages:(mem_pages cfg))
+            else Unnest.Merge_exec.run shape ~mem_pages:(mem_pages cfg))
   in
+  let wall = Unix.gettimeofday () -. wall_start in
   let cpu = Storage.Iostats.cpu_seconds stats in
   let ios = Storage.Iostats.total_ios stats in
   let response = cpu +. (float_of_int ios *. cfg.io_latency) in
@@ -99,14 +164,35 @@ let run_cell cfg ~outer ~inner method_ =
     +. (float_of_int (Storage.Iostats.phase_ios stats Storage.Iostats.Sort)
        *. cfg.io_latency)
   in
-  {
-    response;
-    cpu;
-    ios;
-    sort_share = (if response > 0.0 then sort_time /. response else 0.0);
-    fuzzy_ops = Storage.Iostats.fuzzy_ops stats;
-    answer_size = Relation.cardinality answer;
-  }
+  let m =
+    {
+      response;
+      cpu;
+      wall;
+      sort_s = Storage.Iostats.phase_seconds stats Storage.Iostats.Sort;
+      merge_s = Storage.Iostats.phase_seconds stats Storage.Iostats.Merge;
+      ios;
+      sort_share = (if response > 0.0 then sort_time /. response else 0.0);
+      fuzzy_ops = Storage.Iostats.fuzzy_ops stats;
+      answer_size = Relation.cardinality answer;
+    }
+  in
+  results :=
+    {
+      row_bench = bench;
+      row_cell = cell;
+      row_method = method_name method_;
+      row_domains = (match method_ with Merge_join -> cfg.domains | Nested_loop -> 1);
+      row_scale = cfg.scale;
+      row_wall_s = m.wall;
+      row_response_s = m.response;
+      row_cpu_s = m.cpu;
+      row_ios = m.ios;
+      row_fuzzy_ops = m.fuzzy_ops;
+      row_answer_size = m.answer_size;
+    }
+    :: !results;
+  m
 
 let str_seconds s =
   if s >= 100.0 then Printf.sprintf "%.0f" s

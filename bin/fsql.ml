@@ -7,8 +7,10 @@
     \d           list relations        \d NAME      print a relation
     \terms       list linguistic terms \shape SQL;  classify without running
     \strategy X  naive|nl|merge|auto   \timing      toggle timing
-    \help        this help             \q           quit
-    v} *)
+    \domains N   execution parallelism \help        this help
+    \q           quit
+    v}
+    Start with [fsql --domains N] to set the initial parallelism. *)
 
 open Frepro
 open Frepro.Relational
@@ -18,6 +20,7 @@ type state = {
   terms : Fuzzy.Term.t;
   mutable strategy : Unnest.Planner.strategy;
   mutable timing : bool;
+  mutable domains : int;
 }
 
 let term name = Value.Fuzzy (Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper name))
@@ -66,6 +69,7 @@ let help () =
     \  \\shape SQL;   classify a query without running it\n\
     \  \\explain SQL; show the evaluation plan and estimates\n\
     \  \\strategy X   naive | nl | merge | auto\n\
+    \  \\domains N    merge-join execution parallelism (1 = sequential)\n\
     \  \\save DIR     save all relations to DIR/<name>.frel\n\
     \  \\load PATH    load a saved relation\n\
     \  \\timing       toggle per-query timing\n\
@@ -82,7 +86,9 @@ let run_sql st sql =
   try
     let q = Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql in
     let t0 = Unix.gettimeofday () in
-    let answer = Unnest.Planner.run ~strategy:st.strategy q in
+    let answer =
+      Unnest.Planner.run ~strategy:st.strategy ~domains:st.domains q
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let limit = 40 in
     Format.printf "%a@." Schema.pp (Relation.schema answer);
@@ -135,6 +141,13 @@ let meta st line =
           Format.printf "strategy set to %s@."
             (Unnest.Planner.strategy_to_string strat)
       | None -> Format.printf "unknown strategy %s (naive|nl|merge|auto)@." s)
+  | [ "\\domains" ] -> Format.printf "domains: %d@." st.domains
+  | [ "\\domains"; n ] -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 ->
+          st.domains <- d;
+          Format.printf "domains set to %d@." d
+      | _ -> Format.printf "domains must be a positive integer@.")
   | [ "\\save"; dir ] ->
       Relational.Persist.save_catalog st.catalog ~dir;
       Format.printf "saved %d relation(s) to %s@."
@@ -185,6 +198,25 @@ let meta st line =
   | _ -> Format.printf "unknown meta command (try \\help)@."
 
 let () =
+  let domains = ref 1 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            domains := d;
+            parse_args rest
+        | _ ->
+            prerr_endline "fsql: --domains expects a positive integer";
+            exit 2)
+    | [ "--domains" ] ->
+        prerr_endline "fsql: --domains expects a positive integer";
+        exit 2
+    | arg :: _ ->
+        prerr_endline ("fsql: unknown argument " ^ arg ^ " (usage: fsql [--domains N])");
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   let env = Storage.Env.create () in
   let st =
     {
@@ -192,6 +224,7 @@ let () =
       terms = Fuzzy.Term.paper;
       strategy = Unnest.Planner.Auto;
       timing = true;
+      domains = !domains;
     }
   in
   load_demo env st.catalog;

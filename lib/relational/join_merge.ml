@@ -1,88 +1,199 @@
 open Storage
 open Fuzzy
 
-let sort_by rel ~attr ~mem_pages =
+let interval_key ~attr r = Value.support (Ftuple.value (Codec.decode r) attr)
+
+let sort_by ?pool rel ~attr ~mem_pages =
   let env = Relation.env rel in
   Buffer_pool.flush env.Env.pool;
-  let compare_records r1 r2 =
-    let v1 = Ftuple.value (Codec.decode r1) attr
-    and v2 = Ftuple.value (Codec.decode r2) attr in
-    Interval.compare_lex (Value.support v1) (Value.support v2)
-  in
   let sorted =
-    External_sort.sort (Relation.file rel) ~compare:compare_records ~mem_pages
+    match pool with
+    | Some p when Task_pool.domains p > 1 ->
+        External_sort.sort_keyed ~pool:p (Relation.file rel)
+          ~key:(interval_key ~attr) ~compare_key:Interval.compare_lex
+          ~mem_pages
+    | _ ->
+        let compare_records r1 r2 =
+          let v1 = Ftuple.value (Codec.decode r1) attr
+          and v2 = Ftuple.value (Codec.decode r2) attr in
+          Interval.compare_lex (Value.support v1) (Value.support v2)
+        in
+        External_sort.sort (Relation.file rel) ~compare:compare_records
+          ~mem_pages
   in
   Relation.of_file ?pad_to:(Relation.pad_to rel) env (Relation.schema rel) sorted
 
-let sweep_sorted ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~f =
-  ignore mem_pages;
+(* The window sweep of Section 3, abstracted over the tuple sources so the
+   sequential (cursor-backed) and parallel (array-backed, one per partition)
+   paths share the exact same comparison / fuzzy-op behaviour. *)
+let sweep_core ~stats ~next_outer ~peek_inner ~advance_inner ~outer_attr
+    ~inner_attr ~f =
+  (* Window entries: inner tuple with the support of its join value. *)
+  let window = ref [] in
+  let rec next_r () =
+    match next_outer () with
+    | None -> ()
+    | Some r ->
+        let ri = Value.support (Ftuple.value r outer_attr) in
+        let b_r = Interval.lo ri and e_r = Interval.hi ri in
+        (* Drop window tuples ending before b(r.X): since outer support
+           starts are non-decreasing, they cannot join this or any later
+           outer tuple. *)
+        window :=
+          List.filter
+            (fun (_, si) ->
+              Iostats.record_comparison stats;
+              Interval.hi si >= b_r)
+            !window;
+        (* Extend the window while the next inner tuple begins no later
+           than e(r.X); later inner tuples begin after e(r.X) and
+           terminate the scan for r. *)
+        let rec extend () =
+          match peek_inner () with
+          | Some s ->
+              let si = Value.support (Ftuple.value s inner_attr) in
+              Iostats.record_comparison stats;
+              if Interval.lo si <= e_r then begin
+                advance_inner ();
+                if Interval.hi si >= b_r then window := !window @ [ (s, si) ];
+                extend ()
+              end
+          | None -> ()
+        in
+        extend ();
+        let rng =
+          List.map
+            (fun (s, si) ->
+              Iostats.record_comparison stats;
+              if Interval.overlaps ri si then begin
+                Iostats.record_fuzzy_op stats;
+                ( s,
+                  Value.compare_degree Fuzzy_compare.Eq
+                    (Ftuple.value r outer_attr)
+                    (Ftuple.value s inner_attr) )
+              end
+              else (s, Degree.zero))
+            !window
+        in
+        f r rng;
+        next_r ()
+  in
+  next_r ()
+
+(* Cut the outer tuples into [domains] contiguous slices of the sorted order
+   and pair each with the inner tuples that can reach it: s can join some r
+   of a slice only if lo(s) <= max hi(r) and hi(s) >= min lo(r) over the
+   slice (min lo is the first tuple's, the sort is lexicographic on
+   (lo, hi); max hi needs a fold — hi is not monotone). Inner tuples whose
+   support straddles a cut point are replicated into every slice they can
+   reach, so no window is ever split: each slice's sweep sees a superset of
+   its overlap pairs, and non-overlapping extras contribute degree 0 exactly
+   like the dangling tuples of the sequential sweep. *)
+let partition_sweep ~domains outs ins =
+  let n = Array.length outs in
+  let p = Int.max 1 (Int.min domains (Int.max 1 n)) in
+  Array.init p (fun k ->
+      let start = k * n / p and stop = (k + 1) * n / p in
+      let o_slice = Array.sub outs start (stop - start) in
+      if Array.length o_slice = 0 then (o_slice, [||])
+      else begin
+        let b_k = Interval.lo (snd o_slice.(0)) in
+        let max_hi =
+          Array.fold_left
+            (fun acc (_, i) -> Float.max acc (Interval.hi i))
+            Float.neg_infinity o_slice
+        in
+        let sel = ref [] in
+        (try
+           Array.iter
+             (fun (s, si) ->
+               if Interval.lo si > max_hi then raise Exit
+               else if Interval.hi si >= b_k then sel := (s, si) :: !sel)
+             ins
+         with Exit -> ());
+        (o_slice, Array.of_list (List.rev !sel))
+      end)
+
+let scan_decoded rel ~pool ~attr =
+  let acc = ref [] in
+  let c = Relation.Cursor.of_relation ~pool rel in
+  let rec go () =
+    match Relation.Cursor.next c with
+    | None -> ()
+    | Some t ->
+        acc := (t, Value.support (Ftuple.value t attr)) :: !acc;
+        go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)
+
+let sweep_sorted ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~f () =
   let env = Relation.env outer in
   let stats = env.Env.stats in
   Buffer_pool.flush env.Env.pool;
   Buffer_pool.flush (Relation.env inner).Env.pool;
+  (* Each relation is read strictly once in sorted order; the window of
+     candidate inner tuples is kept decoded in memory, so the merge phase
+     only needs scan buffers: the memory budget is split between the two
+     scoped cursor pools. *)
+  let capacity = Int.max 1 (mem_pages / 2) in
   Iostats.timed stats Iostats.Merge (fun () ->
-      (* Each relation is read strictly once in sorted order; the window of
-         candidate inner tuples is kept decoded in memory, so tiny scoped
-         pools suffice (the paper's claim: one scan of both R and S). *)
-      let outer_pool = Buffer_pool.create env.Env.disk ~capacity:2 in
+      let outer_pool = Buffer_pool.create env.Env.disk ~capacity in
       let inner_pool =
-        Buffer_pool.create (Relation.env inner).Env.disk ~capacity:2
+        Buffer_pool.create (Relation.env inner).Env.disk ~capacity
       in
-      let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
-      let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
-      (* Window entries: inner tuple with the support of its join value. *)
-      let window = ref [] in
-      let rec next_r () =
-        match Relation.Cursor.next rc with
-        | None -> ()
-        | Some r ->
-            let ri = Value.support (Ftuple.value r outer_attr) in
-            let b_r = Interval.lo ri and e_r = Interval.hi ri in
-            (* Drop window tuples ending before b(r.X): since outer support
-               starts are non-decreasing, they cannot join this or any later
-               outer tuple. *)
-            window :=
-              List.filter
-                (fun (_, si) ->
-                  Iostats.record_comparison stats;
-                  Interval.hi si >= b_r)
-                !window;
-            (* Extend the window while the next inner tuple begins no later
-               than e(r.X); later inner tuples begin after e(r.X) and
-               terminate the scan for r. *)
-            let rec extend () =
-              match Relation.Cursor.peek sc with
-              | Some s ->
-                  let si = Value.support (Ftuple.value s inner_attr) in
-                  Iostats.record_comparison stats;
-                  if Interval.lo si <= e_r then begin
-                    ignore (Relation.Cursor.next sc);
-                    if Interval.hi si >= b_r then window := !window @ [ (s, si) ];
-                    extend ()
-                  end
-              | None -> ()
-            in
-            extend ();
-            let rng =
-              List.map
-                (fun (s, si) ->
-                  Iostats.record_comparison stats;
-                  if Interval.overlaps ri si then begin
-                    Iostats.record_fuzzy_op stats;
-                    ( s,
-                      Value.compare_degree Fuzzy_compare.Eq
-                        (Ftuple.value r outer_attr)
-                        (Ftuple.value s inner_attr) )
-                  end
-                  else (s, Degree.zero))
-                !window
-            in
-            f r rng;
-            next_r ()
-      in
-      next_r ())
+      match pool with
+      | Some p when Task_pool.domains p > 1 ->
+          (* Partitioned parallel sweep: the coordinator materialises both
+             sorted relations (decoding each tuple once and counting the
+             same one-scan-each page reads as the sequential sweep), cuts
+             them with {!partition_sweep}, and each pool job runs the
+             sequential window algorithm on its own slice pair with private
+             stats. [f] is then applied on the coordinator in global outer
+             sort order — partition results concatenate in slice order —
+             so answer tuples and degrees are identical to the sequential
+             sweep. *)
+          let outs = scan_decoded outer ~pool:outer_pool ~attr:outer_attr in
+          let ins = scan_decoded inner ~pool:inner_pool ~attr:inner_attr in
+          let parts = partition_sweep ~domains:(Task_pool.domains p) outs ins in
+          let jobs =
+            List.map
+              (fun (o_slice, i_slice) () ->
+                let pstats = Iostats.create () in
+                let results = ref [] in
+                let oi = ref 0 and ii = ref 0 in
+                sweep_core ~stats:pstats
+                  ~next_outer:(fun () ->
+                    if !oi < Array.length o_slice then begin
+                      let t = fst o_slice.(!oi) in
+                      incr oi;
+                      Some t
+                    end
+                    else None)
+                  ~peek_inner:(fun () ->
+                    if !ii < Array.length i_slice then Some (fst i_slice.(!ii))
+                    else None)
+                  ~advance_inner:(fun () -> incr ii)
+                  ~outer_attr ~inner_attr
+                  ~f:(fun r rng -> results := (r, rng) :: !results);
+                (List.rev !results, pstats))
+              (Array.to_list parts)
+          in
+          List.iter
+            (fun (results, pstats) ->
+              Iostats.add_into stats pstats;
+              List.iter (fun (r, rng) -> f r rng) results)
+            (Task_pool.run_list p jobs)
+      | _ ->
+          let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
+          let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
+          sweep_core ~stats
+            ~next_outer:(fun () -> Relation.Cursor.next rc)
+            ~peek_inner:(fun () -> Relation.Cursor.peek sc)
+            ~advance_inner:(fun () -> ignore (Relation.Cursor.next sc))
+            ~outer_attr ~inner_attr ~f)
 
-let join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+let join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
     ?residual ~rng_degree () =
   let env = Relation.env outer in
   let out_schema =
@@ -91,10 +202,11 @@ let join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
       (Relation.schema outer) (Relation.schema inner)
   in
   let out = Relation.create env out_schema in
-  let sorted_r = sort_by outer ~attr:outer_attr ~mem_pages in
-  let sorted_s = sort_by inner ~attr:inner_attr ~mem_pages in
-  sweep_sorted ~outer:sorted_r ~inner:sorted_s ~outer_attr ~inner_attr
-    ~mem_pages ~f:(fun r rng ->
+  let sorted_r = sort_by ?pool outer ~attr:outer_attr ~mem_pages in
+  let sorted_s = sort_by ?pool inner ~attr:inner_attr ~mem_pages in
+  sweep_sorted ?pool ~outer:sorted_r ~inner:sorted_s ~outer_attr ~inner_attr
+    ~mem_pages ()
+    ~f:(fun r rng ->
       List.iter
         (fun (s, d_eq) ->
           let d_eq = rng_degree r s d_eq in
@@ -113,11 +225,12 @@ let join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
   Relation.destroy sorted_s;
   out
 
-let join_eq ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ?residual () =
-  join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+let join_eq ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ?residual () =
+  join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
     ?residual ~rng_degree:(fun _ _ d -> d) ()
 
-let with_indicator ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+let with_indicator ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
     ?residual () =
   let indicator r s d_exact =
     (* Fuzzy-equality indicator (Zhang & Wang [42]): overlapping cores mean
@@ -138,5 +251,5 @@ let with_indicator ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
         else d_exact
     | _ -> d_exact
   in
-  join_with_rng ?name ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+  join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
     ?residual ~rng_degree:indicator ()

@@ -10,25 +10,54 @@
     [r] stops at the first inner tuple whose support begins after [e(r.X)].
     Dangling tuples inside the window are examined and skipped, as the paper
     describes. Each relation is read once after sorting, giving the
-    O(n_R log n_R + n_S log n_S) response time of Section 3. *)
+    O(n_R log n_R + n_S log n_S) response time of Section 3.
 
-val sort_by : Relation.t -> attr:int -> mem_pages:int -> Relation.t
+    Every entry point takes an optional [?pool]. With no pool — or a pool of
+    one domain — execution is exactly the sequential algorithm above. With
+    [Task_pool.domains pool > 1], sorting uses the domain-parallel
+    {!Storage.External_sort.sort_keyed} and the sweep is range-partitioned
+    across domains (see {!partition_sweep}); answer tuples and membership
+    degrees are identical either way. *)
+
+val sort_by :
+  ?pool:Storage.Task_pool.t -> Relation.t -> attr:int -> mem_pages:int ->
+  Relation.t
 (** Sort a relation by the Definition 3.1 order of the given attribute using
     the external sorter (accounted to the [Sort] phase). The result is a
     temporary relation owned by the caller. *)
 
+val partition_sweep :
+  domains:int ->
+  ('a * Fuzzy.Interval.t) array ->
+  ('b * Fuzzy.Interval.t) array ->
+  (('a * Fuzzy.Interval.t) array * ('b * Fuzzy.Interval.t) array) array
+(** Range-partition a sorted outer/inner pair for the parallel sweep. The
+    outer tuples (paired with their join-attribute supports, in Definition
+    3.1 order) are cut into [domains] contiguous slices; each slice is paired
+    with every inner tuple whose support window can overlap some outer tuple
+    of the slice, i.e. [lo(s) <= max hi(r)] and [hi(s) >= min lo(r)] over the
+    slice. Inner tuples whose window straddles a cut point are replicated
+    into every slice they can reach, so no sweep window is ever split across
+    a partition boundary. Pure; exposed for the replication unit test. *)
+
 val sweep_sorted :
+  ?pool:Storage.Task_pool.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int -> inner_attr:int ->
   mem_pages:int ->
-  f:(Ftuple.t -> (Ftuple.t * Fuzzy.Degree.t) list -> unit) -> unit
+  f:(Ftuple.t -> (Ftuple.t * Fuzzy.Degree.t) list -> unit) -> unit -> unit
 (** Merge phase over relations already sorted on the join attributes:
     [f r rng] is called once per outer tuple in sort order, where [rng] lists
     the window tuples paired with their equality degrees [d(r.X = s.X)]
     (0 for dangling tuples). Every examined pair counts one fuzzy op;
-    accounted to the [Merge] phase. *)
+    accounted to the [Merge] phase. The two scoped cursor pools are sized
+    from [mem_pages] ([mem_pages / 2] pages each). With a multi-domain
+    [?pool], partitions sweep in parallel on private stats (merged after the
+    batch joins) and [f] still runs on the caller's domain in global outer
+    sort order. *)
 
 val join_eq :
-  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  ?name:string -> ?pool:Storage.Task_pool.t ->
+  outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
 (** Full extended merge-join: sort both inputs, sweep, and materialise
@@ -36,7 +65,8 @@ val join_eq :
     Temporary sorted files are destroyed before returning. *)
 
 val with_indicator :
-  ?name:string -> outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
+  ?name:string -> ?pool:Storage.Task_pool.t ->
+  outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
 (** Variant with the fuzzy-equality-indicator prefilter of Zhang & Wang

@@ -23,8 +23,29 @@ val sort :
     [mem_pages] must be >= 3 (one output page + two run pages). Default
     strategy: [Load_sort]. *)
 
+val sort_keyed :
+  pool:Task_pool.t -> Heap_file.t -> key:(bytes -> 'k) ->
+  compare_key:('k -> 'k -> int) -> mem_pages:int -> Heap_file.t
+(** Domain-parallel variant: the input scan is chopped into slices of
+    [mem_pages * page_size / domains] bytes and each pool job sorts one
+    slice with a private buffer pool (and private stats, merged into the
+    input environment's record once the batch joins), then the k-way heap
+    merge combines the runs on the coordinator. The sort key is decoded
+    once per record per phase ([key]), and only keys are compared
+    ([compare_key]) — the decoration that, together with the domain
+    parallelism, makes this path faster than {!sort}. The returned file
+    lives in the input's environment, like {!sort}; the record multiset and
+    key order are identical to {!sort} with the corresponding record
+    comparator (the order of records with equal keys may differ). *)
+
 val initial_runs :
   run_strategy -> Heap_file.t -> compare:(bytes -> bytes -> int) ->
   mem_pages:int -> Heap_file.t list
 (** The run-formation phase alone (each returned file is sorted); exposed for
     tests and the sort ablation bench. Caller destroys the runs. *)
+
+val merge_runs :
+  Env.t -> Heap_file.t list -> compare:(bytes -> bytes -> int) -> Heap_file.t
+(** One k-way heap-merge pass over sorted runs, writing the merged file into
+    [env] and destroying the input runs; exposed for tests ({!sort} composes
+    it into as many passes as the fan-in requires). *)

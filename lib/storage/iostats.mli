@@ -46,6 +46,14 @@ val response_time : t -> io_latency:float -> float
 (** [cpu_seconds + total_ios * io_latency]. *)
 
 val add_into : t -> t -> unit
-(** [add_into acc t] accumulates [t]'s counters and timers into [acc]. *)
+(** [add_into acc t] accumulates [t]'s counters and timers into [acc].
+
+    A record is single-threaded: concurrent [record_*] calls on one [t]
+    race. The parallel operators therefore give every {!Task_pool} job a
+    private record and merge it into the shared one with this function
+    after the batch joins — counter totals stay exact, and since jobs never
+    run inside [timed], the shared record's phase timers remain the
+    coordinator's wall clock (worker page transfers land in the [Other]
+    phase bucket). *)
 
 val pp : Format.formatter -> t -> unit

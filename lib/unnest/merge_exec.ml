@@ -136,8 +136,8 @@ let is_constant_inner = function
   | Classify.Agg_link _ | Classify.Quant_link _ ->
       false
 
-let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
-    =
+let run ?(name = "answer") ?pool (shape : Classify.two_level) ~mem_pages :
+    Relation.t =
   let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
   let env = Relation.env outer in
   let stats = env.Storage.Env.stats in
@@ -327,10 +327,10 @@ let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
                     project_insert out select r
                       (Degree.conj (Ftuple.degree r) d_link) ))
   in
-  let sorted_r = Join_merge.sort_by outer' ~attr:sweep_y ~mem_pages in
-  let sorted_s = Join_merge.sort_by inner' ~attr:sweep_z ~mem_pages in
-  Join_merge.sweep_sorted ~outer:sorted_r ~inner:sorted_s ~outer_attr:sweep_y
-    ~inner_attr:sweep_z ~mem_pages ~f:handle_r;
+  let sorted_r = Join_merge.sort_by ?pool outer' ~attr:sweep_y ~mem_pages in
+  let sorted_s = Join_merge.sort_by ?pool inner' ~attr:sweep_z ~mem_pages in
+  Join_merge.sweep_sorted ?pool ~outer:sorted_r ~inner:sorted_s
+    ~outer_attr:sweep_y ~inner_attr:sweep_z ~mem_pages ~f:handle_r ();
   Relation.destroy sorted_r;
   Relation.destroy sorted_s;
   if outer_owned then Relation.destroy outer';
@@ -339,8 +339,8 @@ let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
   Semantics.apply_threshold deduped threshold
   end
 
-let run_chain ?(name = "answer") ?order (chain : Classify.chain) ~mem_pages :
-    Relation.t =
+let run_chain ?(name = "answer") ?order ?pool (chain : Classify.chain)
+    ~mem_pages : Relation.t =
   let { Classify.blocks; top_select; chain_threshold } = chain in
   let blocks_arr = Array.of_list blocks in
   let k = Array.length blocks_arr in
@@ -430,8 +430,8 @@ let run_chain ?(name = "answer") ?order (chain : Classify.chain) ~mem_pages :
         d1 onto_new
     in
     let joined =
-      Join_merge.join_eq ~outer:!acc ~inner:new_rel ~outer_attr ~inner_attr
-        ~mem_pages ~residual ()
+      Join_merge.join_eq ?pool ~outer:!acc ~inner:new_rel ~outer_attr
+        ~inner_attr ~mem_pages ~residual ()
     in
     if !acc_owned then Relation.destroy !acc;
     acc := joined;

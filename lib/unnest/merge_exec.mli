@@ -23,11 +23,15 @@ exception Not_unnestable of string
     planner falls back to the nested-loop method. *)
 
 val run :
-  ?name:string -> Classify.two_level -> mem_pages:int -> Relational.Relation.t
+  ?name:string -> ?pool:Storage.Task_pool.t -> Classify.two_level ->
+  mem_pages:int -> Relational.Relation.t
+(** With a multi-domain [?pool], the sorts and the sweep run domain-parallel
+    (see {!Relational.Join_merge}); answers and degrees are identical to the
+    sequential run. *)
 
 val run_chain :
-  ?name:string -> ?order:Chain_order.order -> Classify.chain ->
-  mem_pages:int -> Relational.Relation.t
+  ?name:string -> ?order:Chain_order.order -> ?pool:Storage.Task_pool.t ->
+  Classify.chain -> mem_pages:int -> Relational.Relation.t
 (** Default order: left-to-right (outermost block first). The order's steps
     must each be adjacent to the already-joined interval
-    ([Invalid_argument] otherwise). *)
+    ([Invalid_argument] otherwise). [?pool] as for {!run}. *)

@@ -61,59 +61,76 @@ let rank_and_limit answer ~order ~limit =
       Relation.of_list (Relation.env answer) (Relation.schema answer) truncated
 
 let run_unranked ?(name = "answer") ?(strategy = Auto)
-    ?(mem_pages = default_mem_pages) ?(chain_dp = true)
+    ?(mem_pages = default_mem_pages) ?(chain_dp = true) ?(domains = 1)
     (q : Fuzzysql.Bound.query) : Relation.t =
+  if domains < 1 then invalid_arg "Planner.run: domains < 1";
   let shape = Classify.classify q in
   let chain_order chain =
     if chain_dp then Some (Chain_order.plan chain) else None
   in
-  (* Multi-relation outer blocks become unnestable after the outer FROM
-     product is materialised (see {!Flatten}); [fallback] runs when the
-     rewrite does not apply or does not help. *)
-  let try_flattened ~fallback =
-    match Flatten.flatten_outer q with
-    | None -> fallback ()
-    | Some q' -> (
-        match Classify.classify q' with
-        | Classify.Two_level two -> (
-            try Merge_exec.run ~name two ~mem_pages
-            with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
-        | Classify.Chain_query chain -> (
-            try
-              Merge_exec.run_chain ~name ?order:(chain_order chain) chain
-                ~mem_pages
-            with Merge_exec.Not_unnestable _ -> fallback ())
-        | Classify.Flat | Classify.General -> fallback ())
+  let exec pool =
+    (* Multi-relation outer blocks become unnestable after the outer FROM
+       product is materialised (see {!Flatten}); [fallback] runs when the
+       rewrite does not apply or does not help. *)
+    let try_flattened ~fallback =
+      match Flatten.flatten_outer q with
+      | None -> fallback ()
+      | Some q' -> (
+          match Classify.classify q' with
+          | Classify.Two_level two -> (
+              try Merge_exec.run ~name ?pool two ~mem_pages
+              with Merge_exec.Not_unnestable _ ->
+                Nl_exec.run ~name two ~mem_pages)
+          | Classify.Chain_query chain -> (
+              try
+                Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool
+                  chain ~mem_pages
+              with Merge_exec.Not_unnestable _ -> fallback ())
+          | Classify.Flat | Classify.General -> fallback ())
+    in
+    match (strategy, shape) with
+    | Naive, _ -> Naive_eval.query ~name q
+    | Nested_loop, Classify.Two_level shape ->
+        Nl_exec.run ~name shape ~mem_pages
+    | Nested_loop, (Classify.Flat | Classify.General | Classify.Chain_query _)
+      ->
+        Naive_eval.query ~name q
+    | Unnest_merge, Classify.Two_level shape ->
+        Merge_exec.run ~name ?pool shape ~mem_pages
+    | Unnest_merge, Classify.Chain_query chain ->
+        Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool chain
+          ~mem_pages
+    | Unnest_merge, Classify.Flat -> Naive_eval.query ~name q
+    | Unnest_merge, Classify.General ->
+        try_flattened ~fallback:(fun () ->
+            raise
+              (Unsupported "query shape cannot be unnested; use Auto or Naive"))
+    | Auto, Classify.Two_level two -> (
+        try Merge_exec.run ~name ?pool two ~mem_pages
+        with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
+    | Auto, Classify.Chain_query chain -> (
+        try
+          Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool chain
+            ~mem_pages
+        with Merge_exec.Not_unnestable _ -> Naive_eval.query ~name q)
+    | Auto, Classify.Flat -> Naive_eval.query ~name q
+    | Auto, Classify.General ->
+        try_flattened ~fallback:(fun () -> Naive_eval.query ~name q)
   in
-  match (strategy, shape) with
-  | Naive, _ -> Naive_eval.query ~name q
-  | Nested_loop, Classify.Two_level shape -> Nl_exec.run ~name shape ~mem_pages
-  | Nested_loop, (Classify.Flat | Classify.General | Classify.Chain_query _) ->
-      Naive_eval.query ~name q
-  | Unnest_merge, Classify.Two_level shape ->
-      Merge_exec.run ~name shape ~mem_pages
-  | Unnest_merge, Classify.Chain_query chain ->
-      Merge_exec.run_chain ~name ?order:(chain_order chain) chain ~mem_pages
-  | Unnest_merge, Classify.Flat -> Naive_eval.query ~name q
-  | Unnest_merge, Classify.General ->
-      try_flattened ~fallback:(fun () ->
-          raise (Unsupported "query shape cannot be unnested; use Auto or Naive"))
-  | Auto, Classify.Two_level two -> (
-      try Merge_exec.run ~name two ~mem_pages
-      with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
-  | Auto, Classify.Chain_query chain -> (
-      try Merge_exec.run_chain ~name ?order:(chain_order chain) chain ~mem_pages
-      with Merge_exec.Not_unnestable _ -> Naive_eval.query ~name q)
-  | Auto, Classify.Flat -> Naive_eval.query ~name q
-  | Auto, Classify.General ->
-      try_flattened ~fallback:(fun () -> Naive_eval.query ~name q)
+  (* [domains = 1] never constructs a pool: it is exactly the sequential
+     engine. The pool lives for one query — spawn cost is amortised across
+     all the sorts and sweeps of the plan. *)
+  if domains = 1 then exec None
+  else
+    Storage.Task_pool.with_pool ~domains (fun pool -> exec (Some pool))
 
-let run ?name ?strategy ?mem_pages ?chain_dp (q : Fuzzysql.Bound.query) :
-    Relation.t =
-  let answer = run_unranked ?name ?strategy ?mem_pages ?chain_dp q in
+let run ?name ?strategy ?mem_pages ?chain_dp ?domains
+    (q : Fuzzysql.Bound.query) : Relation.t =
+  let answer = run_unranked ?name ?strategy ?mem_pages ?chain_dp ?domains q in
   rank_and_limit answer ~order:q.Fuzzysql.Bound.order_by_d
     ~limit:q.Fuzzysql.Bound.limit
 
-let run_string ?name ?strategy ?mem_pages ?chain_dp ~catalog ~terms sql =
-  run ?name ?strategy ?mem_pages ?chain_dp
+let run_string ?name ?strategy ?mem_pages ?chain_dp ?domains ~catalog ~terms
+    sql =
+  run ?name ?strategy ?mem_pages ?chain_dp ?domains
     (Fuzzysql.Analyzer.bind_string ~catalog ~terms sql)

@@ -22,13 +22,19 @@ val default_mem_pages : int
 
 val run :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  Fuzzysql.Bound.query -> Relational.Relation.t
+  ?domains:int -> Fuzzysql.Bound.query -> Relational.Relation.t
 (** [chain_dp] (default true) selects the chain join order with the
     dynamic-programming search of {!Chain_order}; false uses the syntactic
-    left-to-right order. *)
+    left-to-right order.
+
+    [domains] (default 1) sets the execution parallelism of the merge-join
+    engine: a {!Storage.Task_pool} of that many domains is created for the
+    query and the sorts and sweeps run domain-parallel. [domains = 1] never
+    constructs a pool and is exactly the sequential engine; any value
+    returns identical answer tuples and membership degrees. *)
 
 val run_string :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> string ->
-  Relational.Relation.t
+  ?domains:int -> catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t ->
+  string -> Relational.Relation.t
 (** Parse, bind, and run. *)

@@ -221,6 +221,111 @@ let sort_tests =
         List.iter Heap_file.destroy runs);
   ]
 
+(* The k-way merge heap: any collection of sorted runs (duplicates included)
+   must merge into one globally sorted file with the exact input multiset. *)
+let prop_merge_heap =
+  QCheck.Test.make ~count:100 ~name:"k-way merge heap: sorted, multiset kept"
+    QCheck.(pair (int_bound 10_000) (list_of_size Gen.(int_range 0 8) (int_bound 60)))
+    (fun (seed, run_sizes) ->
+      let env = Env.create ~page_size:64 ~pool_pages:8 () in
+      let rng = Random.State.make [| seed |] in
+      (* Values from a small domain so duplicates appear within and across
+         runs. *)
+      let runs_data =
+        List.map
+          (fun n ->
+            List.sort compare (List.init n (fun _ -> Random.State.int rng 50)))
+          run_sizes
+      in
+      let runs =
+        List.map
+          (fun data ->
+            let f = Heap_file.create env in
+            List.iter (fun i -> Heap_file.append f (sort_record i)) data;
+            f)
+          runs_data
+      in
+      let merged = External_sort.merge_runs env runs ~compare:Bytes.compare in
+      let out = ref [] in
+      Heap_file.iter merged (fun r -> out := Bytes.to_string r :: !out);
+      let out = List.rev !out in
+      Heap_file.destroy merged;
+      let expected =
+        List.sort compare
+          (List.map (fun i -> Printf.sprintf "%06d" i) (List.concat runs_data))
+      in
+      out = expected)
+
+(* The domain-parallel sort must return the record sequence of the sequential
+   sort: with the whole record as the key, the order is fully determined, so
+   the outputs are compared exactly. *)
+let prop_parallel_sort =
+  QCheck.Test.make ~count:60
+    ~name:"sort_keyed (domains 1/2/4) = sequential sort"
+    QCheck.(triple (int_bound 10_000) (int_bound 400) (int_bound 2))
+    (fun (seed, n, dsel) ->
+      let domains = [| 1; 2; 4 |].(dsel) in
+      let rng = Random.State.make [| seed |] in
+      let input = List.init n (fun _ -> Random.State.int rng 500) in
+      let fill env =
+        let f = Heap_file.create env in
+        List.iter (fun i -> Heap_file.append f (sort_record i)) input;
+        f
+      in
+      let contents f =
+        let out = ref [] in
+        Heap_file.iter f (fun r -> out := Bytes.to_string r :: !out);
+        List.rev !out
+      in
+      let seq_env = Env.create ~page_size:64 ~pool_pages:8 () in
+      let seq =
+        contents (External_sort.sort (fill seq_env) ~compare:Bytes.compare ~mem_pages:4)
+      in
+      let par_env = Env.create ~page_size:64 ~pool_pages:8 () in
+      let par =
+        Task_pool.with_pool ~domains (fun pool ->
+            contents
+              (External_sort.sort_keyed ~pool (fill par_env)
+                 ~key:Bytes.to_string ~compare_key:String.compare ~mem_pages:4))
+      in
+      seq = par)
+
+let task_pool_tests =
+  [
+    tc "run_list returns results in order" `Quick (fun () ->
+        Task_pool.with_pool ~domains:4 (fun pool ->
+            let jobs = List.init 20 (fun i () -> i * i) in
+            Alcotest.(check (list int)) "ordered"
+              (List.init 20 (fun i -> i * i))
+              (Task_pool.run_list pool jobs)));
+    tc "run_list with one domain runs on the caller" `Quick (fun () ->
+        Task_pool.with_pool ~domains:1 (fun pool ->
+            Alcotest.(check (list int)) "ordered" [ 1; 2; 3 ]
+              (Task_pool.run_list pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ])));
+    tc "exceptions propagate after the batch completes" `Quick (fun () ->
+        Task_pool.with_pool ~domains:2 (fun pool ->
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore
+                   (Task_pool.run_list pool
+                      [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]);
+                 false
+               with Failure msg -> msg = "boom")));
+    tc "pool survives across batches" `Quick (fun () ->
+        Task_pool.with_pool ~domains:3 (fun pool ->
+            for i = 1 to 5 do
+              let n = i * 4 in
+              Alcotest.(check int) "sum"
+                (n * (n - 1) / 2)
+                (List.fold_left ( + ) 0
+                   (Task_pool.run_list pool (List.init n (fun j () -> j))))
+            done));
+    tc "domains < 1 rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try ignore (Task_pool.create ~domains:0); false
+           with Invalid_argument _ -> true));
+  ]
+
 (* Model-based property test of the buffer pool: random reads/writes against
    a trivial in-memory reference model must agree on contents; the pool must
    never hold more frames than its capacity allows (observable through the
@@ -313,6 +418,9 @@ let suites =
     ("storage.disk", disk_tests);
     ("storage.pool", pool_tests @ [ QCheck_alcotest.to_alcotest prop_pool_model ]);
     ("storage.heap", heap_tests @ [ QCheck_alcotest.to_alcotest prop_cursor_seek ]);
-    ("storage.sort", sort_tests);
+    ( "storage.sort",
+      sort_tests
+      @ List.map QCheck_alcotest.to_alcotest [ prop_merge_heap; prop_parallel_sort ] );
+    ("storage.pool_tasks", task_pool_tests);
     ("storage.stats", stats_tests);
   ]
