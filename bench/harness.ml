@@ -81,9 +81,18 @@ type row = {
   row_ios : int;
   row_fuzzy_ops : int;
   row_answer_size : int;
+  mutable row_io_overhead : float;
+      (** #IOs of this cell / #IOs of the same workload at domains = 1
+          (1.0 when no baseline applies); the parallel engine's private
+          buffer pools re-read boundary pages, and this ratio makes that
+          cost explicit (see the [scaling] bench). *)
 }
 
 let results : row list ref = ref []
+
+(* Run-wide metrics registry: one observation per measured cell. The
+   summary is printed (and dumped as JSON) at the end of the bench run. *)
+let metrics = Storage.Metrics.create ()
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -109,11 +118,11 @@ let write_results path =
         "  {\"bench\": \"%s\", \"cell\": \"%s\", \"method\": \"%s\", \
          \"domains\": %d, \"scale\": %d, \"wall_s\": %.6f, \"response_s\": \
          %.6f, \"cpu_s\": %.6f, \"ios\": %d, \"fuzzy_ops\": %d, \
-         \"answer_size\": %d}%s\n"
+         \"answer_size\": %d, \"io_overhead\": %.4f}%s\n"
         (json_escape r.row_bench) (json_escape r.row_cell)
         (json_escape r.row_method) r.row_domains r.row_scale r.row_wall_s
         r.row_response_s r.row_cpu_s r.row_ios r.row_fuzzy_ops
-        r.row_answer_size
+        r.row_answer_size r.row_io_overhead
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";
@@ -129,7 +138,7 @@ let method_name = function
   | Nested_loop -> "Nested Loop"
   | Merge_join -> "Merge-join"
 
-let run_cell ?(bench = "adhoc") ?(cell = "") cfg ~outer ~inner method_ =
+let run_cell ?(bench = "adhoc") ?(cell = "") ?trace cfg ~outer ~inner method_ =
   let env = Storage.Env.create ~pool_pages:(mem_pages cfg) () in
   let r, s = Workload.Gen.join_pair env ~seed:cfg.seed ~outer ~inner in
   let catalog = Catalog.create env in
@@ -148,12 +157,14 @@ let run_cell ?(bench = "adhoc") ?(cell = "") cfg ~outer ~inner method_ =
   let answer =
     Storage.Iostats.timed stats Storage.Iostats.Other (fun () ->
         match method_ with
-        | Nested_loop -> Unnest.Nl_exec.run shape ~mem_pages:(mem_pages cfg)
+        | Nested_loop ->
+            Unnest.Nl_exec.run ?trace shape ~mem_pages:(mem_pages cfg)
         | Merge_join ->
             if cfg.domains > 1 then
               Storage.Task_pool.with_pool ~domains:cfg.domains (fun pool ->
-                  Unnest.Merge_exec.run ~pool shape ~mem_pages:(mem_pages cfg))
-            else Unnest.Merge_exec.run shape ~mem_pages:(mem_pages cfg))
+                  Unnest.Merge_exec.run ~pool ?trace shape
+                    ~mem_pages:(mem_pages cfg))
+            else Unnest.Merge_exec.run ?trace shape ~mem_pages:(mem_pages cfg))
   in
   let wall = Unix.gettimeofday () -. wall_start in
   let cpu = Storage.Iostats.cpu_seconds stats in
@@ -190,9 +201,37 @@ let run_cell ?(bench = "adhoc") ?(cell = "") cfg ~outer ~inner method_ =
       row_ios = m.ios;
       row_fuzzy_ops = m.fuzzy_ops;
       row_answer_size = m.answer_size;
+      row_io_overhead = 1.0;
     }
     :: !results;
+  Storage.Metrics.incr (Storage.Metrics.counter metrics "cells");
+  Storage.Metrics.incr
+    (Storage.Metrics.counter metrics
+       (match method_ with
+       | Nested_loop -> "cells_nested_loop"
+       | Merge_join -> "cells_merge_join"));
+  Storage.Metrics.incr ~by:m.ios (Storage.Metrics.counter metrics "ios");
+  Storage.Metrics.incr ~by:m.fuzzy_ops
+    (Storage.Metrics.counter metrics "fuzzy_ops");
+  Storage.Metrics.observe (Storage.Metrics.histogram metrics "wall_s") m.wall;
+  Storage.Metrics.observe
+    (Storage.Metrics.histogram metrics "response_s")
+    m.response;
+  Storage.Metrics.observe
+    (Storage.Metrics.histogram metrics "answer_size")
+    (float_of_int m.answer_size);
   m
+
+(* Stamp the parallel-I/O-overhead ratio onto the recorded rows of one
+   bench at a given domain count (the [scaling] bench computes the ratio
+   once its domains = 1 baseline is known; reps of a cell share it, page
+   counts being deterministic). *)
+let record_io_overhead ~bench ~domains ratio =
+  List.iter
+    (fun r ->
+      if r.row_bench = bench && r.row_domains = domains then
+        r.row_io_overhead <- ratio)
+    !results
 
 let str_seconds s =
   if s >= 100.0 then Printf.sprintf "%.0f" s

@@ -8,6 +8,8 @@
     \terms       list linguistic terms \shape SQL;  classify without running
     \strategy X  naive|nl|merge|auto   \timing      toggle timing
     \domains N   execution parallelism \help        this help
+    \analyze SQL; run + per-operator   \trace PATH|off  Chrome trace of
+                  actual stats             each query to PATH
     \q           quit
     v}
     Start with [fsql --domains N] to set the initial parallelism. *)
@@ -21,6 +23,7 @@ type state = {
   mutable strategy : Unnest.Planner.strategy;
   mutable timing : bool;
   mutable domains : int;
+  mutable trace_file : string option;
 }
 
 let term name = Value.Fuzzy (Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper name))
@@ -70,6 +73,10 @@ let help () =
     \  \\explain SQL; show the evaluation plan and estimates\n\
     \  \\strategy X   naive | nl | merge | auto\n\
     \  \\domains N    merge-join execution parallelism (1 = sequential)\n\
+    \  \\analyze SQL; run a query and print per-operator actual\n\
+    \                time / I/O / rows vs estimates\n\
+    \  \\trace PATH   write a Chrome trace of each query to PATH\n\
+    \                (load in chrome://tracing or Perfetto); \\trace off\n\
     \  \\save DIR     save all relations to DIR/<name>.frel\n\
     \  \\load PATH    load a saved relation\n\
     \  \\timing       toggle per-query timing\n\
@@ -85,11 +92,18 @@ let help () =
 let run_sql st sql =
   try
     let q = Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql in
+    let trace = Option.map (fun _ -> Storage.Trace.create ()) st.trace_file in
     let t0 = Unix.gettimeofday () in
     let answer =
-      Unnest.Planner.run ~strategy:st.strategy ~domains:st.domains q
+      Unnest.Planner.run ~strategy:st.strategy ~domains:st.domains ?trace q
     in
     let dt = Unix.gettimeofday () -. t0 in
+    (match (st.trace_file, trace) with
+    | Some path, Some tr ->
+        Storage.Trace.write_chrome tr ~path;
+        Format.printf "trace written to %s (%d spans)@." path
+          (Storage.Trace.span_count tr)
+    | _ -> ());
     let limit = 40 in
     Format.printf "%a@." Schema.pp (Relation.schema answer);
     let shown = ref 0 in
@@ -165,6 +179,41 @@ let meta st line =
   | [ "\\timing" ] ->
       st.timing <- not st.timing;
       Format.printf "timing %s@." (if st.timing then "on" else "off")
+  | [ "\\trace" ] ->
+      Format.printf "trace: %s@."
+        (match st.trace_file with Some p -> p | None -> "off")
+  | [ "\\trace"; "off" ] ->
+      st.trace_file <- None;
+      Format.printf "trace off@."
+  | [ "\\trace"; path ] ->
+      st.trace_file <- Some path;
+      Format.printf "tracing each query to %s (Chrome trace_event format)@."
+        path
+  | "\\analyze" :: rest ->
+      let sql = String.concat " " rest in
+      let sql =
+        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+          String.sub sql 0 (String.length sql - 1)
+        else sql
+      in
+      (try
+         let q =
+           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms
+             sql
+         in
+         let a =
+           Unnest.Explain.analyze ~strategy:st.strategy ~domains:st.domains q
+         in
+         print_string a.Unnest.Explain.text;
+         match st.trace_file with
+         | Some path ->
+             Storage.Trace.write_chrome a.Unnest.Explain.trace ~path;
+             Format.printf "trace written to %s@." path
+         | None -> ()
+       with
+      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
+      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg
+      | Unnest.Planner.Unsupported msg -> Format.printf "unsupported: %s@." msg)
   | "\\explain" :: rest ->
       let sql = String.concat " " rest in
       let sql =
@@ -225,6 +274,7 @@ let () =
       strategy = Unnest.Planner.Auto;
       timing = true;
       domains = !domains;
+      trace_file = None;
     }
   in
   load_demo env st.catalog;

@@ -3,25 +3,33 @@ open Fuzzy
 
 let interval_key ~attr r = Value.support (Ftuple.value (Codec.decode r) attr)
 
-let sort_by ?pool rel ~attr ~mem_pages =
+let sort_by ?pool ?trace rel ~attr ~mem_pages =
   let env = Relation.env rel in
   Buffer_pool.flush env.Env.pool;
-  let sorted =
-    match pool with
-    | Some p when Task_pool.domains p > 1 ->
-        External_sort.sort_keyed ~pool:p (Relation.file rel)
-          ~key:(interval_key ~attr) ~compare_key:Interval.compare_lex
-          ~mem_pages
-    | _ ->
-        let compare_records r1 r2 =
-          let v1 = Ftuple.value (Codec.decode r1) attr
-          and v2 = Ftuple.value (Codec.decode r2) attr in
-          Interval.compare_lex (Value.support v1) (Value.support v2)
-        in
-        External_sort.sort (Relation.file rel) ~compare:compare_records
-          ~mem_pages
-  in
-  Relation.of_file ?pad_to:(Relation.pad_to rel) env (Relation.schema rel) sorted
+  let name = "sort " ^ Schema.name (Relation.schema rel) in
+  Trace.with_span trace ~stats:env.Env.stats ~pool:env.Env.pool name
+    (fun () ->
+      let sorted =
+        match pool with
+        | Some p when Task_pool.domains p > 1 ->
+            External_sort.sort_keyed ~pool:p ?trace (Relation.file rel)
+              ~key:(interval_key ~attr) ~compare_key:Interval.compare_lex
+              ~mem_pages
+        | _ ->
+            let compare_records r1 r2 =
+              let v1 = Ftuple.value (Codec.decode r1) attr
+              and v2 = Ftuple.value (Codec.decode r2) attr in
+              Interval.compare_lex (Value.support v1) (Value.support v2)
+            in
+            External_sort.sort ?trace (Relation.file rel)
+              ~compare:compare_records ~mem_pages
+      in
+      let out =
+        Relation.of_file ?pad_to:(Relation.pad_to rel) env
+          (Relation.schema rel) sorted
+      in
+      Trace.set_rows trace (Relation.cardinality out);
+      out)
 
 (* The window sweep of Section 3, abstracted over the tuple sources so the
    sequential (cursor-backed) and parallel (array-backed, one per partition)
@@ -127,7 +135,8 @@ let scan_decoded rel ~pool ~attr =
   go ();
   Array.of_list (List.rev !acc)
 
-let sweep_sorted ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~f () =
+let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+    ~f () =
   let env = Relation.env outer in
   let stats = env.Env.stats in
   Buffer_pool.flush env.Env.pool;
@@ -153,85 +162,113 @@ let sweep_sorted ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages ~f () =
              sort order — partition results concatenate in slice order —
              so answer tuples and degrees are identical to the sequential
              sweep. *)
-          let outs = scan_decoded outer ~pool:outer_pool ~attr:outer_attr in
-          let ins = scan_decoded inner ~pool:inner_pool ~attr:inner_attr in
+          let outs =
+            Trace.with_span trace ~stats ~pool:outer_pool "scan outer"
+              (fun () ->
+                let outs =
+                  scan_decoded outer ~pool:outer_pool ~attr:outer_attr
+                in
+                Trace.set_rows trace (Array.length outs);
+                outs)
+          in
+          let ins =
+            Trace.with_span trace ~stats ~pool:inner_pool "scan inner"
+              (fun () ->
+                let ins = scan_decoded inner ~pool:inner_pool ~attr:inner_attr in
+                Trace.set_rows trace (Array.length ins);
+                ins)
+          in
           let parts = partition_sweep ~domains:(Task_pool.domains p) outs ins in
           let jobs =
             List.map
-              (fun (o_slice, i_slice) () ->
+              (fun (o_slice, i_slice) jtrace ->
                 let pstats = Iostats.create () in
-                let results = ref [] in
-                let oi = ref 0 and ii = ref 0 in
-                sweep_core ~stats:pstats
-                  ~next_outer:(fun () ->
-                    if !oi < Array.length o_slice then begin
-                      let t = fst o_slice.(!oi) in
-                      incr oi;
-                      Some t
-                    end
-                    else None)
-                  ~peek_inner:(fun () ->
-                    if !ii < Array.length i_slice then Some (fst i_slice.(!ii))
-                    else None)
-                  ~advance_inner:(fun () -> incr ii)
-                  ~outer_attr ~inner_attr
-                  ~f:(fun r rng -> results := (r, rng) :: !results);
-                (List.rev !results, pstats))
+                (* Sweep work must count as [Merge] in the merged totals,
+                   matching the sequential sweep's phase attribution. *)
+                Iostats.set_phase pstats (Some Iostats.Merge);
+                Trace.with_span jtrace ~stats:pstats "sweep" (fun () ->
+                    let results = ref [] in
+                    let oi = ref 0 and ii = ref 0 in
+                    sweep_core ~stats:pstats
+                      ~next_outer:(fun () ->
+                        if !oi < Array.length o_slice then begin
+                          let t = fst o_slice.(!oi) in
+                          incr oi;
+                          Some t
+                        end
+                        else None)
+                      ~peek_inner:(fun () ->
+                        if !ii < Array.length i_slice then
+                          Some (fst i_slice.(!ii))
+                        else None)
+                      ~advance_inner:(fun () -> incr ii)
+                      ~outer_attr ~inner_attr
+                      ~f:(fun r rng -> results := (r, rng) :: !results);
+                    Trace.set_rows jtrace (Array.length o_slice);
+                    (List.rev !results, pstats)))
               (Array.to_list parts)
           in
-          List.iter
-            (fun (results, pstats) ->
-              Iostats.add_into stats pstats;
-              List.iter (fun (r, rng) -> f r rng) results)
-            (Task_pool.run_list p jobs)
+          let batches = Task_pool.run_list_traced ?trace ~label:"sweep" p jobs in
+          Trace.with_span trace ~stats "emit" (fun () ->
+              List.iter
+                (fun (results, pstats) ->
+                  Iostats.add_into stats pstats;
+                  List.iter (fun (r, rng) -> f r rng) results)
+                batches)
       | _ ->
-          let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
-          let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
-          sweep_core ~stats
-            ~next_outer:(fun () -> Relation.Cursor.next rc)
-            ~peek_inner:(fun () -> Relation.Cursor.peek sc)
-            ~advance_inner:(fun () -> ignore (Relation.Cursor.next sc))
-            ~outer_attr ~inner_attr ~f)
+          Trace.with_span trace ~stats ~pool:outer_pool "sweep" (fun () ->
+              let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
+              let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
+              sweep_core ~stats
+                ~next_outer:(fun () -> Relation.Cursor.next rc)
+                ~peek_inner:(fun () -> Relation.Cursor.peek sc)
+                ~advance_inner:(fun () -> ignore (Relation.Cursor.next sc))
+                ~outer_attr ~inner_attr ~f))
 
-let join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ?residual ~rng_degree () =
+let join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
+    ~mem_pages ?residual ~rng_degree () =
   let env = Relation.env outer in
   let out_schema =
     Schema.concat
       ~name:(Option.value name ~default:"join")
       (Relation.schema outer) (Relation.schema inner)
   in
-  let out = Relation.create env out_schema in
-  let sorted_r = sort_by ?pool outer ~attr:outer_attr ~mem_pages in
-  let sorted_s = sort_by ?pool inner ~attr:inner_attr ~mem_pages in
-  sweep_sorted ?pool ~outer:sorted_r ~inner:sorted_s ~outer_attr ~inner_attr
-    ~mem_pages ()
-    ~f:(fun r rng ->
-      List.iter
-        (fun (s, d_eq) ->
-          let d_eq = rng_degree r s d_eq in
-          if Degree.positive d_eq then begin
-            let d_res =
-              match residual with None -> Degree.one | Some f -> f r s
-            in
-            let d =
-              Degree.conj_list
-                [ Ftuple.degree r; Ftuple.degree s; d_eq; d_res ]
-            in
-            if Degree.positive d then Relation.insert out (Ftuple.concat r s d)
-          end)
-        rng);
-  Relation.destroy sorted_r;
-  Relation.destroy sorted_s;
-  out
+  Trace.with_span trace ~stats:env.Env.stats
+    ("join " ^ Schema.name out_schema)
+    (fun () ->
+      let out = Relation.create env out_schema in
+      let sorted_r = sort_by ?pool ?trace outer ~attr:outer_attr ~mem_pages in
+      let sorted_s = sort_by ?pool ?trace inner ~attr:inner_attr ~mem_pages in
+      sweep_sorted ?pool ?trace ~outer:sorted_r ~inner:sorted_s ~outer_attr
+        ~inner_attr ~mem_pages ()
+        ~f:(fun r rng ->
+          List.iter
+            (fun (s, d_eq) ->
+              let d_eq = rng_degree r s d_eq in
+              if Degree.positive d_eq then begin
+                let d_res =
+                  match residual with None -> Degree.one | Some f -> f r s
+                in
+                let d =
+                  Degree.conj_list
+                    [ Ftuple.degree r; Ftuple.degree s; d_eq; d_res ]
+                in
+                if Degree.positive d then
+                  Relation.insert out (Ftuple.concat r s d)
+              end)
+            rng);
+      Relation.destroy sorted_r;
+      Relation.destroy sorted_s;
+      Trace.set_rows trace (Relation.cardinality out);
+      out)
 
-let join_eq ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
+let join_eq ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
     ?residual () =
-  join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ?residual ~rng_degree:(fun _ _ d -> d) ()
+  join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
+    ~mem_pages ?residual ~rng_degree:(fun _ _ d -> d) ()
 
-let with_indicator ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ?residual () =
+let with_indicator ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
+    ~mem_pages ?residual () =
   let indicator r s d_exact =
     (* Fuzzy-equality indicator (Zhang & Wang [42]): overlapping cores mean
        degree 1, disjoint supports mean degree 0; only the remaining pairs
@@ -251,5 +288,5 @@ let with_indicator ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
         else d_exact
     | _ -> d_exact
   in
-  join_with_rng ?name ?pool ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ?residual ~rng_degree:indicator ()
+  join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
+    ~mem_pages ?residual ~rng_degree:indicator ()

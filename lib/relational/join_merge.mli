@@ -20,11 +20,12 @@
     degrees are identical either way. *)
 
 val sort_by :
-  ?pool:Storage.Task_pool.t -> Relation.t -> attr:int -> mem_pages:int ->
-  Relation.t
+  ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  Relation.t -> attr:int -> mem_pages:int -> Relation.t
 (** Sort a relation by the Definition 3.1 order of the given attribute using
     the external sorter (accounted to the [Sort] phase). The result is a
-    temporary relation owned by the caller. *)
+    temporary relation owned by the caller. With [?trace], a
+    ["sort <relation>"] span wraps the sorter's own spans. *)
 
 val partition_sweep :
   domains:int ->
@@ -41,7 +42,7 @@ val partition_sweep :
     a partition boundary. Pure; exposed for the replication unit test. *)
 
 val sweep_sorted :
-  ?pool:Storage.Task_pool.t ->
+  ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int -> inner_attr:int ->
   mem_pages:int ->
   f:(Ftuple.t -> (Ftuple.t * Fuzzy.Degree.t) list -> unit) -> unit -> unit
@@ -51,12 +52,15 @@ val sweep_sorted :
     (0 for dangling tuples). Every examined pair counts one fuzzy op;
     accounted to the [Merge] phase. The two scoped cursor pools are sized
     from [mem_pages] ([mem_pages / 2] pages each). With a multi-domain
-    [?pool], partitions sweep in parallel on private stats (merged after the
-    batch joins) and [f] still runs on the caller's domain in global outer
-    sort order. *)
+    [?pool], partitions sweep in parallel on private stats (phase-tagged
+    [Merge], merged after the batch joins) and [f] still runs on the
+    caller's domain in global outer sort order. With [?trace], the
+    sequential path records one [sweep] span; the parallel path records
+    [scan outer]/[scan inner] spans, one [sweep-k]/[sweep] span per
+    partition on its own lane, and an [emit] span for the callback pass. *)
 
 val join_eq :
-  ?name:string -> ?pool:Storage.Task_pool.t ->
+  ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
@@ -65,7 +69,7 @@ val join_eq :
     Temporary sorted files are destroyed before returning. *)
 
 val with_indicator :
-  ?name:string -> ?pool:Storage.Task_pool.t ->
+  ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t

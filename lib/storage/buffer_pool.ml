@@ -97,3 +97,4 @@ let drop t =
 
 let hits t = t.hits
 let misses t = t.misses
+let counters t = (t.hits, t.misses)

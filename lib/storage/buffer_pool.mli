@@ -34,3 +34,9 @@ val drop : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+(** Cumulative lookup counters since creation. {!Trace.with_span} snapshots
+    these around an operator span (pass the scoped cursor pool as [?pool])
+    to report per-operator cache hit rates in EXPLAIN ANALYZE and traces. *)
+
+val counters : t -> int * int
+(** [(hits, misses)], one call. *)

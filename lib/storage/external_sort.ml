@@ -205,7 +205,7 @@ let merge_runs env runs ~compare =
    runs inside [Iostats.timed], keeping the response-time model
    wall-clock-shaped). *)
 
-let sort_keyed ~pool input ~key ~compare_key ~mem_pages =
+let sort_keyed ~pool ?trace input ~key ~compare_key ~mem_pages =
   if mem_pages < 3 then invalid_arg "External_sort.sort_keyed: mem_pages < 3";
   let env = Heap_file.env input in
   let stats = env.Env.stats in
@@ -232,26 +232,43 @@ let sort_keyed ~pool input ~key ~compare_key ~mem_pages =
       cut ();
       let jobs =
         List.rev_map
-          (fun batch () ->
+          (fun batch jtrace ->
             let penv =
               Env.create ~page_size
                 ~pool_pages:(Int.max 1 (mem_pages / p))
                 ()
             in
             let pstats = penv.Env.stats in
-            let keyed = Array.map (fun r -> (key r, r)) batch in
-            Array.sort
-              (fun (k1, _) (k2, _) ->
-                Iostats.record_comparison pstats;
-                compare_key k1 k2)
-              keyed;
-            let run = Heap_file.create penv in
-            Array.iter (fun (_, r) -> Heap_file.append run r) keyed;
-            Buffer_pool.flush penv.Env.pool;
-            (run, penv))
+            (* Phase-tag the private record: the run-writing I/O below must
+               count as [Sort] in the merged totals, not [Other]. *)
+            Iostats.set_phase pstats (Some Iostats.Sort);
+            Trace.with_span jtrace ~stats:pstats "run-formation" (fun () ->
+                let keyed = Array.map (fun r -> (key r, r)) batch in
+                Array.sort
+                  (fun (k1, _) (k2, _) ->
+                    Iostats.record_comparison pstats;
+                    compare_key k1 k2)
+                  keyed;
+                let run = Heap_file.create penv in
+                Array.iter (fun (_, r) -> Heap_file.append run r) keyed;
+                Buffer_pool.flush penv.Env.pool;
+                Trace.set_rows jtrace (Array.length batch);
+                (run, penv)))
           !batches
       in
-      let runs_envs = Task_pool.run_list pool jobs in
+      let runs_envs = Task_pool.run_list_traced ?trace ~label:"sort" pool jobs in
+      (* Fold the run-formation I/O into the shared record now and reset the
+         private records (re-tagging their phase): what accumulates on them
+         afterwards is exactly the merge phase's run reads, so the final
+         merge below — and the k-way-merge trace span around it — charges
+         the merge's cross-environment I/O accurately. Totals are identical
+         to a single end-of-sort merge. *)
+      List.iter
+        (fun (_, pe) ->
+          Iostats.add_into stats pe.Env.stats;
+          Iostats.reset pe.Env.stats;
+          Iostats.set_phase pe.Env.stats (Some Iostats.Sort))
+        runs_envs;
       let private_envs = ref (List.map snd runs_envs) in
       (* Decorated k-way merge: the head key is decoded once per record
          pulled, and heap comparisons compare keys only. *)
@@ -289,6 +306,9 @@ let sort_keyed ~pool input ~key ~compare_key ~mem_pages =
           let scratch =
             Env.create ~page_size ~pool_pages:(Int.max 1 (mem_pages / 2)) ()
           in
+          (* Intermediate merge passes write through the scratch record:
+             that I/O is sort work too. *)
+          Iostats.set_phase scratch.Env.stats (Some Iostats.Sort);
           private_envs := scratch :: !private_envs;
           let rec take k acc = function
             | rest when k = 0 -> (List.rev acc, rest)
@@ -304,14 +324,18 @@ let sort_keyed ~pool input ~key ~compare_key ~mem_pages =
           merge_all (pass [] runs)
         end
       in
-      let out = merge_all (List.map fst runs_envs) in
-      List.iter (fun pe -> Iostats.add_into stats pe.Env.stats) !private_envs;
-      out)
+      Trace.with_span trace ~stats "k-way-merge" (fun () ->
+          let out = merge_all (List.map fst runs_envs) in
+          List.iter
+            (fun pe -> Iostats.add_into stats pe.Env.stats)
+            !private_envs;
+          out))
 
-let sort ?(run_strategy = Load_sort) input ~compare ~mem_pages =
+let sort ?(run_strategy = Load_sort) ?trace input ~compare ~mem_pages =
   if mem_pages < 3 then invalid_arg "External_sort.sort: mem_pages < 3";
   let env = Heap_file.env input in
-  Iostats.timed env.Env.stats Iostats.Sort (fun () ->
+  let stats = env.Env.stats in
+  Iostats.timed stats Iostats.Sort (fun () ->
       let fan_in = mem_pages - 1 in
       let rec merge_all = function
         | [] -> Heap_file.create env
@@ -330,4 +354,9 @@ let sort ?(run_strategy = Load_sort) input ~compare ~mem_pages =
             in
             merge_all (pass [] runs)
       in
-      merge_all (initial_runs run_strategy input ~compare ~mem_pages))
+      let runs =
+        Trace.with_span trace ~stats ~pool:env.Env.pool "run-formation"
+          (fun () -> initial_runs run_strategy input ~compare ~mem_pages)
+      in
+      Trace.with_span trace ~stats ~pool:env.Env.pool "k-way-merge" (fun () ->
+          merge_all runs))

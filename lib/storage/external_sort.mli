@@ -16,15 +16,16 @@ type run_strategy =
           fewer runs and fewer merge passes when memory is scarce *)
 
 val sort :
-  ?run_strategy:run_strategy -> Heap_file.t ->
+  ?run_strategy:run_strategy -> ?trace:Trace.t -> Heap_file.t ->
   compare:(bytes -> bytes -> int) -> mem_pages:int -> Heap_file.t
 (** Returns a new heap file with the records in non-decreasing order;
     intermediate runs are destroyed. The input file is left intact.
     [mem_pages] must be >= 3 (one output page + two run pages). Default
-    strategy: [Load_sort]. *)
+    strategy: [Load_sort]. With [?trace], a [run-formation] and a
+    [k-way-merge] span are recorded with their I/O and comparison deltas. *)
 
 val sort_keyed :
-  pool:Task_pool.t -> Heap_file.t -> key:(bytes -> 'k) ->
+  pool:Task_pool.t -> ?trace:Trace.t -> Heap_file.t -> key:(bytes -> 'k) ->
   compare_key:('k -> 'k -> int) -> mem_pages:int -> Heap_file.t
 (** Domain-parallel variant: the input scan is chopped into slices of
     [mem_pages * page_size / domains] bytes and each pool job sorts one
@@ -36,7 +37,10 @@ val sort_keyed :
     parallelism, makes this path faster than {!sort}. The returned file
     lives in the input's environment, like {!sort}; the record multiset and
     key order are identical to {!sort} with the corresponding record
-    comparator (the order of records with equal keys may differ). *)
+    comparator (the order of records with equal keys may differ). With
+    [?trace], each pool job records a [sort-i]/[run-formation] span on its
+    own lane (carrying the job's private I/O deltas, phase-tagged [Sort])
+    and the coordinator records the [k-way-merge] span. *)
 
 val initial_runs :
   run_strategy -> Heap_file.t -> compare:(bytes -> bytes -> int) ->

@@ -48,6 +48,8 @@ let reset t =
   t.other_io <- 0;
   t.active <- None
 
+let set_phase t phase = t.active <- phase
+
 let charge_phase_io t =
   match t.active with
   | Some Sort -> t.sort_io <- t.sort_io + 1

@@ -1,0 +1,156 @@
+type counter = { c_name : string; mutable count : int }
+
+(* Log-scale buckets: bucket [i] counts observations in
+   [min_bound * 2^i, min_bound * 2^(i+1)); below-range observations land in
+   bucket 0, above-range in the last. 64 buckets from 1e-6 cover [1 us,
+   ~1.8e13 s] — every duration, count or byte size the engine produces. *)
+let n_buckets = 64
+let min_bound = 1e-6
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type t = {
+  mutable counters : counter list;  (** reverse registration order *)
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; histograms = [] }
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+let counter_name c = c.c_name
+
+let histogram t name =
+  match List.find_opt (fun h -> h.h_name = name) t.histograms with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          n = 0;
+          sum = 0.0;
+          min_v = Float.infinity;
+          max_v = Float.neg_infinity;
+          buckets = Array.make n_buckets 0;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+let bucket_of v =
+  if v <= min_bound then 0
+  else
+    let i = int_of_float (Float.log2 (v /. min_bound)) in
+    Int.min (n_buckets - 1) (Int.max 0 i)
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+let hist_min h = if h.n = 0 then 0.0 else h.min_v
+let hist_max h = if h.n = 0 then 0.0 else h.max_v
+let hist_name h = h.h_name
+
+(* Upper bound of the first bucket whose cumulative count reaches the
+   quantile — exact to within a factor of 2 (the bucket width). *)
+let hist_quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let target =
+      Int.max 1 (int_of_float (Float.round (q *. float_of_int h.n)))
+    in
+    let acc = ref 0 and result = ref h.max_v and found = ref false in
+    Array.iteri
+      (fun i c ->
+        if not !found then begin
+          acc := !acc + c;
+          if !acc >= target then begin
+            found := true;
+            result := min_bound *. Float.pow 2.0 (float_of_int (i + 1))
+          end
+        end)
+      h.buckets;
+    Float.min !result h.max_v
+  end
+
+let reset t =
+  List.iter (fun c -> c.count <- 0) t.counters;
+  List.iter
+    (fun h ->
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.min_v <- Float.infinity;
+      h.max_v <- Float.neg_infinity;
+      Array.fill h.buckets 0 n_buckets 0)
+    t.histograms
+
+let pp ppf t =
+  let counters = List.rev t.counters and histograms = List.rev t.histograms in
+  List.iter
+    (fun c -> Format.fprintf ppf "%-32s %d@." c.c_name c.count)
+    counters;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf
+        "%-32s n=%d mean=%.6g min=%.6g p50<=%.3g p95<=%.3g max=%.6g@."
+        h.h_name h.n (hist_mean h) (hist_min h) (hist_quantile h 0.5)
+        (hist_quantile h 0.95) (hist_max h))
+    histograms
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"counters\": {";
+  List.iteri
+    (fun i c ->
+      if i > 0 then add ", ";
+      add "\"%s\": %d" (json_escape c.c_name) c.count)
+    (List.rev t.counters);
+  add "}, \"histograms\": {";
+  List.iteri
+    (fun i h ->
+      if i > 0 then add ", ";
+      add
+        "\"%s\": {\"count\": %d, \"sum\": %.6g, \"mean\": %.6g, \"min\": \
+         %.6g, \"max\": %.6g, \"p50\": %.6g, \"p95\": %.6g}"
+        (json_escape h.h_name) h.n h.sum (hist_mean h) (hist_min h)
+        (hist_max h) (hist_quantile h 0.5) (hist_quantile h 0.95))
+    (List.rev t.histograms);
+  add "}}";
+  Buffer.contents buf

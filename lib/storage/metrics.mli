@@ -1,0 +1,47 @@
+(** A metrics registry: named counters and log-scale histograms that
+    aggregate across queries — the bench harness records one observation per
+    measured cell, fsql one per statement — with a human-readable summary
+    ({!pp}) and a JSON dump ({!to_json}).
+
+    Registration is idempotent: {!counter}/{!histogram} return the existing
+    instrument when the name is already registered, so call sites don't need
+    to coordinate. Instruments are cheap mutable records; a registry is
+    single-threaded like the rest of the stats layer (parallel jobs record
+    into {!Iostats}/{!Trace} and the coordinator observes the merged
+    totals). *)
+
+type t
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-register a counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val histogram : t -> string -> histogram
+(** Find-or-register a histogram. Observations are bucketed on a log2 scale
+    from 1e-6 (64 buckets), so one histogram type serves durations in
+    seconds, I/O counts, and cardinalities alike. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+val hist_name : histogram -> string
+
+val hist_quantile : histogram -> float -> float
+(** Upper bound of the quantile's bucket — exact to within the 2x bucket
+    width, clamped to the observed max. *)
+
+val reset : t -> unit
+(** Zero every registered instrument (instruments stay registered). *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

@@ -113,6 +113,31 @@ let run_list pool jobs =
          results)
   end
 
+(* Traced batches: each job gets a forked collector (lane = job index + 1;
+   lane 0 is the coordinator) wrapped in one span, and the forks are grafted
+   back under the caller's open span after the batch joins. With [?trace]
+   absent this is [run_list] with every job applied to [None] — no
+   allocation beyond the closure list. *)
+let run_list_traced ?trace ?(label = "task") pool jobs =
+  match trace with
+  | None -> run_list pool (List.map (fun job () -> job None) jobs)
+  | Some tr ->
+      let forks =
+        Array.init (List.length jobs) (fun i -> Trace.fork tr ~lane:(i + 1))
+      in
+      let wrapped =
+        List.mapi
+          (fun i job () ->
+            let ft = Some forks.(i) in
+            Trace.with_span ft
+              (Printf.sprintf "%s-%d" label i)
+              (fun () -> job ft))
+          jobs
+      in
+      let results = run_list pool wrapped in
+      Array.iter (fun ft -> Trace.graft tr ft) forks;
+      results
+
 let map_array pool ~f arr =
   Array.of_list (run_list pool (List.map (fun x () -> f x) (Array.to_list arr)))
 

@@ -36,6 +36,17 @@ val run_list : t -> (unit -> 'a) list -> 'a list
     order. If any job raised, the first exception (in job order) is
     re-raised after all jobs have completed. *)
 
+val run_list_traced :
+  ?trace:Trace.t -> ?label:string -> t ->
+  (Trace.t option -> 'a) list -> 'a list
+(** {!run_list} with per-job tracing: job [i] receives a {!Trace.fork}ed
+    collector (lane [i + 1]; the coordinator's spans stay on lane 0) whose
+    open root span is [label-i], so every pool job shows as one span tagged
+    with its lane in the trace; nested spans the job opens (with its private
+    stats record) attach underneath. The forks are grafted back under the
+    caller's innermost open span after the batch joins. With [?trace]
+    absent, jobs receive [None] and behaviour is exactly {!run_list}. *)
+
 val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool ~f arr] is [Array.map f arr] with the elements processed
     by the pool, one job per element. *)

@@ -1,0 +1,92 @@
+(** Execution tracing: hierarchical spans over the query engine.
+
+    A trace is a tree of {e spans}, one per plan operator execution (scan,
+    reduce, sort run-formation, k-way merge, sweep, join, dedup, ...) plus
+    one per {!Task_pool} job, tagged with a lane (domain/partition) id. Each
+    span carries wall-clock start/duration and a delta snapshot of the
+    {!Iostats} counters (page reads/writes, tuple comparisons, fuzzy-library
+    calls) — and optionally {!Buffer_pool} hit/miss deltas and output /
+    estimated cardinalities.
+
+    The whole engine threads a [Trace.t option]: [None] is the no-op sink —
+    every entry point short-circuits to the traced function with no
+    allocation, so tracing disabled costs nothing on the execution paths and
+    bench numbers are unchanged.
+
+    Concurrency discipline mirrors {!Iostats}: a collector is
+    single-threaded. Parallel operators {!fork} a child collector per pool
+    job (sharing the parent's time origin, tagged with the job's lane) and
+    {!graft} it back under the coordinator's open span once the batch has
+    joined. *)
+
+type t
+(** A span collector (single-threaded; see {!fork} for worker domains). *)
+
+type span
+
+val create : unit -> t
+(** A fresh collector; its creation time is the trace's time origin. *)
+
+val fork : t -> lane:int -> t
+(** A detached collector sharing [t]'s time origin, for one parallel job.
+    Spans opened on the fork default to [lane]. Must be {!graft}ed back. *)
+
+val graft : t -> t -> unit
+(** [graft t child] re-parents [child]'s root spans under [t]'s innermost
+    open span (or as roots). Call on the coordinator after the batch joins. *)
+
+val with_span :
+  t option -> ?lane:int -> ?stats:Iostats.t -> ?pool:Buffer_pool.t ->
+  string -> (unit -> 'a) -> 'a
+(** [with_span trace name f] runs [f] inside a span. With [trace = None]
+    this is exactly [f ()] — no allocation. [?stats] snapshots the Iostats
+    counters at entry/exit and stores the deltas on the span; [?pool]
+    likewise for buffer-pool hits/misses. Exception-safe (the span is closed
+    and the exception re-raised). *)
+
+val set_rows : t option -> int -> unit
+(** Record the output cardinality on the innermost open span. No-op when
+    the trace is [None] or no span is open. *)
+
+val set_est_rows : t option -> float -> unit
+(** Record the planner's estimated cardinality on the innermost open span. *)
+
+(** {1 Inspection} *)
+
+val roots : t -> span list
+val span_name : span -> string
+val span_lane : span -> int
+val span_children : span -> span list
+val span_duration : span -> float
+val span_ios : span -> int
+val span_reads : span -> int
+val span_writes : span -> int
+val span_compares : span -> int
+val span_fuzzy_ops : span -> int
+val span_rows : span -> int option
+val span_est_rows : span -> float option
+
+val span_set_est_rows : span -> float -> unit
+(** Attach an estimate after the fact (EXPLAIN ANALYZE computes estimates
+    outside the measured run so histogram scans don't pollute the trace). *)
+
+val iter_spans : t -> (span -> unit) -> unit
+(** Depth-first over all spans. *)
+
+val span_count : t -> int
+
+(** {1 Exporters} *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Human-readable tree: per-span time, I/Os, comparisons, fuzzy ops, cache
+    hits, rows, estimate error, lane. *)
+
+val to_json : t -> string
+(** Hierarchical JSON of the span tree. *)
+
+val to_chrome_json : t -> string
+(** Chrome [trace_event] JSON (an array of ["ph": "X"] complete events, one
+    thread per lane) — loads in [chrome://tracing] and Perfetto; the
+    parallel sweep/sort lanes appear as separate tracks. *)
+
+val write_chrome : t -> path:string -> unit

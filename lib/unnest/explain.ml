@@ -124,3 +124,73 @@ let explain (q : Fuzzysql.Bound.query) : string =
         "method: naive interpreter (inner blocks re-evaluated per outer\n\
         \  binding) - the shape is outside the paper's unnestable classes\n");
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: run the query under a trace collector, then annotate
+   the recorded operator spans with the planner's cardinality estimates.
+   The estimates are computed AFTER the run, on the base relations — the
+   histogram build scans must not pollute the traced I/O counters. *)
+
+type analysis = {
+  answer : Relation.t;
+  trace : Storage.Trace.t;
+  text : string;
+}
+
+(* The sweep equality the two-level plan would pick (mirrors the dispatch
+   in {!Merge_exec.run}). *)
+let sweep_attrs (t : Classify.two_level) =
+  match t.Classify.link with
+  | Classify.In_link { y; z; _ } | Classify.Not_in_link { y; z; _ } ->
+      Some (y, z)
+  | Classify.Quant_link { corr; _ }
+  | Classify.Exists_link { corr; _ }
+  | Classify.Agg_link { corr; _ } -> (
+      match
+        List.find_opt
+          (fun (c : Classify.corr) -> c.Classify.op = Fuzzy.Fuzzy_compare.Eq)
+          corr
+      with
+      | Some c -> Some (c.Classify.outer_attr, c.Classify.local_attr)
+      | None -> None)
+
+let annotate_estimates trace (shape : Classify.t) =
+  let module Trace = Storage.Trace in
+  let set_on name est =
+    Trace.iter_spans trace (fun sp ->
+        if Trace.span_name sp = name then Trace.span_set_est_rows sp est)
+  in
+  match shape with
+  | Classify.Two_level t -> (
+      match sweep_attrs t with
+      | Some (y, z) ->
+          let hy = Histogram.build t.Classify.outer ~attr:y
+          and hz = Histogram.build t.Classify.inner ~attr:z in
+          let est = Histogram.estimate_eq_join hy hz in
+          (* The sweep emits one callback per outer tuple; the estimated
+             matching pairs bound what the callbacks fold over. In the
+             parallel plan each partition's sweep span gets the global
+             estimate (partition-local estimates are not computed). *)
+          set_on "sweep" est;
+          set_on "query" (float_of_int (Relation.cardinality t.Classify.outer))
+      | None -> ())
+  | Classify.Chain_query c ->
+      let order = Chain_order.plan c in
+      set_on "query" order.Chain_order.estimated_cost
+  | Classify.Flat | Classify.General -> ()
+
+let analyze ?name ?strategy ?mem_pages ?chain_dp ?domains
+    (q : Fuzzysql.Bound.query) : analysis =
+  let module Trace = Storage.Trace in
+  let trace = Trace.create () in
+  let answer =
+    Planner.run ?name ?strategy ?mem_pages ?chain_dp ?domains ~trace q
+  in
+  annotate_estimates trace (Classify.classify q);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (explain q);
+  Buffer.add_string buf "analyze:\n";
+  Buffer.add_string buf (Format.asprintf "%a" Trace.pp_tree trace);
+  Printf.ksprintf (Buffer.add_string buf) "actual answer rows: %d\n"
+    (Relation.cardinality answer);
+  { answer; trace; text = Buffer.contents buf }

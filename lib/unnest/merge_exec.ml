@@ -25,6 +25,7 @@
 open Relational
 open Fuzzy
 open Fuzzysql
+module Trace = Storage.Trace
 
 exception Not_unnestable of string
 
@@ -136,8 +137,8 @@ let is_constant_inner = function
   | Classify.Agg_link _ | Classify.Quant_link _ ->
       false
 
-let run ?(name = "answer") ?pool (shape : Classify.two_level) ~mem_pages :
-    Relation.t =
+let run ?(name = "answer") ?pool ?trace (shape : Classify.two_level)
+    ~mem_pages : Relation.t =
   let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
   let env = Relation.env outer in
   let stats = env.Storage.Env.stats in
@@ -164,15 +165,31 @@ let run ?(name = "answer") ?pool (shape : Classify.two_level) ~mem_pages :
         true )
   in
   let prune = threshold <> None in
-  let outer', outer_owned = reduced outer p1 ~prune
+  let traced_reduce which rel preds ~prune =
+    if preds = [] && not prune then (rel, false)
+    else
+      Trace.with_span trace ~stats ("reduce " ^ which) (fun () ->
+          let r = reduced rel preds ~prune in
+          Trace.set_rows trace (Relation.cardinality (fst r));
+          r)
+  in
+  let dedup_project rel =
+    Trace.with_span trace ~stats "dedup" (fun () ->
+        let deduped = Algebra.dedup_max ~name rel in
+        Trace.set_rows trace (Relation.cardinality deduped);
+        deduped)
+  in
+  let outer', outer_owned = traced_reduce "outer" outer p1 ~prune
   and inner', inner_owned =
-    reduced inner p2 ~prune:(prune && Pushdown.inner_prunable link)
+    traced_reduce "inner" inner p2 ~prune:(prune && Pushdown.inner_prunable link)
   in
   if is_constant_inner link then begin
-    run_constant_inner ~stats ~out ~select ~outer' ~inner' link;
+    Trace.with_span trace ~stats "constant-inner" (fun () ->
+        run_constant_inner ~stats ~out ~select ~outer' ~inner' link;
+        Trace.set_rows trace (Relation.cardinality out));
     if outer_owned then Relation.destroy outer';
     if inner_owned then Relation.destroy inner';
-    let deduped = Algebra.dedup_max ~name out in
+    let deduped = dedup_project out in
     Semantics.apply_threshold deduped threshold
   end
   else begin
@@ -327,19 +344,19 @@ let run ?(name = "answer") ?pool (shape : Classify.two_level) ~mem_pages :
                     project_insert out select r
                       (Degree.conj (Ftuple.degree r) d_link) ))
   in
-  let sorted_r = Join_merge.sort_by ?pool outer' ~attr:sweep_y ~mem_pages in
-  let sorted_s = Join_merge.sort_by ?pool inner' ~attr:sweep_z ~mem_pages in
-  Join_merge.sweep_sorted ?pool ~outer:sorted_r ~inner:sorted_s
+  let sorted_r = Join_merge.sort_by ?pool ?trace outer' ~attr:sweep_y ~mem_pages in
+  let sorted_s = Join_merge.sort_by ?pool ?trace inner' ~attr:sweep_z ~mem_pages in
+  Join_merge.sweep_sorted ?pool ?trace ~outer:sorted_r ~inner:sorted_s
     ~outer_attr:sweep_y ~inner_attr:sweep_z ~mem_pages ~f:handle_r ();
   Relation.destroy sorted_r;
   Relation.destroy sorted_s;
   if outer_owned then Relation.destroy outer';
   if inner_owned then Relation.destroy inner';
-  let deduped = Algebra.dedup_max ~name out in
+  let deduped = dedup_project out in
   Semantics.apply_threshold deduped threshold
   end
 
-let run_chain ?(name = "answer") ?order ?pool (chain : Classify.chain)
+let run_chain ?(name = "answer") ?order ?pool ?trace (chain : Classify.chain)
     ~mem_pages : Relation.t =
   let { Classify.blocks; top_select; chain_threshold } = chain in
   let blocks_arr = Array.of_list blocks in
@@ -349,13 +366,19 @@ let run_chain ?(name = "answer") ?order ?pool (chain : Classify.chain)
   let stats = stats_of blocks_arr.(0).Classify.rel in
   (* Pre-select each block's relation with its local predicates. *)
   let reduced =
-    Array.map
-      (fun (b : Classify.chain_block) ->
+    Array.mapi
+      (fun i (b : Classify.chain_block) ->
         if b.Classify.p_local = [] then (b.Classify.rel, false)
         else
-          ( Algebra.select b.Classify.rel ~pred:(fun tup ->
-                Semantics.local_degree stats tup b.Classify.p_local),
-            true ))
+          Trace.with_span trace ~stats
+            (Printf.sprintf "reduce block-%d" i)
+            (fun () ->
+              let r =
+                Algebra.select b.Classify.rel ~pred:(fun tup ->
+                    Semantics.local_degree stats tup b.Classify.p_local)
+              in
+              Trace.set_rows trace (Relation.cardinality r);
+              (r, true)))
       blocks_arr
   in
   let { Chain_order.start; steps; _ } =
@@ -430,7 +453,7 @@ let run_chain ?(name = "answer") ?order ?pool (chain : Classify.chain)
         d1 onto_new
     in
     let joined =
-      Join_merge.join_eq ?pool ~outer:!acc ~inner:new_rel ~outer_attr
+      Join_merge.join_eq ?pool ?trace ~outer:!acc ~inner:new_rel ~outer_attr
         ~inner_attr ~mem_pages ~residual ()
     in
     if !acc_owned then Relation.destroy !acc;
@@ -448,7 +471,12 @@ let run_chain ?(name = "answer") ?order ?pool (chain : Classify.chain)
       if owned then Relation.destroy rel)
     reduced;
   let out =
-    Algebra.project_positions ~name !acc
-      (List.map (fun p -> offsets.(0) + p) top_select)
+    Trace.with_span trace ~stats "project" (fun () ->
+        let out =
+          Algebra.project_positions ~name !acc
+            (List.map (fun p -> offsets.(0) + p) top_select)
+        in
+        Trace.set_rows trace (Relation.cardinality out);
+        out)
   in
   Semantics.apply_threshold out chain_threshold

@@ -23,15 +23,19 @@ exception Not_unnestable of string
     planner falls back to the nested-loop method. *)
 
 val run :
-  ?name:string -> ?pool:Storage.Task_pool.t -> Classify.two_level ->
-  mem_pages:int -> Relational.Relation.t
+  ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  Classify.two_level -> mem_pages:int -> Relational.Relation.t
 (** With a multi-domain [?pool], the sorts and the sweep run domain-parallel
     (see {!Relational.Join_merge}); answers and degrees are identical to the
-    sequential run. *)
+    sequential run. With [?trace], one span per operator is recorded
+    (reduce, sort/run-formation/k-way-merge, sweep, dedup — or
+    constant-inner for uncorrelated subqueries); [None] costs nothing. *)
 
 val run_chain :
   ?name:string -> ?order:Chain_order.order -> ?pool:Storage.Task_pool.t ->
-  Classify.chain -> mem_pages:int -> Relational.Relation.t
+  ?trace:Storage.Trace.t -> Classify.chain -> mem_pages:int ->
+  Relational.Relation.t
 (** Default order: left-to-right (outermost block first). The order's steps
     must each be adjacent to the already-joined interval
-    ([Invalid_argument] otherwise). [?pool] as for {!run}. *)
+    ([Invalid_argument] otherwise). [?pool] and [?trace] as for {!run}
+    (spans: reduce block-i, one join subtree per step, project). *)

@@ -276,7 +276,8 @@ let grouped_rows (q : Bound.query) stats rows =
         if Degree.positive d then Ftuple.make values d :: acc else acc)
     groups []
 
-let query ?(name = "answer") (q : Bound.query) : Relation.t =
+let query ?(name = "answer") ?trace (q : Bound.query) : Relation.t =
+  let module Trace = Storage.Trace in
   let stats = stats_of q in
   let env =
     match q.Bound.from with
@@ -284,7 +285,13 @@ let query ?(name = "answer") (q : Bound.query) : Relation.t =
     | [] -> invalid_arg "Naive_eval.query: empty FROM"
   in
   let schema = result_schema q name in
-  let rows = List.of_seq (satisfying q ~outer:[]) in
+  let rows =
+    Trace.with_span trace ~stats ~pool:env.Storage.Env.pool "naive-bindings"
+      (fun () ->
+        let rows = List.of_seq (satisfying q ~outer:[]) in
+        Trace.set_rows trace (List.length rows);
+        rows)
+  in
   let is_grouped =
     q.Bound.group_by <> []
     || List.exists (function Bound.Agg _ -> true | Bound.Col _ -> false)
@@ -307,5 +314,10 @@ let query ?(name = "answer") (q : Bound.query) : Relation.t =
         rows
   in
   let raw = Relation.of_list env schema tuples in
-  let deduped = Algebra.dedup_max raw in
+  let deduped =
+    Trace.with_span trace ~stats "dedup" (fun () ->
+        let deduped = Algebra.dedup_max raw in
+        Trace.set_rows trace (Relation.cardinality deduped);
+        deduped)
+  in
   Semantics.apply_threshold deduped q.Bound.threshold

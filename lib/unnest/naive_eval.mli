@@ -9,10 +9,13 @@
     evaluator for query shapes outside the unnestable classes (including
     flat multi-relation queries with GROUPBY / HAVING / aggregates). *)
 
-val query : ?name:string -> Fuzzysql.Bound.query -> Relational.Relation.t
+val query :
+  ?name:string -> ?trace:Storage.Trace.t -> Fuzzysql.Bound.query ->
+  Relational.Relation.t
 (** Evaluate a bound query to its answer: a fuzzy relation with max-degree
     duplicate elimination and the WITH threshold applied. [name] names the
-    answer schema. *)
+    answer schema. With [?trace], a [naive-bindings] span (the nested
+    re-evaluation pass) and a [dedup] span are recorded. *)
 
 val pred_degree :
   Storage.Iostats.t -> stack:Semantics.stack -> Fuzzysql.Bound.pred ->

@@ -33,8 +33,9 @@ let corr_degree stats (corr : Classify.corr list) r s =
                (Ftuple.value r c.Classify.outer_attr)))
         Degree.one corr
 
-let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
-    =
+let run ?(name = "answer") ?trace (shape : Classify.two_level) ~mem_pages :
+    Relation.t =
+  let module Trace = Storage.Trace in
   let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
   let env = Relation.env outer in
   let stats = env.Storage.Env.stats in
@@ -50,6 +51,8 @@ let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
            (Array.of_list (List.map (fun p -> Ftuple.value r p) select))
            d)
   in
+  Trace.with_span trace ~stats ~pool:env.Storage.Env.pool "nested-loop"
+    (fun () ->
   Join_nested_loop.iter_blocks ~outer ~inner ~mem_pages
     ~f:(fun block scan_inner ->
       (* d1.(i): degree of membership and p1 for the i-th block tuple. *)
@@ -188,5 +191,11 @@ let run ?(name = "answer") (shape : Classify.two_level) ~mem_pages : Relation.t
           if Degree.positive d1.(i) then
             emit r (Degree.conj d1.(i) (finalize i r)))
         block);
-  let deduped = Algebra.dedup_max ~name out in
+      Trace.set_rows trace (Relation.cardinality out));
+  let deduped =
+    Trace.with_span trace ~stats "dedup" (fun () ->
+        let deduped = Algebra.dedup_max ~name out in
+        Trace.set_rows trace (Relation.cardinality deduped);
+        deduped)
+  in
   Semantics.apply_threshold deduped threshold

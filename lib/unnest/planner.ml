@@ -61,7 +61,7 @@ let rank_and_limit answer ~order ~limit =
       Relation.of_list (Relation.env answer) (Relation.schema answer) truncated
 
 let run_unranked ?(name = "answer") ?(strategy = Auto)
-    ?(mem_pages = default_mem_pages) ?(chain_dp = true) ?(domains = 1)
+    ?(mem_pages = default_mem_pages) ?(chain_dp = true) ?(domains = 1) ?trace
     (q : Fuzzysql.Bound.query) : Relation.t =
   if domains < 1 then invalid_arg "Planner.run: domains < 1";
   let shape = Classify.classify q in
@@ -78,44 +78,57 @@ let run_unranked ?(name = "answer") ?(strategy = Auto)
       | Some q' -> (
           match Classify.classify q' with
           | Classify.Two_level two -> (
-              try Merge_exec.run ~name ?pool two ~mem_pages
+              try Merge_exec.run ~name ?pool ?trace two ~mem_pages
               with Merge_exec.Not_unnestable _ ->
-                Nl_exec.run ~name two ~mem_pages)
+                Nl_exec.run ~name ?trace two ~mem_pages)
           | Classify.Chain_query chain -> (
               try
                 Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool
-                  chain ~mem_pages
+                  ?trace chain ~mem_pages
               with Merge_exec.Not_unnestable _ -> fallback ())
           | Classify.Flat | Classify.General -> fallback ())
     in
     match (strategy, shape) with
-    | Naive, _ -> Naive_eval.query ~name q
+    | Naive, _ -> Naive_eval.query ~name ?trace q
     | Nested_loop, Classify.Two_level shape ->
-        Nl_exec.run ~name shape ~mem_pages
+        Nl_exec.run ~name ?trace shape ~mem_pages
     | Nested_loop, (Classify.Flat | Classify.General | Classify.Chain_query _)
       ->
-        Naive_eval.query ~name q
+        Naive_eval.query ~name ?trace q
     | Unnest_merge, Classify.Two_level shape ->
-        Merge_exec.run ~name ?pool shape ~mem_pages
+        Merge_exec.run ~name ?pool ?trace shape ~mem_pages
     | Unnest_merge, Classify.Chain_query chain ->
-        Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool chain
-          ~mem_pages
-    | Unnest_merge, Classify.Flat -> Naive_eval.query ~name q
+        Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool ?trace
+          chain ~mem_pages
+    | Unnest_merge, Classify.Flat -> Naive_eval.query ~name ?trace q
     | Unnest_merge, Classify.General ->
         try_flattened ~fallback:(fun () ->
             raise
               (Unsupported "query shape cannot be unnested; use Auto or Naive"))
     | Auto, Classify.Two_level two -> (
-        try Merge_exec.run ~name ?pool two ~mem_pages
-        with Merge_exec.Not_unnestable _ -> Nl_exec.run ~name two ~mem_pages)
+        try Merge_exec.run ~name ?pool ?trace two ~mem_pages
+        with Merge_exec.Not_unnestable _ ->
+          Nl_exec.run ~name ?trace two ~mem_pages)
     | Auto, Classify.Chain_query chain -> (
         try
-          Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool chain
-            ~mem_pages
-        with Merge_exec.Not_unnestable _ -> Naive_eval.query ~name q)
-    | Auto, Classify.Flat -> Naive_eval.query ~name q
+          Merge_exec.run_chain ~name ?order:(chain_order chain) ?pool ?trace
+            chain ~mem_pages
+        with Merge_exec.Not_unnestable _ -> Naive_eval.query ~name ?trace q)
+    | Auto, Classify.Flat -> Naive_eval.query ~name ?trace q
     | Auto, Classify.General ->
-        try_flattened ~fallback:(fun () -> Naive_eval.query ~name q)
+        try_flattened ~fallback:(fun () -> Naive_eval.query ~name ?trace q)
+  in
+  let exec pool =
+    (* One root span per query, carrying the whole run's Iostats delta and
+       the answer cardinality; the executors' operator spans nest inside. *)
+    match q.Fuzzysql.Bound.from with
+    | (_, rel) :: _ ->
+        let stats = (Relation.env rel).Storage.Env.stats in
+        Storage.Trace.with_span trace ~stats "query" (fun () ->
+            let answer = exec pool in
+            Storage.Trace.set_rows trace (Relation.cardinality answer);
+            answer)
+    | [] -> exec pool
   in
   (* [domains = 1] never constructs a pool: it is exactly the sequential
      engine. The pool lives for one query — spawn cost is amortised across
@@ -124,13 +137,15 @@ let run_unranked ?(name = "answer") ?(strategy = Auto)
   else
     Storage.Task_pool.with_pool ~domains (fun pool -> exec (Some pool))
 
-let run ?name ?strategy ?mem_pages ?chain_dp ?domains
+let run ?name ?strategy ?mem_pages ?chain_dp ?domains ?trace
     (q : Fuzzysql.Bound.query) : Relation.t =
-  let answer = run_unranked ?name ?strategy ?mem_pages ?chain_dp ?domains q in
+  let answer =
+    run_unranked ?name ?strategy ?mem_pages ?chain_dp ?domains ?trace q
+  in
   rank_and_limit answer ~order:q.Fuzzysql.Bound.order_by_d
     ~limit:q.Fuzzysql.Bound.limit
 
-let run_string ?name ?strategy ?mem_pages ?chain_dp ?domains ~catalog ~terms
-    sql =
-  run ?name ?strategy ?mem_pages ?chain_dp ?domains
+let run_string ?name ?strategy ?mem_pages ?chain_dp ?domains ?trace ~catalog
+    ~terms sql =
+  run ?name ?strategy ?mem_pages ?chain_dp ?domains ?trace
     (Fuzzysql.Analyzer.bind_string ~catalog ~terms sql)

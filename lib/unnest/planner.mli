@@ -22,7 +22,8 @@ val default_mem_pages : int
 
 val run :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> Fuzzysql.Bound.query -> Relational.Relation.t
+  ?domains:int -> ?trace:Storage.Trace.t -> Fuzzysql.Bound.query ->
+  Relational.Relation.t
 (** [chain_dp] (default true) selects the chain join order with the
     dynamic-programming search of {!Chain_order}; false uses the syntactic
     left-to-right order.
@@ -31,10 +32,14 @@ val run :
     engine: a {!Storage.Task_pool} of that many domains is created for the
     query and the sorts and sweeps run domain-parallel. [domains = 1] never
     constructs a pool and is exactly the sequential engine; any value
-    returns identical answer tuples and membership degrees. *)
+    returns identical answer tuples and membership degrees.
+
+    [trace] (default off, costing nothing) collects one hierarchical span
+    per plan operator under a root [query] span — see {!Storage.Trace} and
+    {!Explain.analyze}. *)
 
 val run_string :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t ->
-  string -> Relational.Relation.t
+  ?domains:int -> ?trace:Storage.Trace.t -> catalog:Relational.Catalog.t ->
+  terms:Fuzzy.Term.t -> string -> Relational.Relation.t
 (** Parse, bind, and run. *)
