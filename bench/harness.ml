@@ -90,6 +90,24 @@ type row = {
 
 let results : row list ref = ref []
 
+(* One row per (client count) cell of the closed-loop server load bench.
+   Latencies are exact percentiles over every completed query in the cell
+   (not histogram-bucket approximations). *)
+type load_row = {
+  l_clients : int;
+  l_workers : int;
+  l_domains : int;
+  l_queries : int;  (** completed with a verified-correct answer *)
+  l_wrong : int;  (** completed but answer differed from sequential truth *)
+  l_overloaded : int;  (** admission rejections (retried) *)
+  l_qps : float;
+  l_p50_ms : float;
+  l_p99_ms : float;
+  l_duration_s : float;
+}
+
+let load_results : load_row list ref = ref []
+
 (* Run-wide metrics registry: one observation per measured cell. The
    summary is printed (and dumped as JSON) at the end of the bench run. *)
 let metrics = Storage.Metrics.create ()
@@ -111,9 +129,16 @@ let json_escape s =
 let write_results path =
   let oc = open_out path in
   let rows = List.rev !results in
+  let loads = List.rev !load_results in
+  let total = List.length rows + List.length loads in
+  let emitted = ref 0 in
+  let sep () =
+    incr emitted;
+    if !emitted = total then "" else ","
+  in
   output_string oc "[\n";
-  List.iteri
-    (fun i r ->
+  List.iter
+    (fun r ->
       Printf.fprintf oc
         "  {\"bench\": \"%s\", \"cell\": \"%s\", \"method\": \"%s\", \
          \"domains\": %d, \"scale\": %d, \"wall_s\": %.6f, \"response_s\": \
@@ -122,9 +147,18 @@ let write_results path =
         (json_escape r.row_bench) (json_escape r.row_cell)
         (json_escape r.row_method) r.row_domains r.row_scale r.row_wall_s
         r.row_response_s r.row_cpu_s r.row_ios r.row_fuzzy_ops
-        r.row_answer_size r.row_io_overhead
-        (if i = List.length rows - 1 then "" else ","))
+        r.row_answer_size r.row_io_overhead (sep ()))
     rows;
+  List.iter
+    (fun l ->
+      Printf.fprintf oc
+        "  {\"bench\": \"load\", \"clients\": %d, \"workers\": %d, \
+         \"domains\": %d, \"queries\": %d, \"wrong\": %d, \"overloaded\": \
+         %d, \"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+         \"duration_s\": %.3f}%s\n"
+        l.l_clients l.l_workers l.l_domains l.l_queries l.l_wrong
+        l.l_overloaded l.l_qps l.l_p50_ms l.l_p99_ms l.l_duration_s (sep ()))
+    loads;
   output_string oc "]\n";
   close_out oc
 

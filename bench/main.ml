@@ -2,11 +2,14 @@
     membership-function figures and an ablation study.
 
     Usage: [bench/main.exe [targets] [--full] [--scale N] [--io-latency S]
-    [--seed N] [--domains N] [--trace PATH]] where targets are any of [table1
-    table2 table3 table4 fig3 fig1 ablation chain sort scaling micro all]
-    (default: all). [--trace PATH] additionally runs the 3-block chain query
-    under the span collector and writes a Chrome trace_event file to PATH
-    (bare [--trace PATH] runs only that).
+    [--seed N] [--domains N] [--clients L] [--trace PATH]] where targets are
+    any of [table1 table2 table3 table4 fig3 fig1 ablation chain sort scaling
+    load micro all] (default: all). [--trace PATH] additionally runs the
+    3-block chain query under the span collector and writes a Chrome
+    trace_event file to PATH (bare [--trace PATH] runs only that). The [load]
+    target runs closed-loop clients against an in-process fsqld ([--clients]
+    is a comma list of client counts, [--domains] sets the worker count) and
+    reports throughput and exact p50/p99 latency per client count.
     [--full] runs at the paper's absolute sizes (slow); the default scales
     every size by 8, which preserves all relation-size : buffer-size ratios.
     [--domains N] runs the merge-join cells on an N-domain task pool (the
@@ -450,6 +453,151 @@ let scaling cfg =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Server load: closed-loop clients against an in-process fsqld.       *)
+(* ------------------------------------------------------------------ *)
+
+let load_clients = ref [ 1; 2; 4; 8 ]
+let load_duration = 1.5
+
+(* One query per nesting shape of the paper (plus a chain), all over the
+   generated R/S/T of [Server.Demo.load_nested] — deterministic in the
+   seed, so the sequential engine provides exact expected answers. *)
+let load_shapes =
+  [
+    ("N", "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V >= 20)");
+    ("J", "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V <= R.U)");
+    ( "JX",
+      "SELECT R.ID FROM R WHERE R.Y NOT IN (SELECT S.Z FROM S WHERE S.V >= \
+       R.U)" );
+    ( "JA",
+      "SELECT R.ID FROM R WHERE R.Y >= (SELECT MAX(S.Z) FROM S WHERE S.V = \
+       R.U)" );
+    ( "JALL",
+      "SELECT R.ID FROM R WHERE R.Y <= ALL (SELECT S.Z FROM S WHERE S.V = \
+       R.U)" );
+    ( "chain",
+      "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.Z IN \
+       (SELECT T.W FROM T))" );
+  ]
+
+(* Normal form for answer comparison: rows sorted, degrees as IEEE-754
+   bits (the wire carries them as bits, so equality is exact). *)
+let normal_rows rows = List.sort compare rows
+
+let normal_of_relation rel =
+  let arity = Relational.Schema.arity (Relational.Relation.schema rel) in
+  let rows = ref [] in
+  Relational.Relation.iter rel (fun t ->
+      rows :=
+        ( List.init arity (fun i ->
+              Relational.Value.to_string (Relational.Ftuple.value t i)),
+          Int64.bits_of_float (Relational.Ftuple.degree t) )
+        :: !rows);
+  normal_rows !rows
+
+let load_bench cfg =
+  section "Server load - closed-loop clients vs an in-process fsqld";
+  note "clients loop over the nesting shapes (N J JX JA JALL chain); every@.";
+  note "answer is checked against the sequential engine, exact degrees@.";
+  note "(workers = --domains = %d parallel queries)@.@." cfg.domains;
+  let setup = Server.Demo.server_setup ~seed:cfg.seed () in
+  (* Sequential ground truth, same loader, same seed. *)
+  let env = Storage.Env.create () in
+  let catalog = Relational.Catalog.create env in
+  setup env catalog;
+  let expected =
+    List.map
+      (fun (name, sql) ->
+        let q =
+          Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql
+        in
+        (name, normal_of_relation (Unnest.Planner.run q)))
+      load_shapes
+  in
+  let max_clients = List.fold_left Int.max 1 !load_clients in
+  let daemon =
+    Server.Daemon.start ~workers:cfg.domains
+      ~queue_capacity:(max_clients + cfg.domains) ~setup ()
+  in
+  let port = Server.Daemon.port daemon in
+  Format.printf "%-8s | %8s | %8s | %9s | %9s | %6s | %10s@." "clients"
+    "queries" "qps" "p50 (ms)" "p99 (ms)" "wrong" "overloaded";
+  hr Format.std_formatter 72;
+  List.iter
+    (fun c ->
+      let lat_lock = Mutex.create () in
+      let latencies = ref [] in
+      let completed = Atomic.make 0 in
+      let wrong = Atomic.make 0 in
+      let overloaded = Atomic.make 0 in
+      let stop_at = Unix.gettimeofday () +. load_duration in
+      let worker idx () =
+        let client = Server.Client.connect ~port () in
+        let mine = ref [] in
+        let i = ref idx in
+        while Unix.gettimeofday () < stop_at do
+          let name, sql = List.nth load_shapes (!i mod List.length load_shapes) in
+          incr i;
+          let t0 = Unix.gettimeofday () in
+          match Server.Client.query client sql with
+          | Server.Client.Answer { rows; _ } ->
+              let got =
+                normal_rows
+                  (List.map
+                     (fun (r : Server.Client.row) ->
+                       (r.values, Int64.bits_of_float r.degree))
+                     rows)
+              in
+              if got <> List.assoc name expected then Atomic.incr wrong;
+              Atomic.incr completed;
+              mine := (Unix.gettimeofday () -. t0) :: !mine
+          | Server.Client.Overloaded ->
+              Atomic.incr overloaded;
+              Thread.yield ()
+          | Server.Client.Failed _ | Server.Client.Cancelled _ ->
+              Atomic.incr wrong
+        done;
+        Server.Client.close client;
+        Mutex.lock lat_lock;
+        latencies := !mine @ !latencies;
+        Mutex.unlock lat_lock
+      in
+      let t_start = Unix.gettimeofday () in
+      let threads = List.init c (fun i -> Thread.create (worker i) ()) in
+      List.iter Thread.join threads;
+      let duration = Unix.gettimeofday () -. t_start in
+      let lats = Array.of_list !latencies in
+      Array.sort compare lats;
+      let pct p =
+        if Array.length lats = 0 then 0.0
+        else
+          lats.(Int.min
+                  (Array.length lats - 1)
+                  (int_of_float (p *. float_of_int (Array.length lats))))
+      in
+      let queries = Atomic.get completed in
+      let qps = float_of_int queries /. Float.max 1e-9 duration in
+      let p50 = 1000.0 *. pct 0.50 and p99 = 1000.0 *. pct 0.99 in
+      Format.printf "%-8d | %8d | %8.1f | %9.2f | %9.2f | %6d | %10d@." c
+        queries qps p50 p99 (Atomic.get wrong) (Atomic.get overloaded);
+      Harness.load_results :=
+        {
+          Harness.l_clients = c;
+          l_workers = cfg.domains;
+          l_domains = 1;
+          l_queries = queries;
+          l_wrong = Atomic.get wrong;
+          l_overloaded = Atomic.get overloaded;
+          l_qps = qps;
+          l_p50_ms = p50;
+          l_p99_ms = p99;
+          l_duration_s = duration;
+        }
+        :: !Harness.load_results)
+    !load_clients;
+  Server.Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
 (* --trace PATH: run the 3-block chain query once under a trace         *)
 (* collector and dump a Chrome trace_event file (chrome://tracing or    *)
 (* https://ui.perfetto.dev). With --domains N the parallel lanes show   *)
@@ -542,7 +690,7 @@ let all_targets =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("fig3", fig3); ("fig1", fig1); ("ablation", ablation);
     ("chain", chain_bench); ("sort", sort_bench); ("scaling", scaling);
-    ("micro", micro);
+    ("load", load_bench); ("micro", micro);
   ]
 
 let () =
@@ -574,6 +722,20 @@ let () =
         | _ ->
             Format.eprintf "--domains expects a positive integer@.";
             exit 2)
+    | "--clients" :: spec :: rest -> (
+        let counts =
+          List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+        in
+        match counts with
+        | [] ->
+            Format.eprintf "--clients expects a comma-separated list, e.g. 2,4,8@.";
+            exit 2
+        | cs when List.for_all (fun c -> c >= 1) cs ->
+            load_clients := cs;
+            parse rest
+        | _ ->
+            Format.eprintf "--clients counts must be positive@.";
+            exit 2)
     | "all" :: rest -> parse rest
     | t :: rest when List.mem_assoc t all_targets ->
         targets := t :: !targets;
@@ -599,7 +761,7 @@ let () =
   Option.iter (trace_run !cfg) !trace_path;
   write_results "BENCH_results.json";
   Format.printf "@.wrote BENCH_results.json (%d cells)@."
-    (List.length !Harness.results);
+    (List.length !Harness.results + List.length !Harness.load_results);
   if !Harness.results <> [] then (
     section "Run metrics";
     Format.printf "%a" Storage.Metrics.pp Harness.metrics)

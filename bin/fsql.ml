@@ -12,7 +12,10 @@
                   actual stats             each query to PATH
     \q           quit
     v}
-    Start with [fsql --domains N] to set the initial parallelism. *)
+    Start with [fsql --domains N] to set the initial parallelism, or
+    [fsql --connect HOST:PORT] to run statements against a remote fsqld
+    instead of the in-process engine (meta commands: \q \help \timing
+    \domains \deadline \metrics). *)
 
 open Frepro
 open Frepro.Relational
@@ -26,35 +29,9 @@ type state = {
   mutable trace_file : string option;
 }
 
-let term name = Value.Fuzzy (Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper name))
-let tuple vs d = Ftuple.make (Array.of_list vs) d
-
-let person_schema name =
-  Schema.make ~name
-    [ ("ID", Schema.TNum); ("NAME", Schema.TStr); ("AGE", Schema.TNum);
-      ("INCOME", Schema.TNum) ]
-
 let load_demo env catalog =
-  Catalog.add catalog
-    (Relation.of_list env (person_schema "F")
-       [
-         tuple [ Value.Int 101; Value.Str "Ann"; term "about 35"; term "about 60K" ] 1.0;
-         tuple [ Value.Int 102; Value.Str "Ann"; term "medium young"; term "medium high" ] 1.0;
-         tuple [ Value.Int 103; Value.Str "Betty"; term "middle age"; term "high" ] 1.0;
-         tuple [ Value.Int 104; Value.Str "Cathy"; term "about 50"; term "low" ] 1.0;
-       ]);
-  Catalog.add catalog
-    (Relation.of_list env (person_schema "M")
-       [
-         tuple [ Value.Int 201; Value.Str "Allen"; Value.crisp_num 24.0; term "about 25K" ] 1.0;
-         tuple [ Value.Int 202; Value.Str "Allen"; term "about 50"; term "about 40K" ] 1.0;
-         tuple [ Value.Int 203; Value.Str "Bill"; term "middle age"; term "high" ] 1.0;
-         tuple [ Value.Int 204; Value.Str "Carl"; term "about 29"; term "medium low" ] 1.0;
-       ]);
-  let spec = { Workload.Gen.default_spec with n = 500; groups = 50 } in
-  let r, s = Workload.Gen.join_pair env ~seed:7 ~outer:spec ~inner:spec in
-  Catalog.add catalog r;
-  Catalog.add catalog s
+  Server.Demo.load_dating env catalog;
+  Server.Demo.load_generated ~seed:7 ~n:500 ~groups:50 env catalog
 
 let strategy_of_string = function
   | "naive" -> Some Unnest.Planner.Naive
@@ -246,14 +223,135 @@ let meta st line =
       | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg)
   | _ -> Format.printf "unknown meta command (try \\help)@."
 
+(* ---- remote mode: statements run on a fsqld over the wire protocol ---- *)
+
+type remote_state = {
+  client : Server.Client.t;
+  mutable r_timing : bool;
+  mutable r_domains : int; (* 0 = use the server's configured parallelism *)
+  mutable r_deadline_ms : int; (* 0 = use the server's default deadline *)
+}
+
+let remote_help () =
+  print_string
+    "statements end with ';' and run on the remote fsqld. Meta commands:\n\
+    \  \\domains N    per-query parallelism (0 = server default)\n\
+    \  \\deadline MS  per-query deadline in milliseconds (0 = server default)\n\
+    \  \\metrics      print the server's metrics registry (JSON)\n\
+    \  \\timing       toggle per-query timing\n\
+    \  \\help         this help\n\
+    \  \\q            quit\n"
+
+let remote_sql st sql =
+  let t0 = Unix.gettimeofday () in
+  match
+    Server.Client.query ~deadline_ms:st.r_deadline_ms ~domains:st.r_domains
+      st.client sql
+  with
+  | Server.Client.Answer { columns; rows; server_elapsed_s = _ } ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%s@." (String.concat " | " columns);
+      let limit = 40 in
+      List.iteri
+        (fun i (r : Server.Client.row) ->
+          if i < limit then
+            Format.printf "  %s | %.3f@." (String.concat " | " r.values)
+              r.degree)
+        rows;
+      let n = List.length rows in
+      if n > limit then Format.printf "  ... (%d more)@." (n - limit);
+      Format.printf "(%d tuple%s" n (if n = 1 then "" else "s");
+      if st.r_timing then Format.printf ", %.1f ms" (1000.0 *. dt);
+      Format.printf ")@."
+  | Server.Client.Failed msg -> Format.printf "error: %s@." msg
+  | Server.Client.Overloaded ->
+      Format.printf "server overloaded (admission queue full), retry@."
+  | Server.Client.Cancelled reason -> Format.printf "cancelled: %s@." reason
+
+let remote_meta st line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] | [ "\\quit" ] -> raise Exit
+  | [ "\\help" ] | [ "\\h" ] -> remote_help ()
+  | [ "\\timing" ] ->
+      st.r_timing <- not st.r_timing;
+      Format.printf "timing %s@." (if st.r_timing then "on" else "off")
+  | [ "\\domains" ] ->
+      Format.printf "domains: %d (0 = server default)@." st.r_domains
+  | [ "\\domains"; n ] -> (
+      match int_of_string_opt n with
+      | Some d when d >= 0 ->
+          st.r_domains <- d;
+          Format.printf "domains set to %d@." d
+      | _ -> Format.printf "domains must be a non-negative integer@.")
+  | [ "\\deadline" ] ->
+      Format.printf "deadline: %d ms (0 = server default)@." st.r_deadline_ms
+  | [ "\\deadline"; n ] -> (
+      match int_of_string_opt n with
+      | Some ms when ms >= 0 ->
+          st.r_deadline_ms <- ms;
+          Format.printf "deadline set to %d ms@." ms
+      | _ -> Format.printf "deadline must be a non-negative integer@.")
+  | [ "\\metrics" ] -> print_endline (Server.Client.metrics_json st.client)
+  | _ ->
+      Format.printf "unknown meta command in --connect mode (try \\help)@."
+
+let remote_repl addr ~domains =
+  let client =
+    try Server.Client.of_addr addr with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "fsql: cannot connect to %s: %s\n" addr
+          (Unix.error_message e);
+        exit 1
+    | Invalid_argument msg ->
+        prerr_endline ("fsql: " ^ msg);
+        exit 2
+  in
+  let st = { client; r_timing = true; r_domains = domains; r_deadline_ms = 0 } in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then
+    Printf.printf "fsql - connected to %s (\\help for help, \\q to quit)\n%!"
+      addr;
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       if interactive then begin
+         if Buffer.length buf = 0 then print_string "fsql> "
+         else print_string "  ..> ";
+         flush stdout
+       end;
+       let line = try input_line stdin with End_of_file -> raise Exit in
+       let trimmed = String.trim line in
+       if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+       then remote_meta st trimmed
+       else begin
+         Buffer.add_string buf line;
+         Buffer.add_char buf ' ';
+         let acc = String.trim (Buffer.contents buf) in
+         if String.length acc > 0 && acc.[String.length acc - 1] = ';' then begin
+           Buffer.clear buf;
+           let sql = String.sub acc 0 (String.length acc - 1) in
+           if String.trim sql <> "" then remote_sql st sql
+         end
+       end
+     done
+   with
+  | Exit -> ()
+  | End_of_file | Sys_error _ ->
+      prerr_endline "fsql: server closed the connection"
+  | Server.Wire.Protocol_error msg ->
+      prerr_endline ("fsql: protocol error: " ^ msg));
+  Server.Client.close st.client;
+  if interactive then print_endline "bye"
+
 let () =
-  let domains = ref 1 in
+  let domains = ref None in
+  let connect = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->
-            domains := d;
+            domains := Some d;
             parse_args rest
         | _ ->
             prerr_endline "fsql: --domains expects a positive integer";
@@ -261,11 +359,24 @@ let () =
     | [ "--domains" ] ->
         prerr_endline "fsql: --domains expects a positive integer";
         exit 2
+    | "--connect" :: addr :: rest ->
+        connect := Some addr;
+        parse_args rest
+    | [ "--connect" ] ->
+        prerr_endline "fsql: --connect expects HOST:PORT";
+        exit 2
     | arg :: _ ->
-        prerr_endline ("fsql: unknown argument " ^ arg ^ " (usage: fsql [--domains N])");
+        prerr_endline
+          ("fsql: unknown argument " ^ arg
+         ^ " (usage: fsql [--domains N] [--connect HOST:PORT])");
         exit 2
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  match !connect with
+  | Some addr ->
+      remote_repl addr ~domains:(Option.value ~default:0 !domains)
+  | None ->
+  let domains = ref (Option.value ~default:1 !domains) in
   let env = Storage.Env.create () in
   let st =
     {

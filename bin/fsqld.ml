@@ -1,0 +1,108 @@
+(** fsqld — the Fuzzy SQL daemon.
+
+    Serves the paper's dating-service relations (F, M) plus a generated
+    nested workload (R, S, T) over the {!Frepro.Server.Wire} protocol.
+    Connect with [fsql --connect HOST:PORT].
+
+    {v
+    fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains N]
+          [--deadline-ms MS] [--seed N] [--trace DIR]
+    v}
+
+    [--workers] is the number of queries executing in parallel (each on
+    its own domain with a private storage environment); [--domains] is
+    the per-query merge-join parallelism. [--deadline-ms] sets a default
+    deadline for clients that do not send one. [--trace DIR] writes one
+    Chrome trace file per request to [DIR/req-N.json]. SIGINT / SIGTERM
+    trigger a graceful drain. *)
+
+open Frepro
+
+let usage =
+  "usage: fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains \
+   N]\n\
+  \             [--deadline-ms MS] [--seed N] [--trace DIR]"
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 5499 in
+  let workers = ref 2 in
+  let queue = ref 16 in
+  let domains = ref 1 in
+  let deadline_ms = ref 0 in
+  let seed = ref 11 in
+  let trace_dir = ref None in
+  let int_arg name n k rest =
+    match int_of_string_opt n with
+    | Some v when v >= 0 ->
+        k v;
+        rest
+    | _ ->
+        prerr_endline ("fsqld: " ^ name ^ " expects a non-negative integer");
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--host" :: h :: rest ->
+        host := h;
+        parse rest
+    | "--port" :: n :: rest -> parse (int_arg "--port" n (( := ) port) rest)
+    | "--workers" :: n :: rest ->
+        parse (int_arg "--workers" n (( := ) workers) rest)
+    | "--queue" :: n :: rest -> parse (int_arg "--queue" n (( := ) queue) rest)
+    | "--domains" :: n :: rest ->
+        parse (int_arg "--domains" n (( := ) domains) rest)
+    | "--deadline-ms" :: n :: rest ->
+        parse (int_arg "--deadline-ms" n (( := ) deadline_ms) rest)
+    | "--seed" :: n :: rest -> parse (int_arg "--seed" n (( := ) seed) rest)
+    | "--trace" :: dir :: rest ->
+        trace_dir := Some dir;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("fsqld: unknown argument " ^ arg);
+        prerr_endline usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let on_trace =
+    Option.map
+      (fun dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+        let next = Atomic.make 0 in
+        fun trace ->
+          let n = Atomic.fetch_and_add next 1 in
+          let path = Filename.concat dir (Printf.sprintf "req-%d.json" n) in
+          Storage.Trace.write_chrome trace ~path)
+      !trace_dir
+  in
+  let daemon =
+    Server.Daemon.start ~host:!host ~port:!port ~workers:!workers
+      ~queue_capacity:!queue
+      ?default_deadline_ms:
+        (if !deadline_ms > 0 then Some !deadline_ms else None)
+      ~domains:!domains ?on_trace
+      ~setup:(Server.Demo.server_setup ~seed:!seed ())
+      ()
+  in
+  Printf.printf
+    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s)\n%!"
+    !host
+    (Server.Daemon.port daemon)
+    (Server.Daemon.workers daemon)
+    !queue !domains
+    (if !deadline_ms > 0 then Printf.sprintf ", deadline=%dms" !deadline_ms
+     else "")
+    (match !trace_dir with Some d -> ", trace=" ^ d | None -> "");
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop) do
+    Unix.sleepf 0.2
+  done;
+  print_string "fsqld: draining...\n";
+  flush stdout;
+  Server.Daemon.stop daemon;
+  print_string "fsqld: clean shutdown\n";
+  flush stdout

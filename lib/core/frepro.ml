@@ -12,6 +12,8 @@
       chains), the naive evaluator, and the unnesting executors
       (Sections 4-8).
     - {!Workload}: generators for the experiment workloads of Section 9.
+    - {!Server}: the fsqld serving layer — TCP daemon, wire protocol,
+      admission control, deadlines/cancellation, and the client library.
 
     {1 Quick start}
     {[
@@ -32,3 +34,4 @@ module Relational = Relational
 module Fuzzysql = Fuzzysql
 module Unnest = Unnest
 module Workload = Workload
+module Server = Server

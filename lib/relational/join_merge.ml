@@ -3,20 +3,28 @@ open Fuzzy
 
 let interval_key ~attr r = Value.support (Ftuple.value (Codec.decode r) attr)
 
-let sort_by ?pool ?trace rel ~attr ~mem_pages =
+let sort_by ?pool ?trace ?cancel rel ~attr ~mem_pages =
   let env = Relation.env rel in
   Buffer_pool.flush env.Env.pool;
   let name = "sort " ^ Schema.name (Relation.schema rel) in
   Trace.with_span trace ~stats:env.Env.stats ~pool:env.Env.pool name
     (fun () ->
+      (* Cancellation rides the comparator: the external sorter calls it
+         O(n log n) times spread across run formation and every merge pass,
+         so a long spilling sort unwinds within a poll period of the deadline
+         without the sorter itself knowing about tokens. *)
       let sorted =
         match pool with
         | Some p when Task_pool.domains p > 1 ->
+            let compare_key a b =
+              Cancel.check cancel;
+              Interval.compare_lex a b
+            in
             External_sort.sort_keyed ~pool:p ?trace (Relation.file rel)
-              ~key:(interval_key ~attr) ~compare_key:Interval.compare_lex
-              ~mem_pages
+              ~key:(interval_key ~attr) ~compare_key ~mem_pages
         | _ ->
             let compare_records r1 r2 =
+              Cancel.check cancel;
               let v1 = Ftuple.value (Codec.decode r1) attr
               and v2 = Ftuple.value (Codec.decode r2) attr in
               Interval.compare_lex (Value.support v1) (Value.support v2)
@@ -34,11 +42,12 @@ let sort_by ?pool ?trace rel ~attr ~mem_pages =
 (* The window sweep of Section 3, abstracted over the tuple sources so the
    sequential (cursor-backed) and parallel (array-backed, one per partition)
    paths share the exact same comparison / fuzzy-op behaviour. *)
-let sweep_core ~stats ~next_outer ~peek_inner ~advance_inner ~outer_attr
-    ~inner_attr ~f =
+let sweep_core ?cancel ~stats ~next_outer ~peek_inner ~advance_inner
+    ~outer_attr ~inner_attr ~f () =
   (* Window entries: inner tuple with the support of its join value. *)
   let window = ref [] in
   let rec next_r () =
+    Cancel.check cancel;
     match next_outer () with
     | None -> ()
     | Some r ->
@@ -122,10 +131,11 @@ let partition_sweep ~domains outs ins =
         (o_slice, Array.of_list (List.rev !sel))
       end)
 
-let scan_decoded rel ~pool ~attr =
+let scan_decoded ?cancel rel ~pool ~attr =
   let acc = ref [] in
   let c = Relation.Cursor.of_relation ~pool rel in
   let rec go () =
+    Cancel.check cancel;
     match Relation.Cursor.next c with
     | None -> ()
     | Some t ->
@@ -135,8 +145,8 @@ let scan_decoded rel ~pool ~attr =
   go ();
   Array.of_list (List.rev !acc)
 
-let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ~f () =
+let sweep_sorted ?pool ?trace ?cancel ~outer ~inner ~outer_attr ~inner_attr
+    ~mem_pages ~f () =
   let env = Relation.env outer in
   let stats = env.Env.stats in
   Buffer_pool.flush env.Env.pool;
@@ -166,7 +176,7 @@ let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
             Trace.with_span trace ~stats ~pool:outer_pool "scan outer"
               (fun () ->
                 let outs =
-                  scan_decoded outer ~pool:outer_pool ~attr:outer_attr
+                  scan_decoded ?cancel outer ~pool:outer_pool ~attr:outer_attr
                 in
                 Trace.set_rows trace (Array.length outs);
                 outs)
@@ -174,7 +184,9 @@ let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
           let ins =
             Trace.with_span trace ~stats ~pool:inner_pool "scan inner"
               (fun () ->
-                let ins = scan_decoded inner ~pool:inner_pool ~attr:inner_attr in
+                let ins =
+                  scan_decoded ?cancel inner ~pool:inner_pool ~attr:inner_attr
+                in
                 Trace.set_rows trace (Array.length ins);
                 ins)
           in
@@ -189,7 +201,7 @@ let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
                 Trace.with_span jtrace ~stats:pstats "sweep" (fun () ->
                     let results = ref [] in
                     let oi = ref 0 and ii = ref 0 in
-                    sweep_core ~stats:pstats
+                    sweep_core ?cancel ~stats:pstats
                       ~next_outer:(fun () ->
                         if !oi < Array.length o_slice then begin
                           let t = fst o_slice.(!oi) in
@@ -203,7 +215,8 @@ let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
                         else None)
                       ~advance_inner:(fun () -> incr ii)
                       ~outer_attr ~inner_attr
-                      ~f:(fun r rng -> results := (r, rng) :: !results);
+                      ~f:(fun r rng -> results := (r, rng) :: !results)
+                      ();
                     Trace.set_rows jtrace (Array.length o_slice);
                     (List.rev !results, pstats)))
               (Array.to_list parts)
@@ -219,14 +232,14 @@ let sweep_sorted ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
           Trace.with_span trace ~stats ~pool:outer_pool "sweep" (fun () ->
               let rc = Relation.Cursor.of_relation ~pool:outer_pool outer in
               let sc = Relation.Cursor.of_relation ~pool:inner_pool inner in
-              sweep_core ~stats
+              sweep_core ?cancel ~stats
                 ~next_outer:(fun () -> Relation.Cursor.next rc)
                 ~peek_inner:(fun () -> Relation.Cursor.peek sc)
                 ~advance_inner:(fun () -> ignore (Relation.Cursor.next sc))
-                ~outer_attr ~inner_attr ~f))
+                ~outer_attr ~inner_attr ~f ()))
 
-let join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
-    ~mem_pages ?residual ~rng_degree () =
+let join_with_rng ?name ?pool ?trace ?cancel ~outer ~inner ~outer_attr
+    ~inner_attr ~mem_pages ?residual ~rng_degree () =
   let env = Relation.env outer in
   let out_schema =
     Schema.concat
@@ -237,38 +250,50 @@ let join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
     ("join " ^ Schema.name out_schema)
     (fun () ->
       let out = Relation.create env out_schema in
-      let sorted_r = sort_by ?pool ?trace outer ~attr:outer_attr ~mem_pages in
-      let sorted_s = sort_by ?pool ?trace inner ~attr:inner_attr ~mem_pages in
-      sweep_sorted ?pool ?trace ~outer:sorted_r ~inner:sorted_s ~outer_attr
-        ~inner_attr ~mem_pages ()
-        ~f:(fun r rng ->
-          List.iter
-            (fun (s, d_eq) ->
-              let d_eq = rng_degree r s d_eq in
-              if Degree.positive d_eq then begin
-                let d_res =
-                  match residual with None -> Degree.one | Some f -> f r s
-                in
-                let d =
-                  Degree.conj_list
-                    [ Ftuple.degree r; Ftuple.degree s; d_eq; d_res ]
-                in
-                if Degree.positive d then
-                  Relation.insert out (Ftuple.concat r s d)
-              end)
-            rng);
-      Relation.destroy sorted_r;
-      Relation.destroy sorted_s;
+      (* The sorted temporaries must not outlive the join even when the
+         sweep unwinds with [Cancel.Cancelled]: a server worker's
+         environment lives for many queries, and cancelled queries must not
+         leak their intermediate files. *)
+      let temps = ref [] in
+      Fun.protect
+        ~finally:(fun () -> List.iter Relation.destroy !temps)
+        (fun () ->
+          let sorted_r =
+            sort_by ?pool ?trace ?cancel outer ~attr:outer_attr ~mem_pages
+          in
+          temps := sorted_r :: !temps;
+          let sorted_s =
+            sort_by ?pool ?trace ?cancel inner ~attr:inner_attr ~mem_pages
+          in
+          temps := sorted_s :: !temps;
+          sweep_sorted ?pool ?trace ?cancel ~outer:sorted_r ~inner:sorted_s
+            ~outer_attr ~inner_attr ~mem_pages ()
+            ~f:(fun r rng ->
+              List.iter
+                (fun (s, d_eq) ->
+                  let d_eq = rng_degree r s d_eq in
+                  if Degree.positive d_eq then begin
+                    let d_res =
+                      match residual with None -> Degree.one | Some f -> f r s
+                    in
+                    let d =
+                      Degree.conj_list
+                        [ Ftuple.degree r; Ftuple.degree s; d_eq; d_res ]
+                    in
+                    if Degree.positive d then
+                      Relation.insert out (Ftuple.concat r s d)
+                  end)
+                rng));
       Trace.set_rows trace (Relation.cardinality out);
       out)
 
-let join_eq ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr ~mem_pages
-    ?residual () =
-  join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
-    ~mem_pages ?residual ~rng_degree:(fun _ _ d -> d) ()
-
-let with_indicator ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
+let join_eq ?name ?pool ?trace ?cancel ~outer ~inner ~outer_attr ~inner_attr
     ~mem_pages ?residual () =
+  join_with_rng ?name ?pool ?trace ?cancel ~outer ~inner ~outer_attr
+    ~inner_attr ~mem_pages ?residual ~rng_degree:(fun _ _ d -> d) ()
+
+let with_indicator ?name ?pool ?trace ?cancel ~outer ~inner ~outer_attr
+    ~inner_attr ~mem_pages ?residual () =
   let indicator r s d_exact =
     (* Fuzzy-equality indicator (Zhang & Wang [42]): overlapping cores mean
        degree 1, disjoint supports mean degree 0; only the remaining pairs
@@ -288,5 +313,5 @@ let with_indicator ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
         else d_exact
     | _ -> d_exact
   in
-  join_with_rng ?name ?pool ?trace ~outer ~inner ~outer_attr ~inner_attr
-    ~mem_pages ?residual ~rng_degree:indicator ()
+  join_with_rng ?name ?pool ?trace ?cancel ~outer ~inner ~outer_attr
+    ~inner_attr ~mem_pages ?residual ~rng_degree:indicator ()

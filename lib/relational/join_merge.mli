@@ -17,10 +17,18 @@
     [Task_pool.domains pool > 1], sorting uses the domain-parallel
     {!Storage.External_sort.sort_keyed} and the sweep is range-partitioned
     across domains (see {!partition_sweep}); answer tuples and membership
-    degrees are identical either way. *)
+    degrees are identical either way.
+
+    Every entry point also takes an optional [?cancel] token
+    ({!Storage.Cancel}): the sort comparators and the per-outer-tuple sweep
+    loop poll it, so a deadline or client cancellation unwinds with
+    {!Storage.Cancel.Cancelled} within one poll period. The sorted
+    temporaries of {!join_eq}/{!with_indicator} are destroyed on that path
+    too. [None] costs one branch per poll site. *)
 
 val sort_by :
   ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   Relation.t -> attr:int -> mem_pages:int -> Relation.t
 (** Sort a relation by the Definition 3.1 order of the given attribute using
     the external sorter (accounted to the [Sort] phase). The result is a
@@ -43,6 +51,7 @@ val partition_sweep :
 
 val sweep_sorted :
   ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int -> inner_attr:int ->
   mem_pages:int ->
   f:(Ftuple.t -> (Ftuple.t * Fuzzy.Degree.t) list -> unit) -> unit -> unit
@@ -61,6 +70,7 @@ val sweep_sorted :
 
 val join_eq :
   ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t
@@ -70,6 +80,7 @@ val join_eq :
 
 val with_indicator :
   ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   outer:Relation.t -> inner:Relation.t -> outer_attr:int ->
   inner_attr:int -> mem_pages:int ->
   ?residual:(Ftuple.t -> Ftuple.t -> Fuzzy.Degree.t) -> unit -> Relation.t

@@ -1,0 +1,55 @@
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  capacity : int;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    capacity;
+    items = Queue.create ();
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.lock;
+  let ok = (not t.closed) && Queue.length t.items < t.capacity in
+  if ok then begin
+    Queue.add x t.items;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec take () =
+    match Queue.take_opt t.items with
+    | Some x -> Some x
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.not_empty t.lock;
+          take ()
+        end
+  in
+  let r = take () in
+  Mutex.unlock t.lock;
+  r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n

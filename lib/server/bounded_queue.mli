@@ -1,0 +1,27 @@
+(** A bounded multi-producer / multi-consumer queue — the server's
+    admission queue. Producers (connection threads) never block:
+    {!try_push} fails immediately when the queue is at capacity, which the
+    daemon turns into an [Overloaded] rejection. Consumers (worker
+    domains) block in {!pop} until an item or {!close}.
+
+    Safe across domains and threads (a mutex and a condition variable;
+    OCaml 5 mutexes synchronise domains the same as systhreads). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [Invalid_argument] if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** False when the queue is full or closed — never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available. After {!close}, drains the
+    remaining items and then returns [None] — items admitted before the
+    close are never lost, which is what lets the daemon shut down
+    gracefully (drain, then stop). *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked consumer. *)
+
+val length : 'a t -> int

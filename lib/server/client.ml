@@ -1,0 +1,91 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;  (** [cancel] may write while [query] reads *)
+}
+
+type row = { values : string list; degree : float }
+
+type reply =
+  | Answer of { columns : string list; rows : row list; server_elapsed_s : float }
+  | Failed of string
+  | Overloaded
+  | Cancelled of string
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> invalid_arg ("Client.connect: unknown host " ^ host))
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    wlock = Mutex.create ();
+  }
+
+let of_addr addr =
+  match String.rindex_opt addr ':' with
+  | None -> invalid_arg ("Client.of_addr: expected HOST:PORT, got " ^ addr)
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port_s = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port > 0 && port < 65536 ->
+          connect ~host:(if host = "" then "127.0.0.1" else host) ~port ()
+      | _ -> invalid_arg ("Client.of_addr: bad port in " ^ addr))
+
+let write t req =
+  Mutex.lock t.wlock;
+  (match Wire.write_request t.oc req with
+  | () -> Mutex.unlock t.wlock
+  | exception e ->
+      Mutex.unlock t.wlock;
+      raise e)
+
+let query ?(deadline_ms = 0) ?(domains = 0) t sql =
+  write t (Wire.Query { deadline_ms; domains; sql });
+  let columns = ref [] in
+  let rows = ref [] in
+  let rec read () =
+    match Wire.read_reply t.ic with
+    | Wire.Header cols ->
+        columns := cols;
+        read ()
+    | Wire.Row { degree_bits; values } ->
+        rows := { values; degree = Int64.float_of_bits degree_bits } :: !rows;
+        read ()
+    | Wire.Done { rows = _; elapsed_s } ->
+        Answer
+          {
+            columns = !columns;
+            rows = List.rev !rows;
+            server_elapsed_s = elapsed_s;
+          }
+    | Wire.Error m -> Failed m
+    | Wire.Overloaded -> Overloaded
+    | Wire.Cancelled reason -> Cancelled reason
+    | Wire.Metrics_json _ ->
+        raise (Wire.Protocol_error "unexpected metrics frame in query reply")
+  in
+  read ()
+
+let cancel t = write t Wire.Cancel
+
+let metrics_json t =
+  write t Wire.Metrics;
+  match Wire.read_reply t.ic with
+  | Wire.Metrics_json json -> json
+  | _ -> raise (Wire.Protocol_error "expected a metrics frame")
+
+let close t =
+  close_out_noerr t.oc;
+  close_in_noerr t.ic

@@ -1,0 +1,44 @@
+(** A thin blocking client for {!Daemon} — used by [fsql --connect], the
+    load bench, and the server tests.
+
+    One query may be in flight per connection. {!query} blocks until the
+    terminal frame; {!cancel} only writes and may be called from another
+    thread while a {!query} is blocked on the same connection (writes are
+    serialised by a mutex; the cancelled query still receives its
+    terminal [Cancelled] frame through the blocked {!query}). *)
+
+type t
+
+type row = { values : string list; degree : float }
+(** One answer tuple: printed attribute values and the membership degree,
+    bit-identical to the degree the server computed (it travels as
+    IEEE-754 bits). *)
+
+type reply =
+  | Answer of { columns : string list; rows : row list; server_elapsed_s : float }
+  | Failed of string  (** parse / semantic / execution error *)
+  | Overloaded  (** admission queue full; retry later *)
+  | Cancelled of string  (** deadline exceeded or explicit cancel *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host ["127.0.0.1"]. Raises [Unix.Unix_error] on failure. *)
+
+val of_addr : string -> t
+(** ["HOST:PORT"]. [Invalid_argument] on a malformed address. *)
+
+val query : ?deadline_ms:int -> ?domains:int -> t -> string -> reply
+(** Send one statement and block for the full reply. [deadline_ms = 0]
+    (default) defers to the server's default deadline, if any;
+    [domains = 0] (default) defers to the server's configured per-query
+    parallelism. Raises [End_of_file] if the server goes away mid-reply,
+    {!Wire.Protocol_error} on a malformed stream. *)
+
+val cancel : t -> unit
+(** Ask the server to cancel this connection's in-flight query. No-op
+    (server-side) when none is running. *)
+
+val metrics_json : t -> string
+(** Fetch the server's metrics registry as JSON. Do not call concurrently
+    with {!query} on the same connection. *)
+
+val close : t -> unit

@@ -1,0 +1,372 @@
+open Relational
+module Cancel = Storage.Cancel
+module Trace = Storage.Trace
+module Metrics = Storage.Metrics
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  lock : Mutex.t;  (** guards [oc] writes and the mutable fields *)
+  mutable busy : bool;  (** a query admitted, terminal frame pending *)
+  mutable current : Cancel.t option;
+  mutable alive : bool;  (** false once the peer is gone: writes no-op *)
+}
+
+type job = {
+  sql : string;
+  job_domains : int;
+  cancel : Cancel.t;
+  enqueued_at : float;
+  trace : Trace.t;
+      (** created at admission so its time origin covers the queue wait;
+          handed off through the queue's mutex (single-threaded use) *)
+  conn : conn;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  host : string;
+  n_workers : int;
+  query_domains : int;
+  default_deadline_ms : int option;
+  mem_pages : int;
+  terms : Fuzzy.Term.t;
+  setup : Storage.Env.t -> Catalog.t -> unit;
+  on_trace : (Trace.t -> unit) option;
+  queue : job Bounded_queue.t;
+  metrics : Metrics.t;
+  mlock : Mutex.t;  (** the registry is single-threaded; workers share it *)
+  pool : Storage.Task_pool.t;
+  mutable draining : bool;
+  mutable runner : Thread.t option;
+  mutable acceptor : Thread.t option;
+  conns : (conn * Thread.t) list ref;
+  conns_lock : Mutex.t;
+}
+
+let port t = t.bound_port
+let workers t = t.n_workers
+let queue_length t = Bounded_queue.length t.queue
+
+let count ?(by = 1) t name =
+  with_lock t.mlock (fun () -> Metrics.incr ~by (Metrics.counter t.metrics name))
+
+let observe t name v =
+  with_lock t.mlock (fun () -> Metrics.observe (Metrics.histogram t.metrics name) v)
+
+let counter_value t name =
+  with_lock t.mlock (fun () -> Metrics.counter_value (Metrics.counter t.metrics name))
+
+let metrics_json t = with_lock t.mlock (fun () -> Metrics.to_json t.metrics)
+
+(* Frame writes are serialised per connection and silently dropped once
+   the peer is gone — a disconnected client must not take its worker down
+   (SIGPIPE is ignored at [start]; the resulting EPIPE surfaces here as a
+   [Sys_error]). *)
+let send conn reply =
+  with_lock conn.lock (fun () ->
+      if conn.alive then
+        try Wire.write_reply conn.oc reply
+        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+
+(* ------------------------------------------------------------------ *)
+(* Worker side *)
+
+(* The terminal frame of a request must be written in the same critical
+   section that clears [busy]: a prompt client pipelines its next query
+   right after reading the terminal frame, and if [busy] were cleared
+   after the write the connection thread could reject that query as
+   still-in-flight. *)
+let send_terminal conn reply =
+  with_lock conn.lock (fun () ->
+      conn.busy <- false;
+      conn.current <- None;
+      if conn.alive then
+        try Wire.write_reply conn.oc reply
+        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+
+let stream_answer conn answer ~elapsed_s =
+  let schema = Relation.schema answer in
+  let cols = Array.to_list (Array.map fst (Schema.attrs schema)) in
+  let arity = Schema.arity schema in
+  send conn (Wire.Header cols);
+  let rows = ref 0 in
+  Relation.iter answer (fun tup ->
+      incr rows;
+      send conn
+        (Wire.Row
+           {
+             degree_bits = Int64.bits_of_float (Ftuple.degree tup);
+             values =
+               List.init arity (fun i -> Value.to_string (Ftuple.value tup i));
+           }));
+  send_terminal conn (Wire.Done { rows = !rows; elapsed_s })
+
+let handle_job t ~env ~catalog job =
+  let dequeued = Unix.gettimeofday () in
+  let tr = Some job.trace in
+  let outcome =
+    try
+      Trace.with_span tr "request" (fun () ->
+          Trace.add_timed_span tr "queue-wait" ~start_s:job.enqueued_at
+            ~dur_s:(dequeued -. job.enqueued_at);
+          Cancel.raise_if_cancelled job.cancel;
+          let q =
+            Trace.with_span tr "plan" (fun () ->
+                Fuzzysql.Analyzer.bind_string ~catalog ~terms:t.terms job.sql)
+          in
+          let stats = env.Storage.Env.stats in
+          let answer =
+            Trace.with_span tr ~stats "exec" (fun () ->
+                Unnest.Planner.run ~mem_pages:t.mem_pages
+                  ~domains:job.job_domains ~trace:job.trace ~cancel:job.cancel
+                  q)
+          in
+          let elapsed_s = Unix.gettimeofday () -. job.enqueued_at in
+          stream_answer job.conn answer ~elapsed_s;
+          Relation.destroy answer;
+          `Ok)
+    with
+    | Cancel.Cancelled reason -> `Cancelled reason
+    | Fuzzysql.Parser.Error m -> `Error ("parse error: " ^ m)
+    | Fuzzysql.Lexer.Error (m, pos) ->
+        `Error (Printf.sprintf "lex error at offset %d: %s" pos m)
+    | Fuzzysql.Analyzer.Error m -> `Error ("semantic error: " ^ m)
+    | Unnest.Planner.Unsupported m -> `Error ("unsupported: " ^ m)
+    | e -> `Error ("internal error: " ^ Printexc.to_string e)
+  in
+  (match outcome with
+  | `Ok -> count t "requests_completed"
+  | `Cancelled reason ->
+      send_terminal job.conn (Wire.Cancelled reason);
+      count t "requests_cancelled"
+  | `Error m ->
+      send_terminal job.conn (Wire.Error m);
+      count t "requests_failed");
+  let now = Unix.gettimeofday () in
+  observe t "queue_wait_s" (dequeued -. job.enqueued_at);
+  observe t "exec_s" (now -. dequeued);
+  observe t "latency_s" (now -. job.enqueued_at);
+  match t.on_trace with Some f -> f job.trace | None -> ()
+
+let worker_loop t () =
+  (* Shared-nothing: a private environment and catalog per worker domain
+     (the storage layer is single-threaded by design). *)
+  let env = Storage.Env.create ~pool_pages:t.mem_pages () in
+  let catalog = Catalog.create env in
+  t.setup env catalog;
+  let rec loop () =
+    match Bounded_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+        handle_job t ~env ~catalog job;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection side *)
+
+let admit t conn ~deadline_ms ~domains sql =
+  let now = Unix.gettimeofday () in
+  let deadline_ms =
+    if deadline_ms > 0 then Some deadline_ms else t.default_deadline_ms
+  in
+  let cancel =
+    match deadline_ms with
+    | Some ms -> Cancel.create ~deadline:(now +. (float_of_int ms /. 1000.0)) ()
+    | None -> Cancel.create ()
+  in
+  let job =
+    {
+      sql;
+      job_domains = (if domains >= 1 then domains else t.query_domains);
+      cancel;
+      enqueued_at = now;
+      trace = Trace.create ();
+      conn;
+    }
+  in
+  let verdict =
+    with_lock conn.lock (fun () ->
+        if conn.busy then `Busy
+        else if t.draining then `Draining
+        else if Bounded_queue.try_push t.queue job then begin
+          conn.busy <- true;
+          conn.current <- Some cancel;
+          `Accepted
+        end
+        else `Full)
+  in
+  match verdict with
+  | `Accepted -> count t "requests_accepted"
+  | `Full ->
+      count t "requests_rejected_overload";
+      send conn Wire.Overloaded
+  | `Busy ->
+      send conn (Wire.Error "a query is already in flight on this connection")
+  | `Draining -> send conn (Wire.Error "server is shutting down")
+
+let conn_loop t conn =
+  (try
+     let rec loop () =
+       (match Wire.read_request conn.ic with
+       | Wire.Query { deadline_ms; domains; sql } ->
+           admit t conn ~deadline_ms ~domains sql
+       | Wire.Cancel -> (
+           match with_lock conn.lock (fun () -> conn.current) with
+           | Some c -> Cancel.cancel ~reason:"cancelled by client" c
+           | None -> ())
+       | Wire.Metrics -> send conn (Wire.Metrics_json (metrics_json t)));
+       loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ | Wire.Protocol_error _
+   -> ());
+  (* Peer gone (or the daemon shut the socket down): cancel any in-flight
+     query so its worker frees up, wait for the terminal no-op send, and
+     only then close the descriptor — closing while a worker still writes
+     would race the fd number. *)
+  with_lock conn.lock (fun () ->
+      conn.alive <- false;
+      match conn.current with
+      | Some c -> Cancel.cancel ~reason:"client disconnected" c
+      | None -> ());
+  while with_lock conn.lock (fun () -> conn.busy) do
+    Thread.yield ();
+    Thread.delay 0.002
+  done;
+  close_out_noerr conn.oc;
+  close_in_noerr conn.ic
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+        if t.draining then () else loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | fd, _addr ->
+        if t.draining then Unix.close fd (* the stop wake-up; exit *)
+        else begin
+          let conn =
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              lock = Mutex.create ();
+              busy = false;
+              current = None;
+              alive = true;
+            }
+          in
+          let th = Thread.create (conn_loop t) conn in
+          with_lock t.conns_lock (fun () -> t.conns := (conn, th) :: !(t.conns));
+          loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> invalid_arg ("Daemon.start: unknown host " ^ host))
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
+    ?(queue_capacity = 16) ?default_deadline_ms ?(domains = 1)
+    ?(mem_pages = Unnest.Planner.default_mem_pages)
+    ?(terms = Fuzzy.Term.paper) ?on_trace ~setup () =
+  if workers < 1 then invalid_arg "Daemon.start: workers < 1";
+  if domains < 1 then invalid_arg "Daemon.start: domains < 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (resolve host, port));
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      host;
+      n_workers = workers;
+      query_domains = domains;
+      default_deadline_ms;
+      mem_pages;
+      terms;
+      setup;
+      on_trace;
+      queue = Bounded_queue.create ~capacity:queue_capacity;
+      metrics = Metrics.create ();
+      mlock = Mutex.create ();
+      pool = Storage.Task_pool.create ~domains:workers;
+      draining = false;
+      runner = None;
+      acceptor = None;
+      conns = ref [];
+      conns_lock = Mutex.create ();
+    }
+  in
+  (* The worker pool: [workers] long-running jobs on the task pool. The
+     dispatcher thread is the pool's coordinator (it runs job 0 itself),
+     so a 1-worker server spawns no domain at all. *)
+  t.runner <-
+    Some
+      (Thread.create
+         (fun () ->
+           ignore
+             (Storage.Task_pool.run_list t.pool
+                (List.init workers (fun _ -> worker_loop t))))
+         ());
+  t.acceptor <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  if not t.draining then begin
+    t.draining <- true;
+    (* Wake the accept thread with a throw-away connection. *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.bound_port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (* Drain: admitted jobs are still popped and answered; then the
+       workers see [None] and exit, and the dispatcher joins. *)
+    Bounded_queue.close t.queue;
+    Option.iter Thread.join t.runner;
+    t.runner <- None;
+    Storage.Task_pool.shutdown t.pool;
+    Option.iter Thread.join t.acceptor;
+    t.acceptor <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* Unblock every connection reader and join the threads (each closes
+       its own descriptor on the way out). *)
+    let conns = with_lock t.conns_lock (fun () -> !(t.conns)) in
+    List.iter
+      (fun (conn, _) ->
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns
+  end

@@ -1,0 +1,98 @@
+(** The fsqld daemon: a TCP Fuzzy SQL server with admission control,
+    per-query deadlines, cooperative cancellation, and graceful shutdown.
+
+    {1 Architecture}
+
+    One {e accept thread} takes connections; each connection gets a
+    {e connection thread} that reads {!Wire} request frames. A [Query]
+    frame is admitted into a bounded queue (or rejected with
+    [Overloaded] when the queue is full — producers never block) and
+    picked up by one of a fixed set of {e worker domains}, which are run
+    as long-lived jobs on a {!Storage.Task_pool} so queries execute in
+    parallel, not merely concurrently. The worker streams the answer
+    ([Header], [Row]s, [Done]) straight to the client's socket.
+
+    Workers are shared-nothing: each builds a private
+    {!Storage.Env} + {!Relational.Catalog} with the [~setup] callback at
+    startup, because the storage layer (buffer pool, Iostats) is
+    single-threaded by design. The effective number of parallel workers
+    is capped by the machine
+    ([min (workers) (Domain.recommended_domain_count ())]) — the pool
+    never oversubscribes cores.
+
+    {1 Deadlines and cancellation}
+
+    Each query runs under a {!Storage.Cancel} token whose deadline is
+    [admission time + deadline_ms] (the client's, or [default_deadline_ms]
+    when the client sends none). The engine polls the token at operator
+    boundaries — sort comparators, sweep loops, nested-loop scans, chain
+    cascade steps — so a deadline or an explicit [Cancel] frame (or a
+    client disconnect) unwinds the query with a [Cancelled] reply within
+    one poll period and frees the worker; the executors destroy their
+    temporaries on the way out, so the worker's environment is clean for
+    the next query.
+
+    {1 Observability}
+
+    Every request carries one {!Storage.Trace} collector rooted at a
+    [request] span with [queue-wait] (timed at admission), [plan], and
+    [exec] children (the planner's own operator spans nest under [exec]).
+    The [?on_trace] callback receives each completed trace — fsqld uses
+    it to write Chrome trace files. A {!Storage.Metrics} registry (one
+    per daemon, so servers don't leak counters into each other) counts
+    accepted / rejected / cancelled / failed / completed requests and
+    histograms queue-wait, execution, and end-to-end latency.
+
+    {1 Shutdown}
+
+    {!stop} drains: no new connections or queries are admitted, queries
+    already in the queue or in flight run to completion and their replies
+    are delivered, then workers, the accept loop, and the connection
+    threads are joined. Idempotent. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?default_deadline_ms:int ->
+  ?domains:int ->
+  ?mem_pages:int ->
+  ?terms:Fuzzy.Term.t ->
+  ?on_trace:(Storage.Trace.t -> unit) ->
+  setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
+  unit ->
+  t
+(** Bind, listen, spawn the workers, and return immediately. Defaults:
+    host ["127.0.0.1"], port [0] (ephemeral — read it back with {!port}),
+    [workers = 2], [queue_capacity = 16], no default deadline,
+    [domains = 1] (per-query merge-join parallelism on a pool the query
+    creates privately), [mem_pages = Unnest.Planner.default_mem_pages],
+    the paper's term vocabulary. [~setup] runs once per worker on the
+    worker's own domain. [?on_trace] runs on the worker that executed the
+    request, after the terminal frame is sent — it must be thread-safe. *)
+
+val port : t -> int
+(** The bound port (useful with [~port:0]). *)
+
+val queue_length : t -> int
+(** Queries admitted but not yet picked up by a worker. *)
+
+val workers : t -> int
+
+val counter_value : t -> string -> int
+(** Read one metrics counter ([requests_accepted],
+    [requests_rejected_overload], [requests_cancelled], [requests_failed],
+    [requests_completed]); 0 when it has not been touched yet. *)
+
+val metrics_json : t -> string
+(** JSON dump of the daemon's metrics registry (also available over the
+    wire with a [Metrics] frame). *)
+
+val stop : t -> unit
+(** Graceful shutdown: drain admitted queries, deliver their replies,
+    join every thread and worker domain, close every socket. Blocks until
+    done; idempotent. In-flight queries still run to completion — pair a
+    deadline or client cancel with [stop] to bound the drain time. *)

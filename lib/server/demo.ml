@@ -1,0 +1,74 @@
+open Relational
+
+let term name =
+  Value.Fuzzy (Option.get (Fuzzy.Term.lookup Fuzzy.Term.paper name))
+
+let tuple vs d = Ftuple.make (Array.of_list vs) d
+
+let person_schema name =
+  Schema.make ~name
+    [ ("ID", Schema.TNum); ("NAME", Schema.TStr); ("AGE", Schema.TNum);
+      ("INCOME", Schema.TNum) ]
+
+let load_dating env catalog =
+  Catalog.add catalog
+    (Relation.of_list env (person_schema "F")
+       [
+         tuple [ Value.Int 101; Value.Str "Ann"; term "about 35"; term "about 60K" ] 1.0;
+         tuple [ Value.Int 102; Value.Str "Ann"; term "medium young"; term "medium high" ] 1.0;
+         tuple [ Value.Int 103; Value.Str "Betty"; term "middle age"; term "high" ] 1.0;
+         tuple [ Value.Int 104; Value.Str "Cathy"; term "about 50"; term "low" ] 1.0;
+       ]);
+  Catalog.add catalog
+    (Relation.of_list env (person_schema "M")
+       [
+         tuple [ Value.Int 201; Value.Str "Allen"; Value.crisp_num 24.0; term "about 25K" ] 1.0;
+         tuple [ Value.Int 202; Value.Str "Allen"; term "about 50"; term "about 40K" ] 1.0;
+         tuple [ Value.Int 203; Value.Str "Bill"; term "middle age"; term "high" ] 1.0;
+         tuple [ Value.Int 204; Value.Str "Carl"; term "about 29"; term "medium low" ] 1.0;
+       ])
+
+let load_generated ?(seed = 7) ?(n = 500) ?(groups = 50) env catalog =
+  let spec = { Workload.Gen.default_spec with n; groups } in
+  let r, s = Workload.Gen.join_pair env ~seed ~outer:spec ~inner:spec in
+  Catalog.add catalog r;
+  Catalog.add catalog s
+
+(* Random crisp-or-trapezoid values over [0, 50]; deterministic in the
+   seed. Trapezoids are localised (support <= 5 wide) so fuzzy joins stay
+   selective — domain-wide supports would make every join all-pairs and a
+   3-block chain quadratic in practice. *)
+let rand_value rng =
+  match Random.State.int rng 4 with
+  | 0 -> Value.crisp_num (float_of_int (Random.State.int rng 50))
+  | _ ->
+      let c = Random.State.float rng 45.0 in
+      Value.Fuzzy
+        (Fuzzy.Possibility.trap
+           (Workload.Gen.random_trapezoid rng ~lo:c ~hi:(c +. 5.0)))
+
+let rand_degree rng = 0.125 *. float_of_int (1 + Random.State.int rng 8)
+
+let load_nested ?(seed = 11) ?(n_r = 120) ?(n_s = 120) ?(n_t = 60) env catalog
+    =
+  let rng = Random.State.make [| seed |] in
+  let rel name n attrs =
+    let schema =
+      Schema.make ~name
+        (("ID", Schema.TNum) :: List.map (fun a -> (a, Schema.TNum)) attrs)
+    in
+    let tuples =
+      List.init n (fun i ->
+          tuple
+            (Value.Int i :: List.map (fun _ -> rand_value rng) attrs)
+            (rand_degree rng))
+    in
+    Catalog.add catalog (Relation.of_list env schema tuples)
+  in
+  rel "R" n_r [ "Y"; "U" ];
+  rel "S" n_s [ "Z"; "V" ];
+  rel "T" n_t [ "W"; "P" ]
+
+let server_setup ?seed ?n_r ?n_s ?n_t () env catalog =
+  load_dating env catalog;
+  load_nested ?seed ?n_r ?n_s ?n_t env catalog

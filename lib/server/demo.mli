@@ -1,0 +1,39 @@
+(** Seeded demo databases, shared by [fsql] (local mode), [fsqld] worker
+    setup, the server tests, and the load bench.
+
+    Three building blocks:
+    - {!load_dating}: the paper's Example 4.1 dating-service relations
+      F and M (4 tuples each, fuzzy AGE / INCOME terms);
+    - {!load_generated}: a Section 9 workload pair R / S from
+      {!Workload.Gen.join_pair} (schema (ID, X, W));
+    - {!load_nested}: deterministic relations R(ID, Y, U), S(ID, Z, V),
+      T(ID, W, P) with random fuzzy values — the attribute shapes the
+      nested-query test templates (types N / J / JX / JA / JALL / chain)
+      are written against.
+
+    Every generator is a pure function of its seed: two processes calling
+    the same loader with the same seed build bit-identical relations,
+    which is what lets a load-bench client verify server answers against
+    a locally computed expectation. *)
+
+val load_dating : Storage.Env.t -> Relational.Catalog.t -> unit
+
+val load_generated :
+  ?seed:int -> ?n:int -> ?groups:int ->
+  Storage.Env.t -> Relational.Catalog.t -> unit
+(** Defaults: [seed = 7], [n = 500], [groups = 50] — the fsql banner's
+    "R, S (generated, 500 tuples)". *)
+
+val load_nested :
+  ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int ->
+  Storage.Env.t -> Relational.Catalog.t -> unit
+(** Defaults: [seed = 11], [n_r = 120], [n_s = 120], [n_t = 60]. Values
+    are crisp numbers or random trapezoids in [0, 50]; degrees are
+    multiples of 1/8 in (0, 1]. *)
+
+val server_setup :
+  ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int -> unit ->
+  Storage.Env.t -> Relational.Catalog.t -> unit
+(** The default [fsqld] worker database: {!load_dating} (F, M) plus
+    {!load_nested} (R, S, T). Partially applied, it is the [~setup]
+    argument of {!Daemon.start}. *)

@@ -1,0 +1,166 @@
+exception Protocol_error of string
+
+type request =
+  | Query of { deadline_ms : int; domains : int; sql : string }
+  | Cancel
+  | Metrics
+
+type reply =
+  | Header of string list
+  | Row of { degree_bits : int64; values : string list }
+  | Done of { rows : int; elapsed_s : float }
+  | Error of string
+  | Overloaded
+  | Cancelled of string
+  | Metrics_json of string
+
+let max_frame = 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders (big-endian) on a Buffer / decoders on a string. *)
+
+let add_u32 buf n =
+  if n < 0 then invalid_arg "Wire.add_u32: negative";
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let add_u64 buf (n : int64) =
+  for shift = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * shift)) 0xFFL)))
+  done
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_strs buf ss =
+  add_u32 buf (List.length ss);
+  List.iter (add_str buf) ss
+
+let get_u32 s pos =
+  if !pos + 4 > String.length s then raise (Protocol_error "truncated u32");
+  let b i = Char.code s.[!pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  pos := !pos + 4;
+  v
+
+let get_u64 s pos =
+  if !pos + 8 > String.length s then raise (Protocol_error "truncated u64");
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[!pos + i]))
+  done;
+  pos := !pos + 8;
+  !v
+
+let get_str s pos =
+  let n = get_u32 s pos in
+  if !pos + n > String.length s then raise (Protocol_error "truncated string");
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let get_strs s pos =
+  let n = get_u32 s pos in
+  List.init n (fun _ -> get_str s pos)
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let write_frame oc payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  output_bytes oc hdr;
+  output_string oc payload;
+  flush oc
+
+let read_frame ic =
+  let hdr = really_input_string ic 4 in
+  let b i = Char.code hdr.[i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  if n > max_frame then raise (Protocol_error "oversized frame");
+  if n = 0 then raise (Protocol_error "empty frame");
+  really_input_string ic n
+
+(* ------------------------------------------------------------------ *)
+(* Messages *)
+
+let encode_request r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Query { deadline_ms; domains; sql } ->
+      Buffer.add_char buf 'Q';
+      add_u32 buf deadline_ms;
+      add_u32 buf domains;
+      add_str buf sql
+  | Cancel -> Buffer.add_char buf 'X'
+  | Metrics -> Buffer.add_char buf 'M');
+  Buffer.contents buf
+
+let decode_request payload =
+  let pos = ref 1 in
+  match payload.[0] with
+  | 'Q' ->
+      let deadline_ms = get_u32 payload pos in
+      let domains = get_u32 payload pos in
+      let sql = get_str payload pos in
+      Query { deadline_ms; domains; sql }
+  | 'X' -> Cancel
+  | 'M' -> Metrics
+  | c -> raise (Protocol_error (Printf.sprintf "unknown request tag %C" c))
+
+let encode_reply r =
+  let buf = Buffer.create 128 in
+  (match r with
+  | Header cols ->
+      Buffer.add_char buf 'H';
+      add_strs buf cols
+  | Row { degree_bits; values } ->
+      Buffer.add_char buf 'R';
+      add_u64 buf degree_bits;
+      add_strs buf values
+  | Done { rows; elapsed_s } ->
+      Buffer.add_char buf 'D';
+      add_u32 buf rows;
+      add_u64 buf (Int64.bits_of_float elapsed_s)
+  | Error msg ->
+      Buffer.add_char buf 'E';
+      add_str buf msg
+  | Overloaded -> Buffer.add_char buf 'O'
+  | Cancelled reason ->
+      Buffer.add_char buf 'C';
+      add_str buf reason
+  | Metrics_json json ->
+      Buffer.add_char buf 'J';
+      add_str buf json);
+  Buffer.contents buf
+
+let decode_reply payload =
+  let pos = ref 1 in
+  match payload.[0] with
+  | 'H' -> Header (get_strs payload pos)
+  | 'R' ->
+      let degree_bits = get_u64 payload pos in
+      let values = get_strs payload pos in
+      Row { degree_bits; values }
+  | 'D' ->
+      let rows = get_u32 payload pos in
+      let elapsed_s = Int64.float_of_bits (get_u64 payload pos) in
+      Done { rows; elapsed_s }
+  | 'E' -> Error (get_str payload pos)
+  | 'O' -> Overloaded
+  | 'C' -> Cancelled (get_str payload pos)
+  | 'J' -> Metrics_json (get_str payload pos)
+  | c -> raise (Protocol_error (Printf.sprintf "unknown reply tag %C" c))
+
+let write_request oc r = write_frame oc (encode_request r)
+let write_reply oc r = write_frame oc (encode_reply r)
+let read_request ic = decode_request (read_frame ic)
+let read_reply ic = decode_reply (read_frame ic)

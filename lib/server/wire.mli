@@ -1,0 +1,58 @@
+(** The fsqld wire protocol: length-prefixed binary frames over TCP.
+
+    Every frame is a 4-byte big-endian payload length followed by the
+    payload; the payload's first byte is a tag, the rest is the message
+    body. Integers are big-endian; strings and string lists are
+    length-prefixed. Floats travel as their IEEE-754 bit patterns, so a
+    membership degree received by a client is bit-identical to the degree
+    the server computed — the equality notion of the unnesting theorems
+    survives the network hop.
+
+    Requests (client to server): [Query] (deadline, per-query execution
+    parallelism, SQL text), [Cancel] (cancel the in-flight query on this
+    connection), [Metrics] (dump the server's metrics registry).
+
+    Replies (server to client) for one query, in order: one [Header]
+    (column names), zero or more [Row]s, and exactly one terminal frame —
+    [Done] on success, [Error] (parse / semantic / execution error),
+    [Overloaded] (admission queue full), or [Cancelled] (deadline exceeded,
+    client cancel, or disconnect). [Metrics_json] answers a [Metrics]
+    request. *)
+
+exception Protocol_error of string
+(** Malformed frame: bad tag, truncated body, or an over-sized length
+    prefix (the frame cap guards against garbage on the port). *)
+
+type request =
+  | Query of { deadline_ms : int; domains : int; sql : string }
+      (** [deadline_ms = 0] means no client deadline (the server default,
+          if any, still applies); [domains = 0] means the server's
+          configured per-query parallelism. *)
+  | Cancel
+  | Metrics
+
+type reply =
+  | Header of string list  (** column names of the answer schema *)
+  | Row of { degree_bits : int64; values : string list }
+      (** one answer tuple: degree as IEEE-754 bits, values printed *)
+  | Done of { rows : int; elapsed_s : float }
+      (** terminal: row count and server-side wall time (admission to
+          last row) *)
+  | Error of string
+  | Overloaded
+  | Cancelled of string  (** terminal: why the query was cancelled *)
+  | Metrics_json of string
+
+val max_frame : int
+(** Frames above this size (64 MB) raise {!Protocol_error} on read. *)
+
+val write_request : out_channel -> request -> unit
+(** Encode, frame, write, flush. *)
+
+val write_reply : out_channel -> reply -> unit
+
+val read_request : in_channel -> request
+(** Blocks for a full frame. Raises [End_of_file] on a clean disconnect,
+    {!Protocol_error} on garbage. *)
+
+val read_reply : in_channel -> reply

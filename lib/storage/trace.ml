@@ -95,6 +95,33 @@ let with_span trace ?lane ?stats ?pool name f =
           close_span t ?stats ?pool sp;
           raise e)
 
+(* A pre-measured span (e.g. a server request's queue wait, timed by the
+   admission layer before any worker ran code for it) attached under the
+   innermost open span. [start_s] is absolute wall-clock time; counters are
+   zero. *)
+let add_timed_span trace ?lane name ~start_s ~dur_s =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let sp =
+        {
+          name;
+          lane = (match lane with Some l -> l | None -> t.lane);
+          start_s = start_s -. t.t0;
+          dur_s;
+          reads = 0;
+          writes = 0;
+          compares = 0;
+          fuzzy = 0;
+          pool_hits = 0;
+          pool_misses = 0;
+          rows = -1;
+          est_rows = Float.nan;
+          rev_children = [];
+        }
+      in
+      attach t sp
+
 let annotate trace g =
   match trace with
   | None -> ()

@@ -44,6 +44,14 @@ val with_span :
     likewise for buffer-pool hits/misses. Exception-safe (the span is closed
     and the exception re-raised). *)
 
+val add_timed_span :
+  t option -> ?lane:int -> string -> start_s:float -> dur_s:float -> unit
+(** Attach a pre-measured span (no counter deltas) under the innermost open
+    span. [start_s] is an absolute [Unix.gettimeofday] instant — it is
+    rebased onto the trace's time origin, so a span timed before the
+    collector existed (a server request's queue wait, measured at admission)
+    still lands at the right offset. No-op when the trace is [None]. *)
+
 val set_rows : t option -> int -> unit
 (** Record the output cardinality on the innermost open span. No-op when
     the trace is [None] or no span is open. *)

@@ -137,7 +137,7 @@ let is_constant_inner = function
   | Classify.Agg_link _ | Classify.Quant_link _ ->
       false
 
-let run ?(name = "answer") ?pool ?trace (shape : Classify.two_level)
+let run ?(name = "answer") ?pool ?trace ?cancel (shape : Classify.two_level)
     ~mem_pages : Relation.t =
   let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
   let env = Relation.env outer in
@@ -155,6 +155,7 @@ let run ?(name = "answer") ?pool ?trace (shape : Classify.two_level)
     if preds = [] && not prune then (rel, false)
     else
       ( Algebra.select rel ~pred:(fun tup ->
+            Storage.Cancel.check cancel;
             let d = Semantics.local_degree stats tup preds in
             if
               prune
@@ -179,16 +180,22 @@ let run ?(name = "answer") ?pool ?trace (shape : Classify.two_level)
         Trace.set_rows trace (Relation.cardinality deduped);
         deduped)
   in
-  let outer', outer_owned = traced_reduce "outer" outer p1 ~prune
-  and inner', inner_owned =
+  (* Reductions and sorted temporaries are destroyed through [temps] so a
+     cancellation raised anywhere in the pipeline (reduce, sort, sweep)
+     still frees them — a server worker's environment outlives the query. *)
+  let temps = ref [] in
+  Fun.protect ~finally:(fun () -> List.iter Relation.destroy !temps)
+  @@ fun () ->
+  let outer', outer_owned = traced_reduce "outer" outer p1 ~prune in
+  if outer_owned then temps := outer' :: !temps;
+  let inner', inner_owned =
     traced_reduce "inner" inner p2 ~prune:(prune && Pushdown.inner_prunable link)
   in
+  if inner_owned then temps := inner' :: !temps;
   if is_constant_inner link then begin
     Trace.with_span trace ~stats "constant-inner" (fun () ->
         run_constant_inner ~stats ~out ~select ~outer' ~inner' link;
         Trace.set_rows trace (Relation.cardinality out));
-    if outer_owned then Relation.destroy outer';
-    if inner_owned then Relation.destroy inner';
     let deduped = dedup_project out in
     Semantics.apply_threshold deduped threshold
   end
@@ -344,41 +351,52 @@ let run ?(name = "answer") ?pool ?trace (shape : Classify.two_level)
                     project_insert out select r
                       (Degree.conj (Ftuple.degree r) d_link) ))
   in
-  let sorted_r = Join_merge.sort_by ?pool ?trace outer' ~attr:sweep_y ~mem_pages in
-  let sorted_s = Join_merge.sort_by ?pool ?trace inner' ~attr:sweep_z ~mem_pages in
-  Join_merge.sweep_sorted ?pool ?trace ~outer:sorted_r ~inner:sorted_s
+  let sorted_r =
+    Join_merge.sort_by ?pool ?trace ?cancel outer' ~attr:sweep_y ~mem_pages
+  in
+  temps := sorted_r :: !temps;
+  let sorted_s =
+    Join_merge.sort_by ?pool ?trace ?cancel inner' ~attr:sweep_z ~mem_pages
+  in
+  temps := sorted_s :: !temps;
+  Join_merge.sweep_sorted ?pool ?trace ?cancel ~outer:sorted_r ~inner:sorted_s
     ~outer_attr:sweep_y ~inner_attr:sweep_z ~mem_pages ~f:handle_r ();
-  Relation.destroy sorted_r;
-  Relation.destroy sorted_s;
-  if outer_owned then Relation.destroy outer';
-  if inner_owned then Relation.destroy inner';
   let deduped = dedup_project out in
   Semantics.apply_threshold deduped threshold
   end
 
-let run_chain ?(name = "answer") ?order ?pool ?trace (chain : Classify.chain)
-    ~mem_pages : Relation.t =
+let run_chain ?(name = "answer") ?order ?pool ?trace ?cancel
+    (chain : Classify.chain) ~mem_pages : Relation.t =
   let { Classify.blocks; top_select; chain_threshold } = chain in
   let blocks_arr = Array.of_list blocks in
   let k = Array.length blocks_arr in
   if k = 0 then invalid_arg "Merge_exec.run_chain: no blocks";
   let stats_of rel = (Relation.env rel).Storage.Env.stats in
   let stats = stats_of blocks_arr.(0).Classify.rel in
+  (* Every owned intermediate (block reductions, join cascade steps) goes
+     through [temps] so a cancellation at any point of the cascade frees
+     them all; cascade steps that are superseded are destroyed early to
+     bound disk usage, the rest on exit. *)
+  let temps = ref [] in
+  Fun.protect ~finally:(fun () -> List.iter Relation.destroy !temps)
+  @@ fun () ->
   (* Pre-select each block's relation with its local predicates. *)
   let reduced =
     Array.mapi
       (fun i (b : Classify.chain_block) ->
-        if b.Classify.p_local = [] then (b.Classify.rel, false)
+        if b.Classify.p_local = [] then b.Classify.rel
         else
           Trace.with_span trace ~stats
             (Printf.sprintf "reduce block-%d" i)
             (fun () ->
               let r =
                 Algebra.select b.Classify.rel ~pred:(fun tup ->
+                    Storage.Cancel.check cancel;
                     Semantics.local_degree stats tup b.Classify.p_local)
               in
               Trace.set_rows trace (Relation.cardinality r);
-              (r, true)))
+              temps := r :: !temps;
+              r))
       blocks_arr
   in
   let { Chain_order.start; steps; _ } =
@@ -394,14 +412,15 @@ let run_chain ?(name = "answer") ?order ?pool ?trace (chain : Classify.chain)
   offsets.(start) <- 0;
   let lo = ref start and hi = ref start in
   let arity b = Schema.arity (Relation.schema blocks_arr.(b).Classify.rel) in
-  let acc = ref (fst reduced.(start)) in
+  let acc = ref reduced.(start) in
   let acc_owned = ref false in
   let acc_arity = ref (arity start) in
   let in_set b = offsets.(b) >= 0 in
   let add_block b =
+    Storage.Cancel.check cancel;
     if b <> !lo - 1 && b <> !hi + 1 then
       invalid_arg "Merge_exec.run_chain: order step not adjacent to the set";
-    let new_rel = fst reduced.(b) in
+    let new_rel = reduced.(b) in
     (* The equality linking block [b] to the set: the link between b and
        b+1 when extending left, between b-1 and b when extending right. *)
     let outer_attr, inner_attr =
@@ -453,10 +472,15 @@ let run_chain ?(name = "answer") ?order ?pool ?trace (chain : Classify.chain)
         d1 onto_new
     in
     let joined =
-      Join_merge.join_eq ?pool ?trace ~outer:!acc ~inner:new_rel ~outer_attr
-        ~inner_attr ~mem_pages ~residual ()
+      Join_merge.join_eq ?pool ?trace ?cancel ~outer:!acc ~inner:new_rel
+        ~outer_attr ~inner_attr ~mem_pages ~residual ()
     in
-    if !acc_owned then Relation.destroy !acc;
+    temps := joined :: !temps;
+    if !acc_owned then begin
+      let old = !acc in
+      temps := List.filter (fun r -> r != old) !temps;
+      Relation.destroy old
+    end;
     acc := joined;
     acc_owned := true;
     offsets.(b) <- !acc_arity;
@@ -465,11 +489,6 @@ let run_chain ?(name = "answer") ?order ?pool ?trace (chain : Classify.chain)
     if b > !hi then hi := b
   in
   List.iter add_block steps;
-  Array.iteri
-    (fun i (rel, owned) ->
-      ignore i;
-      if owned then Relation.destroy rel)
-    reduced;
   let out =
     Trace.with_span trace ~stats "project" (fun () ->
         let out =

@@ -24,18 +24,26 @@ exception Not_unnestable of string
 
 val run :
   ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   Classify.two_level -> mem_pages:int -> Relational.Relation.t
 (** With a multi-domain [?pool], the sorts and the sweep run domain-parallel
     (see {!Relational.Join_merge}); answers and degrees are identical to the
     sequential run. With [?trace], one span per operator is recorded
     (reduce, sort/run-formation/k-way-merge, sweep, dedup — or
-    constant-inner for uncorrelated subqueries); [None] costs nothing. *)
+    constant-inner for uncorrelated subqueries); [None] costs nothing.
+    With [?cancel], the reduction predicates, sort comparators, and sweep
+    loops poll the token; on {!Storage.Cancel.Cancelled} every owned
+    intermediate (reductions, sorted temporaries) is destroyed before the
+    exception escapes, so a server worker's environment stays clean. *)
 
 val run_chain :
   ?name:string -> ?order:Chain_order.order -> ?pool:Storage.Task_pool.t ->
-  ?trace:Storage.Trace.t -> Classify.chain -> mem_pages:int ->
+  ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  Classify.chain -> mem_pages:int ->
   Relational.Relation.t
 (** Default order: left-to-right (outermost block first). The order's steps
     must each be adjacent to the already-joined interval
-    ([Invalid_argument] otherwise). [?pool] and [?trace] as for {!run}
-    (spans: reduce block-i, one join subtree per step, project). *)
+    ([Invalid_argument] otherwise). [?pool], [?trace] and [?cancel] as for
+    {!run} (spans: reduce block-i, one join subtree per step, project; the
+    cancel token is additionally polled before each cascade step, and the
+    cascade's intermediates are freed on cancellation). *)

@@ -33,8 +33,8 @@ let corr_degree stats (corr : Classify.corr list) r s =
                (Ftuple.value r c.Classify.outer_attr)))
         Degree.one corr
 
-let run ?(name = "answer") ?trace (shape : Classify.two_level) ~mem_pages :
-    Relation.t =
+let run ?(name = "answer") ?trace ?cancel (shape : Classify.two_level)
+    ~mem_pages : Relation.t =
   let module Trace = Storage.Trace in
   let { Classify.select; outer; inner; p1; p2; link; threshold } = shape in
   let env = Relation.env outer in
@@ -55,6 +55,7 @@ let run ?(name = "answer") ?trace (shape : Classify.two_level) ~mem_pages :
     (fun () ->
   Join_nested_loop.iter_blocks ~outer ~inner ~mem_pages
     ~f:(fun block scan_inner ->
+      Storage.Cancel.check cancel;
       (* d1.(i): degree of membership and p1 for the i-th block tuple. *)
       let d1 =
         Array.map
@@ -179,6 +180,7 @@ let run ?(name = "answer") ?trace (shape : Classify.two_level) ~mem_pages :
       in
       let inner_prune = Pushdown.inner_prunable link in
       scan_inner (fun s ->
+          Storage.Cancel.check cancel;
           let d2 =
             Degree.conj (Ftuple.degree s) (Semantics.local_degree stats s p2)
           in

@@ -11,10 +11,12 @@
     pattern [b_R + ceil(b_R / (M-1)) * b_S]. *)
 
 val run :
-  ?name:string -> ?trace:Storage.Trace.t -> Classify.two_level ->
-  mem_pages:int -> Relational.Relation.t
+  ?name:string -> ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  Classify.two_level -> mem_pages:int -> Relational.Relation.t
 (** Evaluate a classified 2-level nested query with the blocked nested-loop
     method. Applicable to every link type (IN, NOT IN, ALL/SOME, EXISTS,
     aggregates), with the WITH threshold pushed down where sound. With
     [?trace], a [nested-loop] span (blocked scan, with buffer-pool
-    hit/miss deltas) and a [dedup] span are recorded. *)
+    hit/miss deltas) and a [dedup] span are recorded. With [?cancel], the
+    token is polled once per outer block and once per scanned inner tuple,
+    so a deadline unwinds with {!Storage.Cancel.Cancelled} mid-scan. *)

@@ -22,8 +22,8 @@ val default_mem_pages : int
 
 val run :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> ?trace:Storage.Trace.t -> Fuzzysql.Bound.query ->
-  Relational.Relation.t
+  ?domains:int -> ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  Fuzzysql.Bound.query -> Relational.Relation.t
 (** [chain_dp] (default true) selects the chain join order with the
     dynamic-programming search of {!Chain_order}; false uses the syntactic
     left-to-right order.
@@ -36,10 +36,18 @@ val run :
 
     [trace] (default off, costing nothing) collects one hierarchical span
     per plan operator under a root [query] span — see {!Storage.Trace} and
-    {!Explain.analyze}. *)
+    {!Explain.analyze}.
+
+    [cancel] (default off, costing nothing) is a {!Storage.Cancel} token
+    polled at operator boundaries of the merge-join and nested-loop
+    executors: a deadline or an explicit {!Storage.Cancel.cancel} unwinds
+    the query with {!Storage.Cancel.Cancelled} within one poll period,
+    destroying every owned intermediate on the way out. The fuzzy SQL
+    server uses this for per-query deadlines and client cancellation. *)
 
 val run_string :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> ?trace:Storage.Trace.t -> catalog:Relational.Catalog.t ->
+  ?domains:int -> ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  catalog:Relational.Catalog.t ->
   terms:Fuzzy.Term.t -> string -> Relational.Relation.t
 (** Parse, bind, and run. *)

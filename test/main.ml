@@ -3,4 +3,5 @@ let () =
     (Test_fuzzy.suites @ Test_storage.suites @ Test_relational.suites
    @ Test_joins.suites @ Test_sql.suites @ Test_equivalence.suites
    @ Test_paper.suites @ Test_extensions.suites @ Test_grouping.suites
-   @ Test_frontend.suites @ Test_explain.suites @ Test_observability.suites)
+   @ Test_frontend.suites @ Test_explain.suites @ Test_observability.suites
+   @ Test_server.suites)

@@ -1,0 +1,397 @@
+(** Tests for the serving layer: wire-protocol round-trips, the bounded
+    admission queue, and the daemon end-to-end over real sockets —
+    concurrent clients get bit-identical answers to the sequential
+    engine, deadlines and explicit cancels return [Cancelled] and free
+    the worker, queue overflow returns [Overloaded], every request
+    produces a trace with queue-wait/plan/exec children, and shutdown
+    drains cleanly. *)
+
+open Frepro
+open Frepro.Relational
+
+let tc = Alcotest.test_case
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let wait_for ?(timeout = 10.0) what f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol round-trips through a real pipe.                      *)
+
+let roundtrip_request req =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  let ic = Unix.in_channel_of_descr r in
+  Server.Wire.write_request oc req;
+  let got = Server.Wire.read_request ic in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  got
+
+let roundtrip_reply reply =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  let ic = Unix.in_channel_of_descr r in
+  Server.Wire.write_reply oc reply;
+  let got = Server.Wire.read_reply ic in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  got
+
+let wire_tests =
+  [
+    tc "requests round-trip" `Quick (fun () ->
+        let q =
+          Server.Wire.Query
+            { deadline_ms = 250; domains = 4; sql = "SELECT R.ID FROM R" }
+        in
+        Alcotest.(check bool) "query" true (roundtrip_request q = q);
+        Alcotest.(check bool)
+          "cancel" true
+          (roundtrip_request Server.Wire.Cancel = Server.Wire.Cancel);
+        Alcotest.(check bool)
+          "metrics" true
+          (roundtrip_request Server.Wire.Metrics = Server.Wire.Metrics));
+    tc "replies round-trip with exact degree bits" `Quick (fun () ->
+        let row =
+          Server.Wire.Row
+            {
+              degree_bits = Int64.bits_of_float 0.7000000000000001;
+              values = [ "\"Ann\""; "35" ];
+            }
+        in
+        List.iter
+          (fun reply ->
+            Alcotest.(check bool) "roundtrip" true (roundtrip_reply reply = reply))
+          [
+            Server.Wire.Header [ "NAME"; "AGE" ];
+            row;
+            Server.Wire.Done { rows = 3; elapsed_s = 0.0421 };
+            Server.Wire.Error "parse error: ...";
+            Server.Wire.Overloaded;
+            Server.Wire.Cancelled "deadline exceeded";
+            Server.Wire.Metrics_json "{}";
+          ]);
+    tc "oversized and empty frames are protocol errors" `Quick (fun () ->
+        let r, w = Unix.pipe () in
+        let oc = Unix.out_channel_of_descr w in
+        let ic = Unix.in_channel_of_descr r in
+        (* length header far above max_frame *)
+        output_string oc "\xff\xff\xff\xff";
+        flush oc;
+        (try
+           ignore (Server.Wire.read_reply ic);
+           Alcotest.fail "expected Protocol_error"
+         with Server.Wire.Protocol_error _ -> ());
+        close_out_noerr oc;
+        close_in_noerr ic);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue.                                                      *)
+
+let queue_tests =
+  [
+    tc "try_push respects capacity; pop drains after close" `Quick (fun () ->
+        let q = Server.Bounded_queue.create ~capacity:2 in
+        Alcotest.(check bool) "push 1" true (Server.Bounded_queue.try_push q 1);
+        Alcotest.(check bool) "push 2" true (Server.Bounded_queue.try_push q 2);
+        Alcotest.(check bool) "full" false (Server.Bounded_queue.try_push q 3);
+        Alcotest.(check int) "length" 2 (Server.Bounded_queue.length q);
+        Server.Bounded_queue.close q;
+        Alcotest.(check bool) "closed" false (Server.Bounded_queue.try_push q 4);
+        Alcotest.(check (option int)) "drain 1" (Some 1) (Server.Bounded_queue.pop q);
+        Alcotest.(check (option int)) "drain 2" (Some 2) (Server.Bounded_queue.pop q);
+        Alcotest.(check (option int)) "end" None (Server.Bounded_queue.pop q));
+    tc "pop blocks until push" `Quick (fun () ->
+        let q = Server.Bounded_queue.create ~capacity:1 in
+        let got = ref None in
+        let th = Thread.create (fun () -> got := Server.Bounded_queue.pop q) () in
+        Thread.delay 0.02;
+        Alcotest.(check bool) "still blocked" true (!got = None);
+        Alcotest.(check bool) "push" true (Server.Bounded_queue.try_push q 42);
+        Thread.join th;
+        Alcotest.(check (option int)) "received" (Some 42) !got);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end.                                                  *)
+
+(* Answers in normal form: rows sorted, degrees as IEEE-754 bits, values
+   as their printed strings (what the wire carries). *)
+let normal_of_relation rel =
+  let arity = Schema.arity (Relation.schema rel) in
+  let rows = ref [] in
+  Relation.iter rel (fun t ->
+      rows :=
+        ( List.init arity (fun i -> Value.to_string (Ftuple.value t i)),
+          Int64.bits_of_float (Ftuple.degree t) )
+        :: !rows);
+  List.sort compare !rows
+
+let normal_of_reply name = function
+  | Server.Client.Answer { rows; _ } ->
+      List.sort compare
+        (List.map
+           (fun (r : Server.Client.row) ->
+             (r.values, Int64.bits_of_float r.degree))
+           rows)
+  | Server.Client.Failed m -> Alcotest.failf "%s failed: %s" name m
+  | Server.Client.Overloaded -> Alcotest.failf "%s overloaded" name
+  | Server.Client.Cancelled r -> Alcotest.failf "%s cancelled: %s" name r
+
+(* Every nesting shape of the paper over the demo R/S/T, including a
+   correlated 3-block chain (same template as the equivalence suite). *)
+let shapes =
+  [
+    ("N", "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V >= 20)");
+    ("J", "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V <= R.U)");
+    ( "JX",
+      "SELECT R.ID FROM R WHERE R.Y NOT IN (SELECT S.Z FROM S WHERE S.V >= \
+       R.U)" );
+    ( "JA",
+      "SELECT R.ID FROM R WHERE R.Y >= (SELECT MAX(S.Z) FROM S WHERE S.V = \
+       R.U)" );
+    ( "JALL",
+      "SELECT R.ID FROM R WHERE R.Y <= ALL (SELECT S.Z FROM S WHERE S.V = \
+       R.U)" );
+    ( "chain",
+      "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.Z IN \
+       (SELECT T.W FROM T))" );
+    ( "chain-corr",
+      "SELECT R.ID FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V <= R.U \
+       AND S.Z IN (SELECT T.W FROM T WHERE T.P = S.V AND T.W >= R.Y))" );
+  ]
+
+let setup = Server.Demo.server_setup ~seed:11 ()
+
+(* Sequential ground truth with the same loader and planner defaults the
+   daemon uses. *)
+let expected_answers () =
+  let env = Storage.Env.create () in
+  let catalog = Catalog.create env in
+  setup env catalog;
+  List.map
+    (fun (name, sql) ->
+      let q =
+        Fuzzysql.Analyzer.bind_string ~catalog ~terms:Fuzzy.Term.paper sql
+      in
+      (name, normal_of_relation (Unnest.Planner.run q)))
+    shapes
+
+(* The blocked nested loop over 2000x2000 tuples runs for seconds and
+   polls its cancel token per inner tuple — the workhorse for the
+   deadline / cancel / overload tests. *)
+let slow_sql = "SELECT R.ID FROM R WHERE R.Y > SOME (SELECT S.Z FROM S WHERE S.V <= R.U)"
+let slow_setup = Server.Demo.server_setup ~seed:3 ~n_r:2000 ~n_s:2000 ()
+
+let daemon_tests =
+  [
+    tc "concurrent clients match the sequential engine bit-for-bit" `Slow
+      (fun () ->
+        let expected = expected_answers () in
+        let daemon = Server.Daemon.start ~workers:4 ~queue_capacity:32 ~setup () in
+        let port = Server.Daemon.port daemon in
+        let n_clients = 8 in
+        let failures = Mutex.create () in
+        let failed = ref [] in
+        let client_run idx () =
+          try
+            let client = Server.Client.connect ~port () in
+            (* stagger the shape order per client *)
+            let rotated =
+              let k = idx mod List.length shapes in
+              let rec rot n l =
+                if n = 0 then l
+                else match l with [] -> [] | x :: tl -> rot (n - 1) (tl @ [ x ])
+              in
+              rot k shapes
+            in
+            List.iter
+              (fun (name, sql) ->
+                let got = normal_of_reply name (Server.Client.query client sql) in
+                if got <> List.assoc name expected then
+                  Alcotest.failf "client %d: %s diverged from sequential" idx
+                    name)
+              rotated;
+            Server.Client.close client
+          with e ->
+            Mutex.lock failures;
+            failed := Printexc.to_string e :: !failed;
+            Mutex.unlock failures
+        in
+        let threads =
+          List.init n_clients (fun i -> Thread.create (client_run i) ())
+        in
+        List.iter Thread.join threads;
+        Server.Daemon.stop daemon;
+        (match !failed with
+        | [] -> ()
+        | es -> Alcotest.failf "client failures: %s" (String.concat " | " es));
+        Alcotest.(check int)
+          "every query completed"
+          (n_clients * List.length shapes)
+          (Server.Daemon.counter_value daemon "requests_completed"));
+    tc "deadline-exceeded returns Cancelled and frees the worker" `Slow
+      (fun () ->
+        let daemon =
+          Server.Daemon.start ~workers:1 ~queue_capacity:4 ~setup:slow_setup ()
+        in
+        let client = Server.Client.connect ~port:(Server.Daemon.port daemon) () in
+        (match Server.Client.query ~deadline_ms:150 client slow_sql with
+        | Server.Client.Cancelled reason ->
+            Alcotest.(check bool)
+              "reason mentions the deadline" true
+              (contains reason "deadline")
+        | _ -> Alcotest.fail "expected Cancelled");
+        (* The worker must be free again: a fast query on the same
+           connection completes. *)
+        (match Server.Client.query client "SELECT T.ID FROM T WHERE T.W >= 0" with
+        | Server.Client.Answer _ -> ()
+        | _ -> Alcotest.fail "worker not freed after deadline cancel");
+        Alcotest.(check int)
+          "one cancelled" 1
+          (Server.Daemon.counter_value daemon "requests_cancelled");
+        Server.Client.close client;
+        Server.Daemon.stop daemon);
+    tc "queue overflow returns Overloaded; explicit cancel unwinds" `Slow
+      (fun () ->
+        let daemon =
+          Server.Daemon.start ~workers:1 ~queue_capacity:1 ~setup:slow_setup ()
+        in
+        let port = Server.Daemon.port daemon in
+        let a = Server.Client.connect ~port () in
+        let b = Server.Client.connect ~port () in
+        let c = Server.Client.connect ~port () in
+        let reply_a = ref None and reply_b = ref None in
+        let th_a =
+          Thread.create (fun () -> reply_a := Some (Server.Client.query a slow_sql)) ()
+        in
+        (* wait until A's query is on the worker (queue drained again) *)
+        wait_for "A accepted" (fun () ->
+            Server.Daemon.counter_value daemon "requests_accepted" >= 1
+            && Server.Daemon.queue_length daemon = 0);
+        let th_b =
+          Thread.create (fun () -> reply_b := Some (Server.Client.query b slow_sql)) ()
+        in
+        wait_for "B queued" (fun () -> Server.Daemon.queue_length daemon = 1);
+        (* worker busy with A, queue holds B: C must be rejected *)
+        (match Server.Client.query c slow_sql with
+        | Server.Client.Overloaded -> ()
+        | _ -> Alcotest.fail "expected Overloaded");
+        Alcotest.(check bool)
+          "overload counted" true
+          (Server.Daemon.counter_value daemon "requests_rejected_overload" >= 1);
+        (* explicit cancels unwind both the running and the queued query *)
+        Server.Client.cancel a;
+        Server.Client.cancel b;
+        Thread.join th_a;
+        Thread.join th_b;
+        (match (!reply_a, !reply_b) with
+        | Some (Server.Client.Cancelled ra), Some (Server.Client.Cancelled rb) ->
+            Alcotest.(check bool)
+              "reasons mention the client" true
+              (contains ra "client" && contains rb "client")
+        | _ -> Alcotest.fail "expected both slow queries cancelled");
+        List.iter Server.Client.close [ a; b; c ];
+        Server.Daemon.stop daemon);
+    tc "every request produces a trace with queue-wait/plan/exec" `Quick
+      (fun () ->
+        let traces = ref [] in
+        let tlock = Mutex.create () in
+        let daemon =
+          Server.Daemon.start ~workers:1 ~setup
+            ~on_trace:(fun tr ->
+              Mutex.lock tlock;
+              traces := tr :: !traces;
+              Mutex.unlock tlock)
+            ()
+        in
+        let client = Server.Client.connect ~port:(Server.Daemon.port daemon) () in
+        (match Server.Client.query client (List.assoc "J" shapes) with
+        | Server.Client.Answer _ -> ()
+        | _ -> Alcotest.fail "expected an answer");
+        (* on_trace fires just after the terminal frame *)
+        wait_for "trace delivery" (fun () ->
+            Mutex.lock tlock;
+            let n = List.length !traces in
+            Mutex.unlock tlock;
+            n >= 1);
+        let tr = List.hd !traces in
+        let names = ref [] in
+        Storage.Trace.iter_spans tr (fun sp ->
+            names := Storage.Trace.span_name sp :: !names);
+        List.iter
+          (fun required ->
+            Alcotest.(check bool)
+              (required ^ " span present")
+              true
+              (List.mem required !names))
+          [ "request"; "queue-wait"; "plan"; "exec" ];
+        Alcotest.(check bool)
+          "engine operator spans nest under exec" true
+          (List.mem "sort" !names || List.mem "sweep" !names);
+        Server.Client.close client;
+        Server.Daemon.stop daemon);
+    tc "metrics over the wire; per-daemon registries are isolated" `Quick
+      (fun () ->
+        let d1 = Server.Daemon.start ~workers:1 ~setup () in
+        let d2 = Server.Daemon.start ~workers:1 ~setup () in
+        let client = Server.Client.connect ~port:(Server.Daemon.port d1) () in
+        (match Server.Client.query client (List.assoc "N" shapes) with
+        | Server.Client.Answer _ -> ()
+        | _ -> Alcotest.fail "expected an answer");
+        let json = Server.Client.metrics_json client in
+        Alcotest.(check bool)
+          "d1 metrics show the request" true
+          (contains json "requests_accepted");
+        Alcotest.(check int)
+          "d1 counted" 1
+          (Server.Daemon.counter_value d1 "requests_accepted");
+        Alcotest.(check int)
+          "d2 untouched" 0
+          (Server.Daemon.counter_value d2 "requests_accepted");
+        Server.Client.close client;
+        Server.Daemon.stop d1;
+        Server.Daemon.stop d2);
+    tc "graceful shutdown drains and is idempotent" `Quick (fun () ->
+        let daemon = Server.Daemon.start ~workers:2 ~setup () in
+        let port = Server.Daemon.port daemon in
+        let client = Server.Client.connect ~port () in
+        (match Server.Client.query client (List.assoc "N" shapes) with
+        | Server.Client.Answer _ -> ()
+        | _ -> Alcotest.fail "expected an answer");
+        Server.Daemon.stop daemon;
+        Server.Daemon.stop daemon;
+        (* the listener is gone *)
+        (match Server.Client.connect ~port () with
+        | exception Unix.Unix_error _ -> ()
+        | c ->
+            (* a TIME_WAIT accept race can let one connect through, but no
+               request may complete *)
+            (match Server.Client.query c "SELECT T.ID FROM T" with
+            | exception _ -> Server.Client.close c
+            | Server.Client.Failed _ -> Server.Client.close c
+            | _ -> Alcotest.fail "server answered after stop")));
+  ]
+
+let suites =
+  [
+    ("server wire", wire_tests);
+    ("server queue", queue_tests);
+    ("server daemon", daemon_tests);
+  ]
