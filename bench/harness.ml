@@ -108,6 +108,32 @@ type load_row = {
 
 let load_results : load_row list ref = ref []
 
+(* One row per (fault seed, fault probability) cell of the chaos bench.
+   [c_ok] queries completed with an answer bit-identical to the fault-free
+   sequential engine; [c_leaked] is [accepted - (completed + cancelled +
+   failed + failed_transient)] read from the daemon after a full drain, so
+   0 proves no worker swallowed a query. *)
+type chaos_row = {
+  c_fault_seed : int;
+  c_prob : float;  (** per-I/O-site injection probability of the cell *)
+  c_spec : string;  (** the armed fault spec, [Fault.spec_to_string] form *)
+  c_ok : int;
+  c_wrong : int;
+  c_retryable : int;  (** client exhausted its retries on [Retryable] *)
+  c_failed : int;
+  c_cancelled : int;
+  c_overloaded : int;  (** terminal [Overloaded] after client retries *)
+  c_injected : int;  (** faults the planes actually fired *)
+  c_retries : int;  (** server-side backoff retries *)
+  c_respawns : int;
+  c_breaker_opened : int;
+  c_shed : int;  (** admissions shed by the open breaker *)
+  c_leaked : int;
+  c_duration_s : float;
+}
+
+let chaos_results : chaos_row list ref = ref []
+
 (* Run-wide metrics registry: one observation per measured cell. The
    summary is printed (and dumped as JSON) at the end of the bench run. *)
 let metrics = Storage.Metrics.create ()
@@ -130,7 +156,8 @@ let write_results path =
   let oc = open_out path in
   let rows = List.rev !results in
   let loads = List.rev !load_results in
-  let total = List.length rows + List.length loads in
+  let chaos = List.rev !chaos_results in
+  let total = List.length rows + List.length loads + List.length chaos in
   let emitted = ref 0 in
   let sep () =
     incr emitted;
@@ -159,6 +186,19 @@ let write_results path =
         l.l_clients l.l_workers l.l_domains l.l_queries l.l_wrong
         l.l_overloaded l.l_qps l.l_p50_ms l.l_p99_ms l.l_duration_s (sep ()))
     loads;
+  List.iter
+    (fun c ->
+      Printf.fprintf oc
+        "  {\"bench\": \"chaos\", \"fault_seed\": %d, \"prob\": %g, \"spec\": \
+         \"%s\", \"ok\": %d, \"wrong\": %d, \"retryable\": %d, \"failed\": \
+         %d, \"cancelled\": %d, \"overloaded\": %d, \"injected\": %d, \
+         \"retries\": %d, \"respawns\": %d, \"breaker_opened\": %d, \
+         \"shed\": %d, \"leaked_workers\": %d, \"duration_s\": %.3f}%s\n"
+        c.c_fault_seed c.c_prob (json_escape c.c_spec) c.c_ok c.c_wrong
+        c.c_retryable c.c_failed c.c_cancelled c.c_overloaded c.c_injected
+        c.c_retries c.c_respawns c.c_breaker_opened c.c_shed c.c_leaked
+        c.c_duration_s (sep ()))
+    chaos;
   output_string oc "]\n";
   close_out oc
 

@@ -2,14 +2,18 @@
     membership-function figures and an ablation study.
 
     Usage: [bench/main.exe [targets] [--full] [--scale N] [--io-latency S]
-    [--seed N] [--domains N] [--clients L] [--trace PATH]] where targets are
-    any of [table1 table2 table3 table4 fig3 fig1 ablation chain sort scaling
-    load micro all] (default: all). [--trace PATH] additionally runs the
-    3-block chain query under the span collector and writes a Chrome
-    trace_event file to PATH (bare [--trace PATH] runs only that). The [load]
-    target runs closed-loop clients against an in-process fsqld ([--clients]
-    is a comma list of client counts, [--domains] sets the worker count) and
-    reports throughput and exact p50/p99 latency per client count.
+    [--seed N] [--domains N] [--clients L] [--queries N] [--trace PATH]]
+    where targets are any of [table1 table2 table3 table4 fig3 fig1 ablation
+    chain sort scaling load chaos micro all] (default: all). [--trace PATH]
+    additionally runs the 3-block chain query under the span collector and
+    writes a Chrome trace_event file to PATH (bare [--trace PATH] runs only
+    that). The [load] target runs closed-loop clients against an in-process
+    fsqld ([--clients] is a comma list of client counts, [--domains] sets the
+    worker count) and reports throughput and exact p50/p99 latency per client
+    count. The [chaos] target reruns the serving path under deterministic
+    fault injection ([--seed] picks the fault seeds, [--queries] the per-cell
+    query count) and checks bit-identical answers and balanced books; see
+    {!Chaos}.
     [--full] runs at the paper's absolute sizes (slow); the default scales
     every size by 8, which preserves all relation-size : buffer-size ratios.
     [--domains N] runs the merge-join cells on an N-domain task pool (the
@@ -554,6 +558,10 @@ let load_bench cfg =
           | Server.Client.Overloaded ->
               Atomic.incr overloaded;
               Thread.yield ()
+          | Server.Client.Retryable _ ->
+              (* no fault injection here, so a transient failure is as
+                 wrong as a bad answer *)
+              Atomic.incr wrong
           | Server.Client.Failed _ | Server.Client.Cancelled _ ->
               Atomic.incr wrong
         done;
@@ -690,7 +698,7 @@ let all_targets =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("fig3", fig3); ("fig1", fig1); ("ablation", ablation);
     ("chain", chain_bench); ("sort", sort_bench); ("scaling", scaling);
-    ("load", load_bench); ("micro", micro);
+    ("load", load_bench); ("chaos", Chaos.run); ("micro", micro);
   ]
 
 let () =
@@ -721,6 +729,14 @@ let () =
             parse rest
         | _ ->
             Format.eprintf "--domains expects a positive integer@.";
+            exit 2)
+    | "--queries" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some q when q >= 1 ->
+            Chaos.queries := q;
+            parse rest
+        | _ ->
+            Format.eprintf "--queries expects a positive integer@.";
             exit 2)
     | "--clients" :: spec :: rest -> (
         let counts =
@@ -761,7 +777,9 @@ let () =
   Option.iter (trace_run !cfg) !trace_path;
   write_results "BENCH_results.json";
   Format.printf "@.wrote BENCH_results.json (%d cells)@."
-    (List.length !Harness.results + List.length !Harness.load_results);
+    (List.length !Harness.results
+    + List.length !Harness.load_results
+    + List.length !Harness.chaos_results);
   if !Harness.results <> [] then (
     section "Run metrics";
     Format.printf "%a" Storage.Metrics.pp Harness.metrics)

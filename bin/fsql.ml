@@ -230,6 +230,7 @@ type remote_state = {
   mutable r_timing : bool;
   mutable r_domains : int; (* 0 = use the server's configured parallelism *)
   mutable r_deadline_ms : int; (* 0 = use the server's default deadline *)
+  mutable r_retries : int; (* 0 = no client-side retry *)
 }
 
 let remote_help () =
@@ -237,6 +238,8 @@ let remote_help () =
     "statements end with ';' and run on the remote fsqld. Meta commands:\n\
     \  \\domains N    per-query parallelism (0 = server default)\n\
     \  \\deadline MS  per-query deadline in milliseconds (0 = server default)\n\
+    \  \\retry N      retry overloaded/transient replies up to N extra times\n\
+    \                with backoff (0 = off)\n\
     \  \\metrics      print the server's metrics registry (JSON)\n\
     \  \\timing       toggle per-query timing\n\
     \  \\help         this help\n\
@@ -244,9 +247,14 @@ let remote_help () =
 
 let remote_sql st sql =
   let t0 = Unix.gettimeofday () in
+  let retry =
+    if st.r_retries > 0 then
+      Some { Server.Retry.default with max_attempts = st.r_retries + 1 }
+    else None
+  in
   match
     Server.Client.query ~deadline_ms:st.r_deadline_ms ~domains:st.r_domains
-      st.client sql
+      ?retry st.client sql
   with
   | Server.Client.Answer { columns; rows; server_elapsed_s = _ } ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -264,8 +272,11 @@ let remote_sql st sql =
       if st.r_timing then Format.printf ", %.1f ms" (1000.0 *. dt);
       Format.printf ")@."
   | Server.Client.Failed msg -> Format.printf "error: %s@." msg
+  | Server.Client.Retryable msg ->
+      Format.printf "transient server error: %s (safe to retry, see \\retry)@."
+        msg
   | Server.Client.Overloaded ->
-      Format.printf "server overloaded (admission queue full), retry@."
+      Format.printf "server overloaded (admission shed the query), retry@."
   | Server.Client.Cancelled reason -> Format.printf "cancelled: %s@." reason
 
 let remote_meta st line =
@@ -291,6 +302,14 @@ let remote_meta st line =
           st.r_deadline_ms <- ms;
           Format.printf "deadline set to %d ms@." ms
       | _ -> Format.printf "deadline must be a non-negative integer@.")
+  | [ "\\retry" ] ->
+      Format.printf "retry: %d (0 = off)@." st.r_retries
+  | [ "\\retry"; n ] -> (
+      match int_of_string_opt n with
+      | Some r when r >= 0 ->
+          st.r_retries <- r;
+          Format.printf "retry set to %d@." r
+      | _ -> Format.printf "retry must be a non-negative integer@.")
   | [ "\\metrics" ] -> print_endline (Server.Client.metrics_json st.client)
   | _ ->
       Format.printf "unknown meta command in --connect mode (try \\help)@."
@@ -306,7 +325,10 @@ let remote_repl addr ~domains =
         prerr_endline ("fsql: " ^ msg);
         exit 2
   in
-  let st = { client; r_timing = true; r_domains = domains; r_deadline_ms = 0 } in
+  let st =
+    { client; r_timing = true; r_domains = domains; r_deadline_ms = 0;
+      r_retries = 0 }
+  in
   let interactive = Unix.isatty Unix.stdin in
   if interactive then
     Printf.printf "fsql - connected to %s (\\help for help, \\q to quit)\n%!"
@@ -336,7 +358,7 @@ let remote_repl addr ~domains =
      done
    with
   | Exit -> ()
-  | End_of_file | Sys_error _ ->
+  | End_of_file | Sys_error _ | Server.Wire.Connection_closed ->
       prerr_endline "fsql: server closed the connection"
   | Server.Wire.Protocol_error msg ->
       prerr_endline ("fsql: protocol error: " ^ msg));

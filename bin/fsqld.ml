@@ -7,21 +7,26 @@
     {v
     fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains N]
           [--deadline-ms MS] [--seed N] [--trace DIR]
+          [--fault-spec SPEC] [--fault-seed N]
     v}
 
     [--workers] is the number of queries executing in parallel (each on
     its own domain with a private storage environment); [--domains] is
     the per-query merge-join parallelism. [--deadline-ms] sets a default
     deadline for clients that do not send one. [--trace DIR] writes one
-    Chrome trace file per request to [DIR/req-N.json]. SIGINT / SIGTERM
-    trigger a graceful drain. *)
+    Chrome trace file per request to [DIR/req-N.json]. [--fault-spec]
+    arms deterministic fault injection on every worker's storage (syntax
+    in {!Frepro.Storage.Fault.parse_spec}, e.g.
+    ["read:p=0.05;torn:nth=100"]) with per-worker seeds derived from
+    [--fault-seed]. SIGINT / SIGTERM trigger a graceful drain. *)
 
 open Frepro
 
 let usage =
   "usage: fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains \
    N]\n\
-  \             [--deadline-ms MS] [--seed N] [--trace DIR]"
+  \             [--deadline-ms MS] [--seed N] [--trace DIR]\n\
+  \             [--fault-spec SPEC] [--fault-seed N]"
 
 let () =
   let host = ref "127.0.0.1" in
@@ -32,6 +37,8 @@ let () =
   let deadline_ms = ref 0 in
   let seed = ref 11 in
   let trace_dir = ref None in
+  let fault_spec = ref None in
+  let fault_seed = ref 0 in
   let int_arg name n k rest =
     match int_of_string_opt n with
     | Some v when v >= 0 ->
@@ -58,6 +65,15 @@ let () =
     | "--trace" :: dir :: rest ->
         trace_dir := Some dir;
         parse rest
+    | "--fault-spec" :: s :: rest ->
+        (match Storage.Fault.parse_spec s with
+        | Ok spec -> fault_spec := Some spec
+        | Error m ->
+            prerr_endline ("fsqld: bad --fault-spec: " ^ m);
+            exit 2);
+        parse rest
+    | "--fault-seed" :: n :: rest ->
+        parse (int_arg "--fault-seed" n (( := ) fault_seed) rest)
     | arg :: _ ->
         prerr_endline ("fsqld: unknown argument " ^ arg);
         prerr_endline usage;
@@ -81,19 +97,26 @@ let () =
       ~queue_capacity:!queue
       ?default_deadline_ms:
         (if !deadline_ms > 0 then Some !deadline_ms else None)
-      ~domains:!domains ?on_trace
+      ~domains:!domains ?on_trace ?fault_spec:!fault_spec
+      ~fault_seed:!fault_seed
       ~setup:(Server.Demo.server_setup ~seed:!seed ())
       ()
   in
   Printf.printf
-    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s)\n%!"
+    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s)\n%!"
     !host
     (Server.Daemon.port daemon)
     (Server.Daemon.workers daemon)
     !queue !domains
     (if !deadline_ms > 0 then Printf.sprintf ", deadline=%dms" !deadline_ms
      else "")
-    (match !trace_dir with Some d -> ", trace=" ^ d | None -> "");
+    (match !trace_dir with Some d -> ", trace=" ^ d | None -> "")
+    (match !fault_spec with
+    | Some spec ->
+        Printf.sprintf ", faults=%s seed=%d"
+          (Storage.Fault.spec_to_string spec)
+          !fault_seed
+    | None -> "");
   let stop = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);

@@ -1,0 +1,39 @@
+(** Error-budget circuit breaker for admission control.
+
+    Tracks a sliding window of recent query outcomes; when the failure
+    rate over a full-enough window crosses the threshold, the breaker
+    opens for a cooldown period during which admission sheds new queries
+    with [Overloaded] instead of feeding them to workers that are likely
+    to fail them. Opening clears the window, so after the cooldown the
+    judgement restarts fresh rather than re-tripping on the old burst.
+
+    Only genuine execution failures should be recorded — query errors
+    (parse/semantic) and cancellations say nothing about server health.
+    All operations are thread-safe; callers pass [now] so tests can
+    drive the clock. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?threshold:float ->
+  ?min_samples:int ->
+  ?cooldown_s:float ->
+  unit ->
+  t
+(** Defaults: 32-outcome window, 0.5 failure-rate threshold, 8 minimum
+    samples before the breaker may open, 1 s cooldown. *)
+
+val allow : t -> now:float -> bool
+(** May a new query be admitted at [now]? *)
+
+val is_open : t -> now:float -> bool
+
+val record : t -> now:float -> ok:bool -> [ `Stayed | `Opened ]
+(** Record one query outcome; returns [`Opened] at the transition. *)
+
+val opened_count : t -> int
+(** How many times the breaker has opened since creation. *)
+
+val failure_rate : t -> float
+(** Current failure rate over the window ([0.0] when empty). *)

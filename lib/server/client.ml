@@ -1,8 +1,8 @@
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
   wlock : Mutex.t;  (** [cancel] may write while [query] reads *)
+  rng : Random.State.t;  (** jitter for the opt-in retry backoff *)
+  mutable closed : bool;
 }
 
 type row = { values : string list; degree : float }
@@ -10,6 +10,7 @@ type row = { values : string list; degree : float }
 type reply =
   | Answer of { columns : string list; rows : row list; server_elapsed_s : float }
   | Failed of string
+  | Retryable of string
   | Overloaded
   | Cancelled of string
 
@@ -20,6 +21,10 @@ let resolve host =
     with Not_found -> invalid_arg ("Client.connect: unknown host " ^ host))
 
 let connect ?(host = "127.0.0.1") ~port () =
+  (* A server that vanishes mid-write must surface as
+     [Wire.Connection_closed], not kill the client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
    with e ->
@@ -27,9 +32,9 @@ let connect ?(host = "127.0.0.1") ~port () =
      raise e);
   {
     fd;
-    ic = Unix.in_channel_of_descr fd;
-    oc = Unix.out_channel_of_descr fd;
     wlock = Mutex.create ();
+    rng = Random.State.make [| 0xC11E; port |];
+    closed = false;
   }
 
 let of_addr addr =
@@ -45,18 +50,18 @@ let of_addr addr =
 
 let write t req =
   Mutex.lock t.wlock;
-  (match Wire.write_request t.oc req with
+  (match Wire.write_request t.fd req with
   | () -> Mutex.unlock t.wlock
   | exception e ->
       Mutex.unlock t.wlock;
       raise e)
 
-let query ?(deadline_ms = 0) ?(domains = 0) t sql =
+let query_once ?(deadline_ms = 0) ?(domains = 0) t sql =
   write t (Wire.Query { deadline_ms; domains; sql });
   let columns = ref [] in
   let rows = ref [] in
   let rec read () =
-    match Wire.read_reply t.ic with
+    match Wire.read_reply t.fd with
     | Wire.Header cols ->
         columns := cols;
         read ()
@@ -71,6 +76,7 @@ let query ?(deadline_ms = 0) ?(domains = 0) t sql =
             server_elapsed_s = elapsed_s;
           }
     | Wire.Error m -> Failed m
+    | Wire.Retryable m -> Retryable m
     | Wire.Overloaded -> Overloaded
     | Wire.Cancelled reason -> Cancelled reason
     | Wire.Metrics_json _ ->
@@ -78,14 +84,35 @@ let query ?(deadline_ms = 0) ?(domains = 0) t sql =
   in
   read ()
 
+let query ?deadline_ms ?domains ?retry t sql =
+  match retry with
+  | None -> query_once ?deadline_ms ?domains t sql
+  | Some policy ->
+      (* Queries are read-only, so resending after [Overloaded] or
+         [Retryable] is always safe; back off between attempts so a
+         struggling server gets air. *)
+      let rec go attempt =
+        match query_once ?deadline_ms ?domains t sql with
+        | (Overloaded | Retryable _) as r ->
+            if attempt >= policy.Retry.max_attempts then r
+            else begin
+              ignore (Retry.sleep (Retry.delay_for policy ~rng:t.rng ~attempt));
+              go (attempt + 1)
+            end
+        | r -> r
+      in
+      go 1
+
 let cancel t = write t Wire.Cancel
 
 let metrics_json t =
   write t Wire.Metrics;
-  match Wire.read_reply t.ic with
+  match Wire.read_reply t.fd with
   | Wire.Metrics_json json -> json
   | _ -> raise (Wire.Protocol_error "expected a metrics frame")
 
 let close t =
-  close_out_noerr t.oc;
-  close_in_noerr t.ic
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

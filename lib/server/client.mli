@@ -1,5 +1,5 @@
 (** A thin blocking client for {!Daemon} — used by [fsql --connect], the
-    load bench, and the server tests.
+    load and chaos benches, and the server tests.
 
     One query may be in flight per connection. {!query} blocks until the
     terminal frame; {!cancel} only writes and may be called from another
@@ -16,21 +16,31 @@ type row = { values : string list; degree : float }
 
 type reply =
   | Answer of { columns : string list; rows : row list; server_elapsed_s : float }
-  | Failed of string  (** parse / semantic / execution error *)
-  | Overloaded  (** admission queue full; retry later *)
+  | Failed of string  (** parse / semantic / fatal execution error *)
+  | Retryable of string
+      (** transient server-side fault; resubmitting may succeed *)
+  | Overloaded  (** admission queue full or circuit breaker open *)
   | Cancelled of string  (** deadline exceeded or explicit cancel *)
 
 val connect : ?host:string -> port:int -> unit -> t
-(** Default host ["127.0.0.1"]. Raises [Unix.Unix_error] on failure. *)
+(** Default host ["127.0.0.1"]. Raises [Unix.Unix_error] on failure.
+    Ignores SIGPIPE process-wide so a vanished server surfaces as
+    {!Wire.Connection_closed} instead of killing the process. *)
 
 val of_addr : string -> t
 (** ["HOST:PORT"]. [Invalid_argument] on a malformed address. *)
 
-val query : ?deadline_ms:int -> ?domains:int -> t -> string -> reply
+val query :
+  ?deadline_ms:int -> ?domains:int -> ?retry:Retry.policy -> t -> string ->
+  reply
 (** Send one statement and block for the full reply. [deadline_ms = 0]
     (default) defers to the server's default deadline, if any;
     [domains = 0] (default) defers to the server's configured per-query
-    parallelism. Raises [End_of_file] if the server goes away mid-reply,
+    parallelism. With [?retry], a terminal [Overloaded] or [Retryable]
+    reply is retried with exponential backoff + jitter, up to
+    [max_attempts] total attempts — safe because queries are read-only;
+    the last reply is returned if every attempt is shed. Raises
+    {!Wire.Connection_closed} if the server goes away mid-reply,
     {!Wire.Protocol_error} on a malformed stream. *)
 
 val cancel : t -> unit
@@ -42,3 +52,4 @@ val metrics_json : t -> string
     with {!query} on the same connection. *)
 
 val close : t -> unit
+(** Close the socket; idempotent. *)

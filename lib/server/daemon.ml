@@ -2,6 +2,7 @@ open Relational
 module Cancel = Storage.Cancel
 module Trace = Storage.Trace
 module Metrics = Storage.Metrics
+module Fault = Storage.Fault
 
 let with_lock m f =
   Mutex.lock m;
@@ -15,9 +16,7 @@ let with_lock m f =
 
 type conn = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
-  lock : Mutex.t;  (** guards [oc] writes and the mutable fields *)
+  lock : Mutex.t;  (** guards [fd] writes and the mutable fields *)
   mutable busy : bool;  (** a query admitted, terminal frame pending *)
   mutable current : Cancel.t option;
   mutable alive : bool;  (** false once the peer is gone: writes no-op *)
@@ -49,6 +48,10 @@ type t = {
   metrics : Metrics.t;
   mlock : Mutex.t;  (** the registry is single-threaded; workers share it *)
   pool : Storage.Task_pool.t;
+  retry : Retry.policy;
+  breaker : Breaker.t;
+  fault_spec : Fault.spec option;
+  fault_seed : int;
   mutable draining : bool;
   mutable runner : Thread.t option;
   mutable acceptor : Thread.t option;
@@ -73,13 +76,13 @@ let metrics_json t = with_lock t.mlock (fun () -> Metrics.to_json t.metrics)
 
 (* Frame writes are serialised per connection and silently dropped once
    the peer is gone — a disconnected client must not take its worker down
-   (SIGPIPE is ignored at [start]; the resulting EPIPE surfaces here as a
-   [Sys_error]). *)
+   (SIGPIPE is ignored at [start]; [Wire] surfaces the peer vanishing as
+   [Connection_closed]). *)
 let send conn reply =
   with_lock conn.lock (fun () ->
       if conn.alive then
-        try Wire.write_reply conn.oc reply
-        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+        try Wire.write_reply conn.fd reply
+        with Wire.Connection_closed | Unix.Unix_error _ -> conn.alive <- false)
 
 (* ------------------------------------------------------------------ *)
 (* Worker side *)
@@ -94,84 +97,183 @@ let send_terminal conn reply =
       conn.busy <- false;
       conn.current <- None;
       if conn.alive then
-        try Wire.write_reply conn.oc reply
-        with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false)
+        try Wire.write_reply conn.fd reply
+        with Wire.Connection_closed | Unix.Unix_error _ -> conn.alive <- false)
 
-let stream_answer conn answer ~elapsed_s =
+(* Materialise the answer into wire rows. This reads relation pages
+   through the buffer pool, so under fault injection it can fault — which
+   is exactly why it runs inside the retried attempt, before any frame is
+   sent: a retry must never follow a half-streamed answer. *)
+let collect_answer answer =
   let schema = Relation.schema answer in
   let cols = Array.to_list (Array.map fst (Schema.attrs schema)) in
   let arity = Schema.arity schema in
-  send conn (Wire.Header cols);
-  let rows = ref 0 in
+  let rows = ref [] in
   Relation.iter answer (fun tup ->
-      incr rows;
-      send conn
-        (Wire.Row
-           {
-             degree_bits = Int64.bits_of_float (Ftuple.degree tup);
-             values =
-               List.init arity (fun i -> Value.to_string (Ftuple.value tup i));
-           }));
-  send_terminal conn (Wire.Done { rows = !rows; elapsed_s })
+      rows :=
+        ( Int64.bits_of_float (Ftuple.degree tup),
+          List.init arity (fun i -> Value.to_string (Ftuple.value tup i)) )
+        :: !rows);
+  (cols, List.rev !rows)
 
-let handle_job t ~env ~catalog job =
+let feed_breaker t ~ok =
+  match Breaker.record t.breaker ~now:(Unix.gettimeofday ()) ~ok with
+  | `Opened -> count t "breaker_opened"
+  | `Stayed -> ()
+
+(* One admitted query: plan + execute + collect under the retry loop,
+   then stream the collected rows. Returns [true] when the worker's
+   environment must be respawned (a fatal fault or an unclassified
+   exception left it suspect). *)
+let handle_job t ~env ~catalog ~plane ~rng job =
   let dequeued = Unix.gettimeofday () in
   let tr = Some job.trace in
-  let outcome =
-    try
-      Trace.with_span tr "request" (fun () ->
-          Trace.add_timed_span tr "queue-wait" ~start_s:job.enqueued_at
-            ~dur_s:(dequeued -. job.enqueued_at);
-          Cancel.raise_if_cancelled job.cancel;
-          let q =
-            Trace.with_span tr "plan" (fun () ->
-                Fuzzysql.Analyzer.bind_string ~catalog ~terms:t.terms job.sql)
-          in
-          let stats = env.Storage.Env.stats in
-          let answer =
-            Trace.with_span tr ~stats "exec" (fun () ->
-                Unnest.Planner.run ~mem_pages:t.mem_pages
-                  ~domains:job.job_domains ~trace:job.trace ~cancel:job.cancel
-                  q)
-          in
-          let elapsed_s = Unix.gettimeofday () -. job.enqueued_at in
-          stream_answer job.conn answer ~elapsed_s;
-          Relation.destroy answer;
-          `Ok)
-    with
-    | Cancel.Cancelled reason -> `Cancelled reason
-    | Fuzzysql.Parser.Error m -> `Error ("parse error: " ^ m)
-    | Fuzzysql.Lexer.Error (m, pos) ->
-        `Error (Printf.sprintf "lex error at offset %d: %s" pos m)
-    | Fuzzysql.Analyzer.Error m -> `Error ("semantic error: " ^ m)
-    | Unnest.Planner.Unsupported m -> `Error ("unsupported: " ^ m)
-    | e -> `Error ("internal error: " ^ Printexc.to_string e)
+  let faults_before = match plane with Some p -> Fault.injected p | None -> 0 in
+  let attempt () =
+    Cancel.raise_if_cancelled job.cancel;
+    let q =
+      Trace.with_span tr "plan" (fun () ->
+          Fuzzysql.Analyzer.bind_string ~catalog ~terms:t.terms job.sql)
+    in
+    let stats = env.Storage.Env.stats in
+    Trace.with_span tr ~stats "exec" (fun () ->
+        let answer =
+          Unnest.Planner.run ~mem_pages:t.mem_pages ~domains:job.job_domains
+            ~trace:job.trace ~cancel:job.cancel q
+        in
+        Fun.protect
+          ~finally:(fun () -> Relation.destroy answer)
+          (fun () -> collect_answer answer))
   in
-  (match outcome with
-  | `Ok -> count t "requests_completed"
-  | `Cancelled reason ->
-      send_terminal job.conn (Wire.Cancelled reason);
-      count t "requests_cancelled"
-  | `Error m ->
-      send_terminal job.conn (Wire.Error m);
-      count t "requests_failed");
+  let rec attempts n =
+    match attempt () with
+    | v -> `Ok v
+    | exception Cancel.Cancelled reason -> `Cancelled reason
+    | exception Fuzzysql.Parser.Error m -> `Bad_query ("parse error: " ^ m)
+    | exception Fuzzysql.Lexer.Error (m, pos) ->
+        `Bad_query (Printf.sprintf "lex error at offset %d: %s" pos m)
+    | exception Fuzzysql.Analyzer.Error m -> `Bad_query ("semantic error: " ^ m)
+    | exception Unnest.Planner.Unsupported m -> `Bad_query ("unsupported: " ^ m)
+    | exception (Fault.Injected { severity = Fault.Transient; _ } as e) ->
+        let m = Printexc.to_string e in
+        Trace.add_timed_span tr ("fault " ^ m) ~start_s:(Unix.gettimeofday ())
+          ~dur_s:0.0;
+        if n >= t.retry.Retry.max_attempts then
+          `Gave_up ("transient fault, retries exhausted: " ^ m)
+        else begin
+          let delay = Retry.delay_for t.retry ~rng ~attempt:n in
+          let now = Unix.gettimeofday () in
+          let budget_ok =
+            (* A retry must never start when the remaining deadline budget
+               is smaller than the backoff sleep. *)
+            match Cancel.deadline job.cancel with
+            | Some d -> now +. delay <= d
+            | None -> true
+          in
+          if not budget_ok then
+            `Gave_up ("transient fault, no deadline budget left to retry: " ^ m)
+          else begin
+            count t "retries";
+            observe t "retry_backoff_s" delay;
+            Trace.add_timed_span tr "retry-backoff" ~start_s:now ~dur_s:delay;
+            match Retry.sleep ~cancel:job.cancel delay with
+            | `Cancelled -> `Cancelled (Cancel.reason job.cancel)
+            | `Slept -> attempts (n + 1)
+          end
+        end
+    | exception (Fault.Injected { severity = Fault.Fatal; _ } as e) ->
+        `Fatal ("fatal storage fault: " ^ Printexc.to_string e)
+    | exception e ->
+        (* Typed storage errors (Sim_disk.Bad_page, Write_size,
+           Buffer_pool.All_frames_pinned) and anything unclassified: the
+           environment is suspect, answer and respawn. *)
+        `Fatal ("internal error: " ^ Printexc.to_string e)
+  in
+  let respawn = ref false in
+  Trace.with_span tr "request" (fun () ->
+      Trace.add_timed_span tr "queue-wait" ~start_s:job.enqueued_at
+        ~dur_s:(dequeued -. job.enqueued_at);
+      match attempts 1 with
+      | `Ok (cols, rows) ->
+          send job.conn (Wire.Header cols);
+          List.iter
+            (fun (degree_bits, values) ->
+              send job.conn (Wire.Row { degree_bits; values }))
+            rows;
+          let elapsed_s = Unix.gettimeofday () -. job.enqueued_at in
+          send_terminal job.conn
+            (Wire.Done { rows = List.length rows; elapsed_s });
+          count t "requests_completed";
+          feed_breaker t ~ok:true
+      | `Cancelled reason ->
+          send_terminal job.conn (Wire.Cancelled reason);
+          count t "requests_cancelled"
+      | `Bad_query m ->
+          (* The client's mistake, not server health: keep it out of the
+             breaker's error budget. *)
+          send_terminal job.conn (Wire.Error m);
+          count t "requests_failed"
+      | `Gave_up m ->
+          send_terminal job.conn (Wire.Retryable m);
+          count t "requests_failed_transient";
+          feed_breaker t ~ok:false
+      | `Fatal m ->
+          send_terminal job.conn (Wire.Error m);
+          count t "requests_failed";
+          feed_breaker t ~ok:false;
+          respawn := true);
+  (match plane with
+  | Some p ->
+      let d = Fault.injected p - faults_before in
+      if d > 0 then count ~by:d t "faults_injected"
+  | None -> ());
   let now = Unix.gettimeofday () in
   observe t "queue_wait_s" (dequeued -. job.enqueued_at);
   observe t "exec_s" (now -. dequeued);
   observe t "latency_s" (now -. job.enqueued_at);
-  match t.on_trace with Some f -> f job.trace | None -> ()
+  (match t.on_trace with Some f -> f job.trace | None -> ());
+  !respawn
 
-let worker_loop t () =
+let worker_loop t widx () =
   (* Shared-nothing: a private environment and catalog per worker domain
-     (the storage layer is single-threaded by design). *)
-  let env = Storage.Env.create ~pool_pages:t.mem_pages () in
-  let catalog = Catalog.create env in
-  t.setup env catalog;
+     (the storage layer is single-threaded by design). The fault plane is
+     attached only after [setup] has loaded the catalog, so data loading
+     itself never faults; each worker's plane gets its own seed stream. *)
+  let build () =
+    let env = Storage.Env.create ~pool_pages:t.mem_pages () in
+    let catalog = Catalog.create env in
+    t.setup env catalog;
+    let plane =
+      Option.map
+        (fun spec -> Fault.create ~seed:(t.fault_seed + widx) spec)
+        t.fault_spec
+    in
+    Storage.Env.set_fault env plane;
+    (env, catalog, plane)
+  in
+  let rng = Random.State.make [| 0xB0FF; t.fault_seed; widx |] in
+  let state = ref (build ()) in
   let rec loop () =
     match Bounded_queue.pop t.queue with
     | None -> ()
     | Some job ->
-        handle_job t ~env ~catalog job;
+        let env, catalog, plane = !state in
+        let respawn =
+          try handle_job t ~env ~catalog ~plane ~rng job
+          with e ->
+            (* handle_job classifies everything; if it still raised (a
+               poisoned query broke an invariant), answer the query and
+               rebuild rather than letting the worker die. *)
+            send_terminal job.conn
+              (Wire.Error ("internal error: " ^ Printexc.to_string e));
+            count t "requests_failed";
+            feed_breaker t ~ok:false;
+            true
+        in
+        if respawn then begin
+          count t "workers_respawned";
+          state := build ()
+        end;
         loop ()
   in
   loop ()
@@ -203,6 +305,7 @@ let admit t conn ~deadline_ms ~domains sql =
     with_lock conn.lock (fun () ->
         if conn.busy then `Busy
         else if t.draining then `Draining
+        else if not (Breaker.allow t.breaker ~now) then `Shed
         else if Bounded_queue.try_push t.queue job then begin
           conn.busy <- true;
           conn.current <- Some cancel;
@@ -215,6 +318,11 @@ let admit t conn ~deadline_ms ~domains sql =
   | `Full ->
       count t "requests_rejected_overload";
       send conn Wire.Overloaded
+  | `Shed ->
+      (* Error budget exhausted: shed before the queue, same reply as a
+         full queue so clients back off identically. *)
+      count t "requests_shed_breaker";
+      send conn Wire.Overloaded
   | `Busy ->
       send conn (Wire.Error "a query is already in flight on this connection")
   | `Draining -> send conn (Wire.Error "server is shutting down")
@@ -222,7 +330,7 @@ let admit t conn ~deadline_ms ~domains sql =
 let conn_loop t conn =
   (try
      let rec loop () =
-       (match Wire.read_request conn.ic with
+       (match Wire.read_request conn.fd with
        | Wire.Query { deadline_ms; domains; sql } ->
            admit t conn ~deadline_ms ~domains sql
        | Wire.Cancel -> (
@@ -233,8 +341,8 @@ let conn_loop t conn =
        loop ()
      in
      loop ()
-   with End_of_file | Sys_error _ | Unix.Unix_error _ | Wire.Protocol_error _
-   -> ());
+   with
+  | Wire.Connection_closed | Unix.Unix_error _ | Wire.Protocol_error _ -> ());
   (* Peer gone (or the daemon shut the socket down): cancel any in-flight
      query so its worker frees up, wait for the terminal no-op send, and
      only then close the descriptor — closing while a worker still writes
@@ -248,8 +356,7 @@ let conn_loop t conn =
     Thread.yield ();
     Thread.delay 0.002
   done;
-  close_out_noerr conn.oc;
-  close_in_noerr conn.ic
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
   let rec loop () =
@@ -261,15 +368,8 @@ let accept_loop t =
         if t.draining then Unix.close fd (* the stop wake-up; exit *)
         else begin
           let conn =
-            {
-              fd;
-              ic = Unix.in_channel_of_descr fd;
-              oc = Unix.out_channel_of_descr fd;
-              lock = Mutex.create ();
-              busy = false;
-              current = None;
-              alive = true;
-            }
+            { fd; lock = Mutex.create (); busy = false; current = None;
+              alive = true }
           in
           let th = Thread.create (conn_loop t) conn in
           with_lock t.conns_lock (fun () -> t.conns := (conn, th) :: !(t.conns));
@@ -290,7 +390,8 @@ let resolve host =
 let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     ?(queue_capacity = 16) ?default_deadline_ms ?(domains = 1)
     ?(mem_pages = Unnest.Planner.default_mem_pages)
-    ?(terms = Fuzzy.Term.paper) ?on_trace ~setup () =
+    ?(terms = Fuzzy.Term.paper) ?on_trace ?(retry = Retry.default) ?breaker
+    ?fault_spec ?(fault_seed = 0) ~setup () =
   if workers < 1 then invalid_arg "Daemon.start: workers < 1";
   if domains < 1 then invalid_arg "Daemon.start: domains < 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -320,6 +421,10 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       metrics = Metrics.create ();
       mlock = Mutex.create ();
       pool = Storage.Task_pool.create ~domains:workers;
+      retry;
+      breaker = (match breaker with Some b -> b | None -> Breaker.create ());
+      fault_spec;
+      fault_seed;
       draining = false;
       runner = None;
       acceptor = None;
@@ -336,7 +441,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
          (fun () ->
            ignore
              (Storage.Task_pool.run_list t.pool
-                (List.init workers (fun _ -> worker_loop t))))
+                (List.init workers (fun i -> worker_loop t i))))
          ());
   t.acceptor <- Some (Thread.create accept_loop t);
   t

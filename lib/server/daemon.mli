@@ -1,5 +1,6 @@
 (** The fsqld daemon: a TCP Fuzzy SQL server with admission control,
-    per-query deadlines, cooperative cancellation, and graceful shutdown.
+    per-query deadlines, cooperative cancellation, fault-tolerant
+    execution, and graceful shutdown.
 
     {1 Architecture}
 
@@ -9,8 +10,9 @@
     [Overloaded] when the queue is full — producers never block) and
     picked up by one of a fixed set of {e worker domains}, which are run
     as long-lived jobs on a {!Storage.Task_pool} so queries execute in
-    parallel, not merely concurrently. The worker streams the answer
-    ([Header], [Row]s, [Done]) straight to the client's socket.
+    parallel, not merely concurrently. The worker materialises the
+    answer, then streams it ([Header], [Row]s, [Done]) to the client's
+    socket.
 
     Workers are shared-nothing: each builds a private
     {!Storage.Env} + {!Relational.Catalog} with the [~setup] callback at
@@ -32,16 +34,39 @@
     temporaries on the way out, so the worker's environment is clean for
     the next query.
 
+    {1 Fault tolerance}
+
+    With [?fault_spec], every worker attaches a seeded {!Storage.Fault}
+    plane to its private environment (seed [fault_seed + worker index],
+    attached after [~setup] so catalog loading never faults). A query
+    that raises a {e transient} {!Storage.Fault.Injected} is retried with
+    bounded exponential backoff + jitter ([?retry]) — but only while the
+    remaining deadline budget exceeds the backoff sleep, and a [Cancel]
+    observed during the sleep aborts it promptly. Queries are read-only
+    and the engine is bit-deterministic, so a retried attempt that
+    succeeds returns exactly the fault-free answer; nothing is streamed
+    until an attempt has fully materialised its rows, so a retry never
+    follows a half-sent answer. When retries are exhausted (or the budget
+    is gone) the client gets [Retryable]. A {e fatal} fault or an
+    unclassified exception answers [Error] and {e respawns} the worker's
+    environment — the daemon never crashes on a poisoned query.
+
+    Admission consults an error-budget circuit {!Breaker} fed by genuine
+    execution outcomes (query errors and cancellations don't count): when
+    the recent failure rate crosses the threshold the breaker opens and
+    admission sheds queries with [Overloaded] for the cooldown period.
+
     {1 Observability}
 
     Every request carries one {!Storage.Trace} collector rooted at a
     [request] span with [queue-wait] (timed at admission), [plan], and
-    [exec] children (the planner's own operator spans nest under [exec]).
-    The [?on_trace] callback receives each completed trace — fsqld uses
-    it to write Chrome trace files. A {!Storage.Metrics} registry (one
-    per daemon, so servers don't leak counters into each other) counts
-    accepted / rejected / cancelled / failed / completed requests and
-    histograms queue-wait, execution, and end-to-end latency.
+    [exec] children (the planner's own operator spans nest under [exec]);
+    injected faults add zero-width [fault ...] spans and each backoff a
+    [retry-backoff] span. The [?on_trace] callback receives each
+    completed trace — fsqld uses it to write Chrome trace files. A
+    {!Storage.Metrics} registry (one per daemon, so servers don't leak
+    counters into each other) counts requests and histograms queue-wait,
+    execution, retry-backoff, and end-to-end latency.
 
     {1 Shutdown}
 
@@ -62,6 +87,10 @@ val start :
   ?mem_pages:int ->
   ?terms:Fuzzy.Term.t ->
   ?on_trace:(Storage.Trace.t -> unit) ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.t ->
+  ?fault_spec:Storage.Fault.spec ->
+  ?fault_seed:int ->
   setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
   unit ->
   t
@@ -70,9 +99,11 @@ val start :
     [workers = 2], [queue_capacity = 16], no default deadline,
     [domains = 1] (per-query merge-join parallelism on a pool the query
     creates privately), [mem_pages = Unnest.Planner.default_mem_pages],
-    the paper's term vocabulary. [~setup] runs once per worker on the
-    worker's own domain. [?on_trace] runs on the worker that executed the
-    request, after the terminal frame is sent — it must be thread-safe. *)
+    the paper's term vocabulary, [retry = Retry.default], a default
+    {!Breaker.create}, no fault injection, [fault_seed = 0]. [~setup]
+    runs once per worker on the worker's own domain (and again on each
+    respawn). [?on_trace] runs on the worker that executed the request,
+    after the terminal frame is sent — it must be thread-safe. *)
 
 val port : t -> int
 (** The bound port (useful with [~port:0]). *)
@@ -83,9 +114,16 @@ val queue_length : t -> int
 val workers : t -> int
 
 val counter_value : t -> string -> int
-(** Read one metrics counter ([requests_accepted],
-    [requests_rejected_overload], [requests_cancelled], [requests_failed],
-    [requests_completed]); 0 when it has not been touched yet. *)
+(** Read one metrics counter; 0 when it has not been touched yet.
+    Counters: [requests_accepted], [requests_rejected_overload],
+    [requests_shed_breaker], [requests_cancelled], [requests_failed],
+    [requests_failed_transient] (gave up on a transient fault; the client
+    saw [Retryable]), [requests_completed], [faults_injected], [retries],
+    [workers_respawned], [breaker_opened]. Every accepted request is
+    counted by exactly one of [requests_completed] /
+    [requests_cancelled] / [requests_failed] /
+    [requests_failed_transient] — the books balance, which is how the
+    chaos harness proves no worker leaked a query. *)
 
 val metrics_json : t -> string
 (** JSON dump of the daemon's metrics registry (also available over the

@@ -1,0 +1,40 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+}
+
+let default =
+  { max_attempts = 3; base_delay_s = 0.01; max_delay_s = 0.5; jitter = 0.25 }
+
+let delay_for policy ~rng ~attempt =
+  let attempt = Int.max 1 attempt in
+  let exp = policy.base_delay_s *. (2.0 ** float_of_int (attempt - 1)) in
+  let capped = Float.min policy.max_delay_s exp in
+  let j = Float.max 0.0 (Float.min 1.0 policy.jitter) in
+  let factor =
+    if j = 0.0 then 1.0 else 1.0 -. j +. Random.State.float rng (2.0 *. j)
+  in
+  Float.max 0.0 (capped *. factor)
+
+(* Sleep in ~2ms slices so a cancellation (explicit or deadline) observed
+   mid-backoff aborts promptly instead of burning the rest of the delay. *)
+let sleep ?cancel delay =
+  let until = Unix.gettimeofday () +. delay in
+  let rec go () =
+    let cancelled =
+      match cancel with
+      | Some c -> Storage.Cancel.cancelled c
+      | None -> false
+    in
+    if cancelled then `Cancelled
+    else
+      let remaining = until -. Unix.gettimeofday () in
+      if remaining <= 0.0 then `Slept
+      else begin
+        Unix.sleepf (Float.min 0.002 remaining);
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,29 @@
+(** Bounded exponential backoff with jitter, shared by the daemon's
+    per-query transient-fault retries and the client's opt-in
+    retry-on-[Overloaded].
+
+    The paper's queries are read-only and the engine is bit-deterministic,
+    so replaying a failed query is always safe — the only questions are
+    how many times and how long to wait, which a {!policy} answers. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts including the first; >= 1 *)
+  base_delay_s : float;  (** backoff before the first retry *)
+  max_delay_s : float;  (** cap on the exponential growth *)
+  jitter : float;
+      (** 0..1: each delay is scaled by a uniform factor in
+          [1 - jitter, 1 + jitter] to de-correlate retrying clients *)
+}
+
+val default : policy
+(** 3 attempts, 10 ms base, 500 ms cap, 0.25 jitter. *)
+
+val delay_for : policy -> rng:Random.State.t -> attempt:int -> float
+(** Backoff before retry number [attempt] (1-based):
+    [base * 2^(attempt-1)], capped at [max_delay_s], jittered.
+    Deterministic given the rng state. *)
+
+val sleep : ?cancel:Storage.Cancel.t -> float -> [ `Slept | `Cancelled ]
+(** Sleep for the given duration in ~2 ms slices, polling [cancel]
+    between slices so an explicit cancellation aborts the backoff
+    promptly (returning [`Cancelled]) rather than after the full delay. *)

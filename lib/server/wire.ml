@@ -1,4 +1,5 @@
 exception Protocol_error of string
+exception Connection_closed
 
 type request =
   | Query of { deadline_ms : int; domains : int; sql : string }
@@ -10,6 +11,7 @@ type reply =
   | Row of { degree_bits : int64; values : string list }
   | Done of { rows : int; elapsed_s : float }
   | Error of string
+  | Retryable of string
   | Overloaded
   | Cancelled of string
   | Metrics_json of string
@@ -68,26 +70,55 @@ let get_strs s pos =
   List.init n (fun _ -> get_str s pos)
 
 (* ------------------------------------------------------------------ *)
-(* Framing *)
+(* Framing, directly over the file descriptor.
 
-let write_frame oc payload =
+   Both loops restart on EINTR (a signal delivered mid-syscall must not
+   kill a session thread), and both map the peer vanishing — EOF or a
+   short read mid-frame, EPIPE/ECONNRESET on write — to the single
+   [Connection_closed] exception so callers have one case to handle. *)
+
+let rec write_all fd buf off len =
+  if len > 0 then
+    match Unix.write fd buf off len with
+    | n -> write_all fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf off len
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Connection_closed
+
+let read_exact fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.read fd buf off len with
+      | 0 -> raise Connection_closed
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          raise Connection_closed
+  in
+  go off len
+
+let write_frame fd payload =
   let n = String.length payload in
-  let hdr = Bytes.create 4 in
-  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
-  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
-  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
-  Bytes.set hdr 3 (Char.chr (n land 0xff));
-  output_bytes oc hdr;
-  output_string oc payload;
-  flush oc
+  (* One buffer, one write-loop: header and payload never interleave with
+     another thread's frame as long as callers serialise per-connection. *)
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b 0 (4 + n)
 
-let read_frame ic =
-  let hdr = really_input_string ic 4 in
-  let b i = Char.code hdr.[i] in
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  read_exact fd hdr 0 4;
+  let b i = Char.code (Bytes.get hdr i) in
   let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
   if n > max_frame then raise (Protocol_error "oversized frame");
   if n = 0 then raise (Protocol_error "empty frame");
-  really_input_string ic n
+  let payload = Bytes.create n in
+  read_exact fd payload 0 n;
+  Bytes.unsafe_to_string payload
 
 (* ------------------------------------------------------------------ *)
 (* Messages *)
@@ -133,6 +164,9 @@ let encode_reply r =
   | Error msg ->
       Buffer.add_char buf 'E';
       add_str buf msg
+  | Retryable msg ->
+      Buffer.add_char buf 'T';
+      add_str buf msg
   | Overloaded -> Buffer.add_char buf 'O'
   | Cancelled reason ->
       Buffer.add_char buf 'C';
@@ -155,12 +189,13 @@ let decode_reply payload =
       let elapsed_s = Int64.float_of_bits (get_u64 payload pos) in
       Done { rows; elapsed_s }
   | 'E' -> Error (get_str payload pos)
+  | 'T' -> Retryable (get_str payload pos)
   | 'O' -> Overloaded
   | 'C' -> Cancelled (get_str payload pos)
   | 'J' -> Metrics_json (get_str payload pos)
   | c -> raise (Protocol_error (Printf.sprintf "unknown reply tag %C" c))
 
-let write_request oc r = write_frame oc (encode_request r)
-let write_reply oc r = write_frame oc (encode_reply r)
-let read_request ic = decode_request (read_frame ic)
-let read_reply ic = decode_reply (read_frame ic)
+let write_request fd r = write_frame fd (encode_request r)
+let write_reply fd r = write_frame fd (encode_reply r)
+let read_request fd = decode_request (read_frame fd)
+let read_reply fd = decode_reply (read_frame fd)

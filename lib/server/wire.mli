@@ -8,20 +8,31 @@
     the server computed — the equality notion of the unnesting theorems
     survives the network hop.
 
+    Frame I/O works directly on the file descriptor with EINTR-safe
+    read/write loops: a signal delivered mid-syscall restarts the
+    operation instead of killing the session thread, and a peer that
+    vanishes — clean EOF, a short read mid-frame, EPIPE or ECONNRESET —
+    raises the single {!Connection_closed} exception.
+
     Requests (client to server): [Query] (deadline, per-query execution
     parallelism, SQL text), [Cancel] (cancel the in-flight query on this
     connection), [Metrics] (dump the server's metrics registry).
 
     Replies (server to client) for one query, in order: one [Header]
     (column names), zero or more [Row]s, and exactly one terminal frame —
-    [Done] on success, [Error] (parse / semantic / execution error),
-    [Overloaded] (admission queue full), or [Cancelled] (deadline exceeded,
-    client cancel, or disconnect). [Metrics_json] answers a [Metrics]
-    request. *)
+    [Done] on success, [Error] (parse / semantic / fatal execution
+    error), [Retryable] (transient fault; a fresh attempt may succeed),
+    [Overloaded] (admission queue full or circuit breaker open), or
+    [Cancelled] (deadline exceeded, client cancel, or disconnect).
+    [Metrics_json] answers a [Metrics] request. *)
 
 exception Protocol_error of string
 (** Malformed frame: bad tag, truncated body, or an over-sized length
     prefix (the frame cap guards against garbage on the port). *)
+
+exception Connection_closed
+(** The peer closed the connection: clean EOF before a frame, a short
+    read mid-frame, or a write to a closed socket. *)
 
 type request =
   | Query of { deadline_ms : int; domains : int; sql : string }
@@ -38,7 +49,12 @@ type reply =
   | Done of { rows : int; elapsed_s : float }
       (** terminal: row count and server-side wall time (admission to
           last row) *)
-  | Error of string
+  | Error of string  (** terminal: query error or fatal execution error *)
+  | Retryable of string
+      (** terminal: the query failed on a transient fault after the
+          server exhausted its own retries (or had no deadline budget
+          left to retry); the query is read-only, so resubmitting is
+          always safe and may succeed *)
   | Overloaded
   | Cancelled of string  (** terminal: why the query was cancelled *)
   | Metrics_json of string
@@ -46,13 +62,16 @@ type reply =
 val max_frame : int
 (** Frames above this size (64 MB) raise {!Protocol_error} on read. *)
 
-val write_request : out_channel -> request -> unit
-(** Encode, frame, write, flush. *)
+val write_request : Unix.file_descr -> request -> unit
+(** Encode, frame, write. The frame is built in one buffer and written
+    by a single EINTR-safe loop, so concurrent writers interleave only
+    if they share a connection without serialising. Raises
+    {!Connection_closed} if the peer is gone. *)
 
-val write_reply : out_channel -> reply -> unit
+val write_reply : Unix.file_descr -> reply -> unit
 
-val read_request : in_channel -> request
-(** Blocks for a full frame. Raises [End_of_file] on a clean disconnect,
-    {!Protocol_error} on garbage. *)
+val read_request : Unix.file_descr -> request
+(** Blocks for a full frame. Raises {!Connection_closed} on EOF or a
+    short read mid-frame, {!Protocol_error} on garbage. *)
 
-val read_reply : in_channel -> reply
+val read_reply : Unix.file_descr -> reply

@@ -1,3 +1,15 @@
+exception All_frames_pinned of { page : int; capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | All_frames_pinned { page; capacity } ->
+        Some
+          (Printf.sprintf
+             "Buffer_pool.All_frames_pinned(loading page %d, all %d frames \
+              pinned)"
+             page capacity)
+    | _ -> None)
+
 type frame = {
   page_id : int;
   mutable data : bytes;
@@ -39,7 +51,7 @@ let write_back t f =
     f.dirty <- false
   end
 
-let evict_one t =
+let evict_one t ~for_page =
   let victim =
     Hashtbl.fold
       (fun _ f best ->
@@ -51,7 +63,7 @@ let evict_one t =
       t.frames None
   in
   match victim with
-  | None -> failwith "Buffer_pool: all frames pinned"
+  | None -> raise (All_frames_pinned { page = for_page; capacity = t.capacity })
   | Some f ->
       write_back t f;
       Hashtbl.remove t.frames f.page_id
@@ -64,7 +76,7 @@ let load t page_id =
       f
   | None ->
       t.misses <- t.misses + 1;
-      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      if Hashtbl.length t.frames >= t.capacity then evict_one t ~for_page:page_id;
       let f =
         { page_id; data = Sim_disk.read t.disk page_id; dirty = false;
           pins = 0; last_use = 0 }

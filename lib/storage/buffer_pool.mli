@@ -9,8 +9,14 @@
 
 type t
 
+exception All_frames_pinned of { page : int; capacity : int }
+(** A miss needed to evict a frame but every frame was pinned. [page] is
+    the page whose load failed; [capacity] the pool size in frames. A
+    programming error (pin leak or pool sized below the working set),
+    never injected by {!Fault}. *)
+
 val create : Sim_disk.t -> capacity:int -> t
-(** [capacity] in pages; must be >= 1. *)
+(** [capacity] in pages; must be >= 1 ([Invalid_argument] otherwise). *)
 
 val capacity : t -> int
 val disk : t -> Sim_disk.t
@@ -23,7 +29,12 @@ val with_write : t -> int -> (bytes -> unit) -> unit
 
 val pin : t -> int -> unit
 val unpin : t -> int -> unit
-(** Pin counts nest. Raises [Failure] if every frame is pinned on a miss. *)
+(** Pin counts nest. A miss (in {!read}, {!with_write} or {!pin}) raises
+    {!All_frames_pinned} when eviction finds every frame pinned;
+    {!unpin} raises [Invalid_argument] on a page that is not pinned.
+    Reads and write-backs through the pool propagate {!Fault.Injected}
+    from the underlying disk; a failed load leaves the pool unchanged
+    (the frame is only inserted after a successful disk read). *)
 
 val flush : t -> unit
 (** Write back all dirty frames. *)

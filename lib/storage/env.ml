@@ -11,6 +11,8 @@ let create ?(page_size = 8192) ?(pool_pages = 256) () =
   { stats; disk; pool }
 
 let page_size t = Sim_disk.page_size t.disk
+let set_fault t f = Sim_disk.set_fault t.disk f
+let fault t = Sim_disk.fault t.disk
 
 let reset_stats t =
   Buffer_pool.drop t.pool;

@@ -12,6 +12,14 @@ val create : ?page_size:int -> ?pool_pages:int -> unit -> t
     paper's experiments. *)
 
 val page_size : t -> int
+
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or clear) a fault-injection plane on the environment's disk.
+    Attach it only after catalogs are loaded, so data loading itself
+    cannot fault. *)
+
+val fault : t -> Fault.t option
+
 val reset_stats : t -> unit
 (** Zero the counters and drop the buffer pool so a measurement starts
     cold. *)

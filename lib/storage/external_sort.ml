@@ -50,12 +50,20 @@ module Heap = struct
     top
 end
 
+(* Every run builder below frees its temporary pages back to the disk
+   when an exception (injected fault, cancellation, ...) aborts the sort:
+   partially-written runs are destroyed before the exception propagates,
+   so [Sim_disk.live_pages] returns to its pre-sort baseline. *)
 let write_run env records =
   let run = Heap_file.create env in
-  Array.iter (fun r -> Heap_file.append run r) records;
-  run
+  try
+    Array.iter (fun r -> Heap_file.append run r) records;
+    run
+  with e ->
+    Heap_file.destroy run;
+    raise e
 
-let make_runs env input ~compare ~mem_pages =
+let make_runs ?cancel env input ~compare ~mem_pages =
   let stats = env.Env.stats in
   let budget = mem_pages * Env.page_size env in
   let counted a b =
@@ -74,18 +82,23 @@ let make_runs env input ~compare ~mem_pages =
       batch_bytes := 0
     end
   in
-  Heap_file.iter input (fun r ->
-      batch := r :: !batch;
-      batch_bytes := !batch_bytes + Bytes.length r + 2;
-      if !batch_bytes >= budget then flush ());
-  flush ();
-  List.rev !runs
+  try
+    Heap_file.iter input (fun r ->
+        Cancel.check cancel;
+        batch := r :: !batch;
+        batch_bytes := !batch_bytes + Bytes.length r + 2;
+        if !batch_bytes >= budget then flush ());
+    flush ();
+    List.rev !runs
+  with e ->
+    List.iter Heap_file.destroy !runs;
+    raise e
 
 (* Replacement selection: keep a heap of records; pop the smallest that is
    >= the last record written to the current run; records smaller than the
    last output are frozen for the next run. On random input this doubles the
    average run length (Knuth's snow-plough argument). *)
-let make_runs_replacement env input ~compare ~mem_pages =
+let make_runs_replacement ?cancel env input ~compare ~mem_pages =
   let stats = env.Env.stats in
   let budget = mem_pages * Env.page_size env in
   let counted_le a b =
@@ -107,12 +120,16 @@ let make_runs_replacement env input ~compare ~mem_pages =
       | None -> continue := false
     done
   in
-  refill ();
   let runs = ref [] in
-  while not (Heap.is_empty heap) do
+  let current = ref None in
+  try
+    refill ();
+    while not (Heap.is_empty heap) do
     let run = Heap_file.create env in
+    current := Some run;
     let last = ref None in
     while not (Heap.is_empty heap) do
+      Cancel.check cancel;
       let r = Heap.pop heap in
       in_memory := !in_memory - (Bytes.length r + 2);
       (match !last with
@@ -139,6 +156,7 @@ let make_runs_replacement env input ~compare ~mem_pages =
       | None -> ()
     done;
     runs := run :: !runs;
+    current := None;
     (* Thaw the frozen records into the heap for the next run. *)
     List.iter
       (fun r ->
@@ -148,41 +166,54 @@ let make_runs_replacement env input ~compare ~mem_pages =
     frozen := [];
     frozen_bytes := 0;
     refill ()
-  done;
-  List.rev !runs
+    done;
+    List.rev !runs
+  with e ->
+    Option.iter Heap_file.destroy !current;
+    List.iter Heap_file.destroy !runs;
+    raise e
 
 type run_strategy = Load_sort | Replacement_selection
 
-let initial_runs strategy input ~compare ~mem_pages =
+let initial_runs ?cancel strategy input ~compare ~mem_pages =
   let env = Heap_file.env input in
   match strategy with
-  | Load_sort -> make_runs env input ~compare ~mem_pages
-  | Replacement_selection -> make_runs_replacement env input ~compare ~mem_pages
+  | Load_sort -> make_runs ?cancel env input ~compare ~mem_pages
+  | Replacement_selection ->
+      make_runs_replacement ?cancel env input ~compare ~mem_pages
 
-let merge_runs env runs ~compare =
+(* On exception the freshly-created output file is destroyed but the input
+   runs are left alive: the caller owns them and cleans them up (see the
+   [live] tracking in [sort]). On success the input runs are destroyed. *)
+let merge_runs ?cancel env runs ~compare =
   let stats = env.Env.stats in
   let out = Heap_file.create env in
-  let le (r1, _) (r2, _) =
-    Iostats.record_comparison stats;
-    compare r1 r2 <= 0
-  in
-  let heap = Heap.create le in
-  List.iter
-    (fun run ->
-      let c = Heap_file.Cursor.of_file run in
+  try
+    let le (r1, _) (r2, _) =
+      Iostats.record_comparison stats;
+      compare r1 r2 <= 0
+    in
+    let heap = Heap.create le in
+    List.iter
+      (fun run ->
+        let c = Heap_file.Cursor.of_file run in
+        match Heap_file.Cursor.next c with
+        | Some r -> Heap.push heap (r, c)
+        | None -> ())
+      runs;
+    while not (Heap.is_empty heap) do
+      Cancel.check cancel;
+      let r, c = Heap.pop heap in
+      Heap_file.append out r;
       match Heap_file.Cursor.next c with
-      | Some r -> Heap.push heap (r, c)
-      | None -> ())
-    runs;
-  while not (Heap.is_empty heap) do
-    let r, c = Heap.pop heap in
-    Heap_file.append out r;
-    match Heap_file.Cursor.next c with
-    | Some r' -> Heap.push heap (r', c)
-    | None -> ()
-  done;
-  List.iter Heap_file.destroy runs;
-  out
+      | Some r' -> Heap.push heap (r', c)
+      | None -> ()
+    done;
+    List.iter Heap_file.destroy runs;
+    out
+  with e ->
+    Heap_file.destroy out;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel sort.
@@ -205,7 +236,7 @@ let merge_runs env runs ~compare =
    runs inside [Iostats.timed], keeping the response-time model
    wall-clock-shaped). *)
 
-let sort_keyed ~pool ?trace input ~key ~compare_key ~mem_pages =
+let sort_keyed ~pool ?trace ?cancel input ~key ~compare_key ~mem_pages =
   if mem_pages < 3 then invalid_arg "External_sort.sort_keyed: mem_pages < 3";
   let env = Heap_file.env input in
   let stats = env.Env.stats in
@@ -226,6 +257,7 @@ let sort_keyed ~pool ?trace input ~key ~compare_key ~mem_pages =
         end
       in
       Heap_file.iter input (fun r ->
+          Cancel.check cancel;
           cur := r :: !cur;
           cur_bytes := !cur_bytes + Bytes.length r + 2;
           if !cur_bytes >= slice_budget then cut ());
@@ -273,28 +305,37 @@ let sort_keyed ~pool ?trace input ~key ~compare_key ~mem_pages =
       (* Decorated k-way merge: the head key is decoded once per record
          pulled, and heap comparisons compare keys only. *)
       let merge_keyed out_env runs =
+        (* Destroy the partial output on abort so no pages leak into
+           [out_env] — which on the final pass is the caller's shared
+           environment (intermediate runs live in private environments
+           that are discarded wholesale). *)
         let out = Heap_file.create out_env in
-        let le (k1, _, _) (k2, _, _) =
-          Iostats.record_comparison stats;
-          compare_key k1 k2 <= 0
-        in
-        let heap = Heap.create le in
-        List.iter
-          (fun run ->
-            let c = Heap_file.Cursor.of_file run in
+        try
+          let le (k1, _, _) (k2, _, _) =
+            Iostats.record_comparison stats;
+            compare_key k1 k2 <= 0
+          in
+          let heap = Heap.create le in
+          List.iter
+            (fun run ->
+              let c = Heap_file.Cursor.of_file run in
+              match Heap_file.Cursor.next c with
+              | Some r -> Heap.push heap (key r, r, c)
+              | None -> ())
+            runs;
+          while not (Heap.is_empty heap) do
+            Cancel.check cancel;
+            let _, r, c = Heap.pop heap in
+            Heap_file.append out r;
             match Heap_file.Cursor.next c with
-            | Some r -> Heap.push heap (key r, r, c)
-            | None -> ())
-          runs;
-        while not (Heap.is_empty heap) do
-          let _, r, c = Heap.pop heap in
-          Heap_file.append out r;
-          match Heap_file.Cursor.next c with
-          | Some r' -> Heap.push heap (key r', r', c)
-          | None -> ()
-        done;
-        List.iter Heap_file.destroy runs;
-        out
+            | Some r' -> Heap.push heap (key r', r', c)
+            | None -> ()
+          done;
+          List.iter Heap_file.destroy runs;
+          out
+        with e ->
+          Heap_file.destroy out;
+          raise e
       in
       let fan_in = mem_pages - 1 in
       (* Intermediate passes write to a scratch private environment; only
@@ -331,32 +372,47 @@ let sort_keyed ~pool ?trace input ~key ~compare_key ~mem_pages =
             !private_envs;
           out))
 
-let sort ?(run_strategy = Load_sort) ?trace input ~compare ~mem_pages =
+let sort ?(run_strategy = Load_sort) ?trace ?cancel input ~compare ~mem_pages =
   if mem_pages < 3 then invalid_arg "External_sort.sort: mem_pages < 3";
   let env = Heap_file.env input in
   let stats = env.Env.stats in
   Iostats.timed stats Iostats.Sort (fun () ->
-      let fan_in = mem_pages - 1 in
-      let rec merge_all = function
-        | [] -> Heap_file.create env
-        | [ only ] -> only
-        | runs ->
-            let rec take k acc = function
-              | rest when k = 0 -> (List.rev acc, rest)
-              | [] -> (List.rev acc, [])
-              | r :: rest -> take (k - 1) (r :: acc) rest
-            in
-            let rec pass acc = function
-              | [] -> List.rev acc
-              | runs ->
-                  let group, rest = take fan_in [] runs in
-                  pass (merge_runs env group ~compare :: acc) rest
-            in
-            merge_all (pass [] runs)
-      in
-      let runs =
-        Trace.with_span trace ~stats ~pool:env.Env.pool "run-formation"
-          (fun () -> initial_runs run_strategy input ~compare ~mem_pages)
-      in
-      Trace.with_span trace ~stats ~pool:env.Env.pool "k-way-merge" (fun () ->
-          merge_all runs))
+      (* Runs not yet consumed by a merge pass; destroyed if the sort is
+         aborted by an exception or a cancelled token, so no temp pages
+         leak (the builders clean their own partial output). *)
+      let live = ref [] in
+      let untrack f = live := List.filter (fun g -> g != f) !live in
+      try
+        let fan_in = mem_pages - 1 in
+        let rec merge_all = function
+          | [] -> Heap_file.create env
+          | [ only ] ->
+              untrack only;
+              only
+          | runs ->
+              let rec take k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | r :: rest -> take (k - 1) (r :: acc) rest
+              in
+              let rec pass acc = function
+                | [] -> List.rev acc
+                | runs ->
+                    let group, rest = take fan_in [] runs in
+                    let out = merge_runs ?cancel env group ~compare in
+                    List.iter untrack group;
+                    live := out :: !live;
+                    pass (out :: acc) rest
+              in
+              merge_all (pass [] runs)
+        in
+        let runs =
+          Trace.with_span trace ~stats ~pool:env.Env.pool "run-formation"
+            (fun () -> initial_runs ?cancel run_strategy input ~compare ~mem_pages)
+        in
+        live := runs;
+        Trace.with_span trace ~stats ~pool:env.Env.pool "k-way-merge" (fun () ->
+            merge_all runs)
+      with e ->
+        List.iter Heap_file.destroy !live;
+        raise e)

@@ -16,17 +16,26 @@ type run_strategy =
           fewer runs and fewer merge passes when memory is scarce *)
 
 val sort :
-  ?run_strategy:run_strategy -> ?trace:Trace.t -> Heap_file.t ->
-  compare:(bytes -> bytes -> int) -> mem_pages:int -> Heap_file.t
+  ?run_strategy:run_strategy -> ?trace:Trace.t -> ?cancel:Cancel.t ->
+  Heap_file.t -> compare:(bytes -> bytes -> int) -> mem_pages:int ->
+  Heap_file.t
 (** Returns a new heap file with the records in non-decreasing order;
     intermediate runs are destroyed. The input file is left intact.
     [mem_pages] must be >= 3 (one output page + two run pages). Default
     strategy: [Load_sort]. With [?trace], a [run-formation] and a
-    [k-way-merge] span are recorded with their I/O and comparison deltas. *)
+    [k-way-merge] span are recorded with their I/O and comparison deltas.
+    With [?cancel], the run-formation and merge loops poll the token.
+
+    Exception safety: if the sort is aborted — by [Cancel.Cancelled], an
+    injected {!Fault.Injected}, or any other exception (including ones
+    raised by [compare]) — every temporary run page already written is
+    freed back to the disk before the exception propagates, so
+    [Sim_disk.live_pages] returns to its pre-sort baseline. *)
 
 val sort_keyed :
-  pool:Task_pool.t -> ?trace:Trace.t -> Heap_file.t -> key:(bytes -> 'k) ->
-  compare_key:('k -> 'k -> int) -> mem_pages:int -> Heap_file.t
+  pool:Task_pool.t -> ?trace:Trace.t -> ?cancel:Cancel.t -> Heap_file.t ->
+  key:(bytes -> 'k) -> compare_key:('k -> 'k -> int) -> mem_pages:int ->
+  Heap_file.t
 (** Domain-parallel variant: the input scan is chopped into slices of
     [mem_pages * page_size / domains] bytes and each pool job sorts one
     slice with a private buffer pool (and private stats, merged into the
@@ -43,13 +52,17 @@ val sort_keyed :
     and the coordinator records the [k-way-merge] span. *)
 
 val initial_runs :
-  run_strategy -> Heap_file.t -> compare:(bytes -> bytes -> int) ->
-  mem_pages:int -> Heap_file.t list
+  ?cancel:Cancel.t -> run_strategy -> Heap_file.t ->
+  compare:(bytes -> bytes -> int) -> mem_pages:int -> Heap_file.t list
 (** The run-formation phase alone (each returned file is sorted); exposed for
-    tests and the sort ablation bench. Caller destroys the runs. *)
+    tests and the sort ablation bench. Caller destroys the runs. On abort,
+    partially-written runs are destroyed before the exception propagates. *)
 
 val merge_runs :
-  Env.t -> Heap_file.t list -> compare:(bytes -> bytes -> int) -> Heap_file.t
+  ?cancel:Cancel.t -> Env.t -> Heap_file.t list ->
+  compare:(bytes -> bytes -> int) -> Heap_file.t
 (** One k-way heap-merge pass over sorted runs, writing the merged file into
     [env] and destroying the input runs; exposed for tests ({!sort} composes
-    it into as many passes as the fan-in requires). *)
+    it into as many passes as the fan-in requires). On abort the partial
+    output file is destroyed but the input runs are left alive for the
+    caller to clean up. *)

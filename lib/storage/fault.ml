@@ -1,0 +1,273 @@
+type severity = Transient | Fatal
+
+type kind = Read_fault | Write_fault | Torn_write | Alloc_fault | Latency
+
+type trigger =
+  | Probability of float
+  | Nth of int
+  | Every of int
+
+type rule = {
+  kind : kind;
+  trigger : trigger;
+  severity : severity;
+  delay_s : float;
+}
+
+type spec = rule list
+
+exception Injected of { kind : kind; severity : severity; page : int option }
+
+(* A rule armed with its per-site call counters. Decisions depend only on
+   the seed and the sequence of storage operations, so a schedule replays
+   exactly: same seed + same spec + same operation sequence = same faults. *)
+type armed = {
+  rule : rule;
+  mutable calls : int;
+  mutable fired : int;
+}
+
+type t = {
+  seed : int;
+  rng : Random.State.t;
+  arms : armed array;
+  mutable injected_read : int;
+  mutable injected_write : int;
+  mutable injected_torn : int;
+  mutable injected_alloc : int;
+  mutable latency_events : int;
+  mutable delayed_s : float;
+}
+
+let kind_name = function
+  | Read_fault -> "read"
+  | Write_fault -> "write"
+  | Torn_write -> "torn"
+  | Alloc_fault -> "alloc"
+  | Latency -> "latency"
+
+let severity_name = function Transient -> "transient" | Fatal -> "fatal"
+
+let () =
+  Printexc.register_printer (function
+    | Injected { kind; severity; page } ->
+        Some
+          (Printf.sprintf "Storage.Fault.Injected(%s, %s%s)" (kind_name kind)
+             (severity_name severity)
+             (match page with
+             | Some p -> Printf.sprintf ", page %d" p
+             | None -> ""))
+    | _ -> None)
+
+let create ?(seed = 0) spec =
+  {
+    seed;
+    rng = Random.State.make [| 0xFA17; seed |];
+    arms =
+      Array.of_list (List.map (fun rule -> { rule; calls = 0; fired = 0 }) spec);
+    injected_read = 0;
+    injected_write = 0;
+    injected_torn = 0;
+    injected_alloc = 0;
+    latency_events = 0;
+    delayed_s = 0.0;
+  }
+
+let seed t = t.seed
+let spec t = Array.to_list (Array.map (fun a -> a.rule) t.arms)
+
+(* One decision per operation per matching rule; the rng is consumed only
+   by probability triggers, so counter-based schedules never perturb it. *)
+let decide t a =
+  a.calls <- a.calls + 1;
+  let fire =
+    match a.rule.trigger with
+    | Probability p -> Random.State.float t.rng 1.0 < p
+    | Nth n -> a.calls = n
+    | Every n -> a.calls mod n = 0
+  in
+  if fire then a.fired <- a.fired + 1;
+  fire
+
+let record t kind =
+  match kind with
+  | Read_fault -> t.injected_read <- t.injected_read + 1
+  | Write_fault -> t.injected_write <- t.injected_write + 1
+  | Torn_write -> t.injected_torn <- t.injected_torn + 1
+  | Alloc_fault -> t.injected_alloc <- t.injected_alloc + 1
+  | Latency -> t.latency_events <- t.latency_events + 1
+
+let delay t a =
+  record t Latency;
+  t.delayed_s <- t.delayed_s +. a.rule.delay_s;
+  if a.rule.delay_s > 0.0 then Unix.sleepf a.rule.delay_s
+
+let inject t a kind page =
+  record t kind;
+  raise (Injected { kind; severity = a.rule.severity; page })
+
+let on_read fo ~page =
+  match fo with
+  | None -> ()
+  | Some t ->
+      Array.iter
+        (fun a ->
+          match a.rule.kind with
+          | Latency -> if decide t a then delay t a
+          | Read_fault -> if decide t a then inject t a Read_fault (Some page)
+          | Write_fault | Torn_write | Alloc_fault -> ())
+        t.arms
+
+let on_write fo ~page tear =
+  match fo with
+  | None -> ()
+  | Some t ->
+      Array.iter
+        (fun a ->
+          match a.rule.kind with
+          | Latency -> if decide t a then delay t a
+          | Write_fault -> if decide t a then inject t a Write_fault (Some page)
+          | Torn_write ->
+              if decide t a then begin
+                tear ();
+                inject t a Torn_write (Some page)
+              end
+          | Read_fault | Alloc_fault -> ())
+        t.arms
+
+let on_alloc fo =
+  match fo with
+  | None -> ()
+  | Some t ->
+      Array.iter
+        (fun a ->
+          match a.rule.kind with
+          | Alloc_fault -> if decide t a then inject t a Alloc_fault None
+          | Read_fault | Write_fault | Torn_write | Latency -> ())
+        t.arms
+
+let injected t =
+  t.injected_read + t.injected_write + t.injected_torn + t.injected_alloc
+
+let latency_events t = t.latency_events
+
+let counters t =
+  [
+    ("fault_read", t.injected_read);
+    ("fault_write", t.injected_write);
+    ("fault_torn", t.injected_torn);
+    ("fault_alloc", t.injected_alloc);
+    ("fault_latency", t.latency_events);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec syntax: clauses separated by ';', each
+   [kind:trigger[:severity][:ms=N]] with kind one of read | write | torn |
+   alloc | latency, trigger one of [p=F] | [nth=N] | [every=N], severity
+   transient (default) | fatal, and [ms=N] the latency spike in
+   milliseconds (latency clauses only; default 1). *)
+
+let trigger_to_string = function
+  | Probability p -> Printf.sprintf "p=%g" p
+  | Nth n -> Printf.sprintf "nth=%d" n
+  | Every n -> Printf.sprintf "every=%d" n
+
+let rule_to_string r =
+  let base =
+    Printf.sprintf "%s:%s" (kind_name r.kind) (trigger_to_string r.trigger)
+  in
+  let base =
+    if r.severity = Fatal then base ^ ":fatal" else base
+  in
+  if r.kind = Latency then
+    Printf.sprintf "%s:ms=%g" base (1000.0 *. r.delay_s)
+  else base
+
+let spec_to_string spec = String.concat ";" (List.map rule_to_string spec)
+
+let parse_rule clause =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ':' (String.trim clause) with
+  | [] | [ "" ] -> err "empty fault clause"
+  | kind_s :: rest -> (
+      let kind =
+        match kind_s with
+        | "read" -> Ok Read_fault
+        | "write" -> Ok Write_fault
+        | "torn" -> Ok Torn_write
+        | "alloc" -> Ok Alloc_fault
+        | "latency" -> Ok Latency
+        | k -> err "unknown fault kind %S (read|write|torn|alloc|latency)" k
+      in
+      match kind with
+      | Error _ as e -> e
+      | Ok kind -> (
+          let trigger = ref None in
+          let severity = ref Transient in
+          let delay_ms = ref None in
+          let bad = ref None in
+          List.iter
+            (fun field ->
+              if !bad = None then
+                match String.index_opt field '=' with
+                | Some i -> (
+                    let key = String.sub field 0 i in
+                    let v =
+                      String.sub field (i + 1) (String.length field - i - 1)
+                    in
+                    match key with
+                    | "p" -> (
+                        match float_of_string_opt v with
+                        | Some p when p >= 0.0 && p <= 1.0 ->
+                            trigger := Some (Probability p)
+                        | _ -> bad := Some ("bad probability " ^ v))
+                    | "nth" -> (
+                        match int_of_string_opt v with
+                        | Some n when n >= 1 -> trigger := Some (Nth n)
+                        | _ -> bad := Some ("bad nth " ^ v))
+                    | "every" -> (
+                        match int_of_string_opt v with
+                        | Some n when n >= 1 -> trigger := Some (Every n)
+                        | _ -> bad := Some ("bad every " ^ v))
+                    | "ms" -> (
+                        match float_of_string_opt v with
+                        | Some ms when ms >= 0.0 -> delay_ms := Some ms
+                        | _ -> bad := Some ("bad ms " ^ v))
+                    | k -> bad := Some ("unknown field " ^ k))
+                | None -> (
+                    match field with
+                    | "transient" -> severity := Transient
+                    | "fatal" -> severity := Fatal
+                    | f -> bad := Some ("unknown field " ^ f)))
+            rest;
+          match (!bad, !trigger) with
+          | Some m, _ -> err "%s in %S" m clause
+          | None, None -> err "missing trigger (p=|nth=|every=) in %S" clause
+          | None, Some trigger ->
+              Ok
+                {
+                  kind;
+                  trigger;
+                  severity = !severity;
+                  delay_s =
+                    (match !delay_ms with
+                    | Some ms -> ms /. 1000.0
+                    | None -> if kind = Latency then 0.001 else 0.0);
+                }))
+
+let parse_spec s =
+  let clauses =
+    List.filter
+      (fun c -> String.trim c <> "")
+      (String.split_on_char ';' s)
+  in
+  if clauses = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc clause ->
+        match (acc, parse_rule clause) with
+        | Error _, _ -> acc
+        | _, (Error _ as e) -> e
+        | Ok rules, Ok r -> Ok (r :: rules))
+      (Ok []) clauses
+    |> Result.map List.rev

@@ -1,17 +1,45 @@
+exception Bad_page of { page : int; num_pages : int }
+exception Write_size of { page : int; expected : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Bad_page { page; num_pages } ->
+        Some
+          (Printf.sprintf "Sim_disk.Bad_page(page %d, disk has %d pages)" page
+             num_pages)
+    | Write_size { page; expected; got } ->
+        Some
+          (Printf.sprintf
+             "Sim_disk.Write_size(page %d, expected %d bytes, got %d)" page
+             expected got)
+    | _ -> None)
+
 type t = {
   page_size : int;
   stats : Iostats.t;
   mutable pages : bytes array;
   mutable used : int;
   mutable free_list : int list;
+  mutable n_free : int;
+  mutable fault : Fault.t option;
 }
 
 let create ?(page_size = 8192) stats =
   if page_size <= 0 then invalid_arg "Sim_disk.create: page_size";
-  { page_size; stats; pages = Array.make 64 Bytes.empty; used = 0; free_list = [] }
+  {
+    page_size;
+    stats;
+    pages = Array.make 64 Bytes.empty;
+    used = 0;
+    free_list = [];
+    n_free = 0;
+    fault = None;
+  }
 
 let page_size t = t.page_size
 let stats t = t.stats
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 let grow t =
   let cap = Array.length t.pages in
@@ -22,9 +50,11 @@ let grow t =
   end
 
 let alloc t =
+  Fault.on_alloc t.fault;
   match t.free_list with
   | id :: rest ->
       t.free_list <- rest;
+      t.n_free <- t.n_free - 1;
       Bytes.fill t.pages.(id) 0 t.page_size '\000';
       id
   | [] ->
@@ -35,22 +65,28 @@ let alloc t =
       id
 
 let check_id t id =
-  if id < 0 || id >= t.used then invalid_arg "Sim_disk: bad page id"
+  if id < 0 || id >= t.used then raise (Bad_page { page = id; num_pages = t.used })
 
 let read t id =
   check_id t id;
+  Fault.on_read t.fault ~page:id;
   Iostats.record_read t.stats;
   Bytes.copy t.pages.(id)
 
 let write t id buf =
   check_id t id;
   if Bytes.length buf <> t.page_size then
-    invalid_arg "Sim_disk.write: buffer size mismatch";
+    raise (Write_size { page = id; expected = t.page_size; got = Bytes.length buf });
+  Fault.on_write t.fault ~page:id (fun () ->
+      Bytes.blit buf 0 t.pages.(id) 0 (t.page_size / 2));
   Iostats.record_write t.stats;
   Bytes.blit buf 0 t.pages.(id) 0 t.page_size
 
 let num_pages t = t.used
+let free_pages t = t.n_free
+let live_pages t = t.used - t.n_free
 
 let free t ids =
   List.iter (fun id -> check_id t id) ids;
-  t.free_list <- ids @ t.free_list
+  t.free_list <- ids @ t.free_list;
+  t.n_free <- t.n_free + List.length ids

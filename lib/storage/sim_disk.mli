@@ -2,29 +2,65 @@
 
     Stands in for the SPARC/IPC workstation disk of the paper's experiments.
     Every page transfer is recorded in an {!Iostats.t}, which is how the
-    benchmark harness reproduces the I/O columns of Section 9. *)
+    benchmark harness reproduces the I/O columns of Section 9.
+
+    A {!Fault.t} plane may be attached with {!set_fault}; when present it
+    is consulted on every [read]/[write]/[alloc] and may raise
+    {!Fault.Injected} (or sleep, for latency rules) before the operation
+    touches disk state. A failed read returns no data; a failed write
+    leaves the page untouched, except for torn writes which persist the
+    first half of the buffer before failing. *)
 
 type t
 
+exception Bad_page of { page : int; num_pages : int }
+(** Page id out of range — a programming error, never injected.
+    [num_pages] is the disk size at the time of the access. *)
+
+exception Write_size of { page : int; expected : int; got : int }
+(** [write] called with a buffer whose length differs from the disk's
+    page size — a programming error, never injected. *)
+
 val create : ?page_size:int -> Iostats.t -> t
 (** Default page size is 8192 bytes — the paper's "one buffer page
-    (8 k-bytes)". *)
+    (8 k-bytes)". Raises [Invalid_argument] if [page_size <= 0]. *)
 
 val page_size : t -> int
 val stats : t -> Iostats.t
 
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or clear) the fault-injection plane. *)
+
+val fault : t -> Fault.t option
+
 val alloc : t -> int
 (** Allocate a fresh zeroed page; returns its page id. Allocation itself does
-    not count as I/O (the write that follows does). *)
+    not count as I/O (the write that follows does). Pages recycled from the
+    free list are zeroed again, so a page torn by an injected fault cannot
+    poison a later query that reuses it. May raise {!Fault.Injected}
+    ([Alloc_fault]) with disk state unchanged. *)
 
 val read : t -> int -> bytes
-(** Copy of the page contents; counts one page read. *)
+(** Copy of the page contents; counts one page read. Raises {!Bad_page}
+    on out-of-range ids, or {!Fault.Injected} ([Read_fault]). *)
 
 val write : t -> int -> bytes -> unit
-(** Counts one page write. Raises [Invalid_argument] on wrong-size buffers or
-    bad ids. *)
+(** Counts one page write. Raises {!Bad_page} on out-of-range ids,
+    {!Write_size} on wrong-size buffers, or {!Fault.Injected}
+    ([Write_fault] with the page untouched; [Torn_write] with the first
+    half of the buffer persisted). *)
 
 val num_pages : t -> int
+(** Total pages ever allocated (the high-water mark; never decreases). *)
+
+val live_pages : t -> int
+(** Pages currently allocated and not on the free list. This is the
+    figure leak regression tests compare against a baseline: it drops
+    back when temporary pages are freed. *)
+
+val free_pages : t -> int
+(** Pages on the free list, available for reuse. *)
 
 val free : t -> int list -> unit
-(** Return pages to the free list for reuse (e.g. temporary sort runs). *)
+(** Return pages to the free list for reuse (e.g. temporary sort runs).
+    Raises {!Bad_page} if any id is out of range. *)

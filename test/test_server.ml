@@ -32,24 +32,22 @@ let wait_for ?(timeout = 10.0) what f =
 (* ------------------------------------------------------------------ *)
 (* Wire protocol round-trips through a real pipe.                      *)
 
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
 let roundtrip_request req =
   let r, w = Unix.pipe () in
-  let oc = Unix.out_channel_of_descr w in
-  let ic = Unix.in_channel_of_descr r in
-  Server.Wire.write_request oc req;
-  let got = Server.Wire.read_request ic in
-  close_out_noerr oc;
-  close_in_noerr ic;
+  Server.Wire.write_request w req;
+  let got = Server.Wire.read_request r in
+  close_noerr w;
+  close_noerr r;
   got
 
 let roundtrip_reply reply =
   let r, w = Unix.pipe () in
-  let oc = Unix.out_channel_of_descr w in
-  let ic = Unix.in_channel_of_descr r in
-  Server.Wire.write_reply oc reply;
-  let got = Server.Wire.read_reply ic in
-  close_out_noerr oc;
-  close_in_noerr ic;
+  Server.Wire.write_reply w reply;
+  let got = Server.Wire.read_reply r in
+  close_noerr w;
+  close_noerr r;
   got
 
 let wire_tests =
@@ -82,23 +80,52 @@ let wire_tests =
             row;
             Server.Wire.Done { rows = 3; elapsed_s = 0.0421 };
             Server.Wire.Error "parse error: ...";
+            Server.Wire.Retryable "transient fault, retries exhausted";
             Server.Wire.Overloaded;
             Server.Wire.Cancelled "deadline exceeded";
             Server.Wire.Metrics_json "{}";
           ]);
     tc "oversized and empty frames are protocol errors" `Quick (fun () ->
         let r, w = Unix.pipe () in
-        let oc = Unix.out_channel_of_descr w in
-        let ic = Unix.in_channel_of_descr r in
         (* length header far above max_frame *)
-        output_string oc "\xff\xff\xff\xff";
-        flush oc;
+        let hdr = Bytes.of_string "\xff\xff\xff\xff" in
+        assert (Unix.write w hdr 0 4 = 4);
         (try
-           ignore (Server.Wire.read_reply ic);
+           ignore (Server.Wire.read_reply r);
            Alcotest.fail "expected Protocol_error"
          with Server.Wire.Protocol_error _ -> ());
-        close_out_noerr oc;
-        close_in_noerr ic);
+        close_noerr w;
+        close_noerr r);
+    tc "EOF mid-stream raises Connection_closed, not a decode error" `Quick
+      (fun () ->
+        (* peer vanished before any frame *)
+        let r, w = Unix.pipe () in
+        Unix.close w;
+        (try
+           ignore (Server.Wire.read_reply r);
+           Alcotest.fail "expected Connection_closed"
+         with Server.Wire.Connection_closed -> ());
+        close_noerr r;
+        (* peer vanished after half a length header *)
+        let r, w = Unix.pipe () in
+        assert (Unix.write w (Bytes.of_string "\x00\x00") 0 2 = 2);
+        Unix.close w;
+        (try
+           ignore (Server.Wire.read_reply r);
+           Alcotest.fail "expected Connection_closed"
+         with Server.Wire.Connection_closed -> ());
+        close_noerr r;
+        (* writing into a closed pipe surfaces the same way (EPIPE; ignore
+           SIGPIPE first, as Daemon.start/Client.connect would) *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        let r, w = Unix.pipe () in
+        Unix.close r;
+        (try
+           Server.Wire.write_reply w Server.Wire.Overloaded;
+           Alcotest.fail "expected Connection_closed"
+         with Server.Wire.Connection_closed -> ());
+        close_noerr w);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -151,6 +178,7 @@ let normal_of_reply name = function
              (r.values, Int64.bits_of_float r.degree))
            rows)
   | Server.Client.Failed m -> Alcotest.failf "%s failed: %s" name m
+  | Server.Client.Retryable m -> Alcotest.failf "%s transient: %s" name m
   | Server.Client.Overloaded -> Alcotest.failf "%s overloaded" name
   | Server.Client.Cancelled r -> Alcotest.failf "%s cancelled: %s" name r
 

@@ -26,12 +26,12 @@ let disk_tests =
         let p2 = Sim_disk.alloc disk in
         Alcotest.(check int) "page reused" p p2;
         Alcotest.(check bytes) "zeroed" (Bytes.make 16 '\000') (Sim_disk.read disk p2));
-    tc "bad page id rejected" `Quick (fun () ->
+    tc "bad page id rejected with a typed error" `Quick (fun () ->
         let stats = Iostats.create () in
         let disk = Sim_disk.create stats in
-        Alcotest.(check bool) "raises" true
+        Alcotest.(check bool) "raises Bad_page with the offending id" true
           (try ignore (Sim_disk.read disk 42); false
-           with Invalid_argument _ -> true));
+           with Sim_disk.Bad_page { page = 42; num_pages = 0 } -> true));
   ]
 
 let pool_tests =
@@ -63,7 +63,8 @@ let pool_tests =
         let p1 = Sim_disk.alloc disk and p2 = Sim_disk.alloc disk in
         Buffer_pool.pin pool p1;
         Alcotest.(check bool) "miss with all pinned fails" true
-          (try ignore (Buffer_pool.read pool p2); false with Failure _ -> true);
+          (try ignore (Buffer_pool.read pool p2); false
+           with Buffer_pool.All_frames_pinned { capacity = 1; _ } -> true);
         Buffer_pool.unpin pool p1;
         ignore (Buffer_pool.read pool p2));
     tc "sequential scan misses once per page" `Quick (fun () ->
