@@ -127,7 +127,7 @@ let write_schedule path (cells : cell_outcome list) =
   output_string oc " ]}\n";
   close_out oc
 
-let run_cell ~expected ~setup ~fault_seed ~prob =
+let run_cell ~batch ~expected ~setup ~fault_seed ~prob =
   let spec_s = spec_string prob in
   let spec =
     match Storage.Fault.parse_spec spec_s with
@@ -136,7 +136,7 @@ let run_cell ~expected ~setup ~fault_seed ~prob =
   in
   let daemon =
     Server.Daemon.start ~workers ~queue_capacity:32 ~retry:server_retry
-      ~breaker:(breaker ()) ~fault_spec:spec ~fault_seed ~setup ()
+      ~batch ~breaker:(breaker ()) ~fault_spec:spec ~fault_seed ~setup ()
   in
   let port = Server.Daemon.port daemon in
   let n_clients = 2 in
@@ -195,7 +195,8 @@ let run_cell ~expected ~setup ~fault_seed ~prob =
     o_spec = spec_s;
     o_row =
       {
-        Harness.c_fault_seed = fault_seed;
+        Harness.c_engine = (if batch then "batch" else "scalar");
+        c_fault_seed = fault_seed;
         c_prob = prob;
         c_spec = spec_s;
         c_ok = Atomic.get ok;
@@ -245,7 +246,10 @@ let run (cfg : Harness.config) =
         let fault_seed = cfg.Harness.seed + ds in
         List.map
           (fun prob ->
-            let cell = run_cell ~expected ~setup ~fault_seed ~prob in
+            let cell =
+              run_cell ~batch:cfg.Harness.batch ~expected ~setup ~fault_seed
+                ~prob
+            in
             let r = cell.o_row in
             Format.printf
               "%-6d | %-5g | %5d | %5d | %5d | %6d | %5d | %8d | %7d | %8d | %5d | %6d@."

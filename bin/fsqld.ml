@@ -6,13 +6,14 @@
 
     {v
     fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains N]
-          [--deadline-ms MS] [--seed N] [--trace DIR]
+          [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]
           [--fault-spec SPEC] [--fault-seed N]
     v}
 
     [--workers] is the number of queries executing in parallel (each on
     its own domain with a private storage environment); [--domains] is
-    the per-query merge-join parallelism. [--deadline-ms] sets a default
+    the per-query merge-join parallelism. [--batch] runs every query on
+    the vectorized columnar engine (identical answers and degrees). [--deadline-ms] sets a default
     deadline for clients that do not send one. [--trace DIR] writes one
     Chrome trace file per request to [DIR/req-N.json]. [--fault-spec]
     arms deterministic fault injection on every worker's storage (syntax
@@ -25,7 +26,7 @@ open Frepro
 let usage =
   "usage: fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains \
    N]\n\
-  \             [--deadline-ms MS] [--seed N] [--trace DIR]\n\
+  \             [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]\n\
   \             [--fault-spec SPEC] [--fault-seed N]"
 
 let () =
@@ -34,6 +35,7 @@ let () =
   let workers = ref 2 in
   let queue = ref 16 in
   let domains = ref 1 in
+  let batch = ref false in
   let deadline_ms = ref 0 in
   let seed = ref 11 in
   let trace_dir = ref None in
@@ -59,6 +61,9 @@ let () =
     | "--queue" :: n :: rest -> parse (int_arg "--queue" n (( := ) queue) rest)
     | "--domains" :: n :: rest ->
         parse (int_arg "--domains" n (( := ) domains) rest)
+    | "--batch" :: rest ->
+        batch := true;
+        parse rest
     | "--deadline-ms" :: n :: rest ->
         parse (int_arg "--deadline-ms" n (( := ) deadline_ms) rest)
     | "--seed" :: n :: rest -> parse (int_arg "--seed" n (( := ) seed) rest)
@@ -97,17 +102,18 @@ let () =
       ~queue_capacity:!queue
       ?default_deadline_ms:
         (if !deadline_ms > 0 then Some !deadline_ms else None)
-      ~domains:!domains ?on_trace ?fault_spec:!fault_spec
+      ~domains:!domains ~batch:!batch ?on_trace ?fault_spec:!fault_spec
       ~fault_seed:!fault_seed
       ~setup:(Server.Demo.server_setup ~seed:!seed ())
       ()
   in
   Printf.printf
-    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s)\n%!"
+    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s%s)\n%!"
     !host
     (Server.Daemon.port daemon)
     (Server.Daemon.workers daemon)
     !queue !domains
+    (if !batch then ", batch" else "")
     (if !deadline_ms > 0 then Printf.sprintf ", deadline=%dms" !deadline_ms
      else "")
     (match !trace_dir with Some d -> ", trace=" ^ d | None -> "")

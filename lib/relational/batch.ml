@@ -1,0 +1,89 @@
+open Storage
+open Fuzzy
+
+let batch_rows = 1024
+
+type col = {
+  ok : Bytes.t;
+  lo : float array;
+  hi : float array;
+  ta : float array;
+  tb : float array;
+  tc : float array;
+  td : float array;
+}
+
+type t = {
+  rows : Ftuple.t array;
+  deg : float array;
+  mutable cols : (int * col) list;
+}
+
+let length t = Array.length t.rows
+let row t i = t.rows.(i)
+let degrees t = t.deg
+let ok c i = Bytes.unsafe_get c.ok i <> '\000'
+
+let of_rows rows =
+  { rows; deg = Array.map Ftuple.degree rows; cols = [] }
+
+let of_relation ?cancel ?pool rel =
+  let acc = ref [] in
+  let n = ref 0 in
+  let c = Relation.Cursor.of_relation ?pool rel in
+  let rec go () =
+    (* One poll per batch of rows, not per tuple: the columnar engine's
+       cancellation granularity. *)
+    if !n land (batch_rows - 1) = 0 then Cancel.check cancel;
+    match Relation.Cursor.next c with
+    | None -> ()
+    | Some t ->
+        incr n;
+        acc := t :: !acc;
+        go ()
+  in
+  go ();
+  of_rows (Array.of_list (List.rev !acc))
+
+let col t attr =
+  match List.assoc_opt attr t.cols with
+  | Some c -> c
+  | None ->
+      let n = Array.length t.rows in
+      let c =
+        {
+          ok = Bytes.make n '\000';
+          lo = Array.make n 0.0;
+          hi = Array.make n 0.0;
+          ta = Array.make n 0.0;
+          tb = Array.make n 0.0;
+          tc = Array.make n 0.0;
+          td = Array.make n 0.0;
+        }
+      in
+      for i = 0 to n - 1 do
+        let v = Ftuple.value t.rows.(i) attr in
+        (* The support bounds drive the ⪯ window sweep for every value kind,
+           exactly like the scalar engine's [Value.support] (strings hash to
+           a point, so they sort and window identically). *)
+        let s = Value.support v in
+        c.lo.(i) <- Interval.lo s;
+        c.hi.(i) <- Interval.hi s;
+        match v with
+        | Value.Int k ->
+            let f = float_of_int k in
+            c.ta.(i) <- f;
+            c.tb.(i) <- f;
+            c.tc.(i) <- f;
+            c.td.(i) <- f;
+            Bytes.set c.ok i '\001'
+        | Value.Fuzzy (Possibility.Trap tr) ->
+            c.ta.(i) <- tr.Trapezoid.a;
+            c.tb.(i) <- tr.Trapezoid.b;
+            c.tc.(i) <- tr.Trapezoid.c;
+            c.td.(i) <- tr.Trapezoid.d;
+            Bytes.set c.ok i '\001'
+        | Value.Fuzzy (Possibility.Discrete _) | Value.Str _ -> ()
+      done;
+      t.cols <- (attr, c) :: t.cols;
+      c

@@ -1,0 +1,55 @@
+(** Columnar batches for the vectorized executor.
+
+    A batch holds a run of decoded tuples together with their membership
+    degrees in an unboxed [float array] and, per referenced attribute, a
+    lazily-extracted {e column}: the support bounds [lo, hi] that drive the
+    ⪯-ordered window sweep and the four trapezoid abscissae [(a, b, c, d)],
+    all as unboxed float arrays, plus an [ok] mask flagging the rows whose
+    value is representable as a trapezoid ([Int] as a crisp point,
+    [Fuzzy (Trap _)] verbatim). Rows with [ok] unset (strings, discrete
+    distributions) keep their support bounds — so windowing is identical to
+    the scalar engine — and fall back to the boxed
+    {!Value.compare_degree} for degree arithmetic.
+
+    Columns are extracted once per (batch, attribute) and memoized; the
+    kernels in {!Batch_kernels} then run branch-light array passes over
+    them. Batches are single-domain values: the parallel sweep builds one
+    batch per partition slice. *)
+
+val batch_rows : int
+(** Processing granularity of the batch engine (1024): cancellation is
+    polled and trace spans are attributed once per this many rows. *)
+
+type col = {
+  ok : Bytes.t;  (** ['\001'] where the trapezoid columns are valid *)
+  lo : float array;  (** support start [b(v)] — Section 3's sort key *)
+  hi : float array;  (** support end [e(v)] *)
+  ta : float array;
+  tb : float array;
+  tc : float array;
+  td : float array;  (** trapezoid abscissae where [ok], else 0 *)
+}
+
+type t
+
+val of_rows : Ftuple.t array -> t
+(** Wrap already-decoded rows (the parallel sweep's partition slices). *)
+
+val of_relation :
+  ?cancel:Storage.Cancel.t -> ?pool:Storage.Buffer_pool.t -> Relation.t -> t
+(** Decode a relation into a batch through the given cursor pool, polling
+    the cancel token once per {!batch_rows} rows. *)
+
+val length : t -> int
+val row : t -> int -> Ftuple.t
+(** The decoded row (no re-decode: rows are kept alongside the columns for
+    boxed fallbacks and handler output). *)
+
+val degrees : t -> float array
+(** The membership-degree column; aliases the batch's storage. *)
+
+val col : t -> int -> col
+(** [col t attr]: the memoized column of attribute [attr]. *)
+
+val ok : col -> int -> bool
+(** Whether row [i]'s value has valid trapezoid columns. *)

@@ -39,6 +39,7 @@ type t = {
   host : string;
   n_workers : int;
   query_domains : int;
+  query_batch : bool;
   default_deadline_ms : int option;
   mem_pages : int;
   terms : Fuzzy.Term.t;
@@ -139,7 +140,7 @@ let handle_job t ~env ~catalog ~plane ~rng job =
     Trace.with_span tr ~stats "exec" (fun () ->
         let answer =
           Unnest.Planner.run ~mem_pages:t.mem_pages ~domains:job.job_domains
-            ~trace:job.trace ~cancel:job.cancel q
+            ~batch:t.query_batch ~trace:job.trace ~cancel:job.cancel q
         in
         Fun.protect
           ~finally:(fun () -> Relation.destroy answer)
@@ -389,7 +390,7 @@ let resolve host =
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     ?(queue_capacity = 16) ?default_deadline_ms ?(domains = 1)
-    ?(mem_pages = Unnest.Planner.default_mem_pages)
+    ?(batch = false) ?(mem_pages = Unnest.Planner.default_mem_pages)
     ?(terms = Fuzzy.Term.paper) ?on_trace ?(retry = Retry.default) ?breaker
     ?fault_spec ?(fault_seed = 0) ~setup () =
   if workers < 1 then invalid_arg "Daemon.start: workers < 1";
@@ -412,6 +413,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       host;
       n_workers = workers;
       query_domains = domains;
+      query_batch = batch;
       default_deadline_ms;
       mem_pages;
       terms;

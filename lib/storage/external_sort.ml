@@ -372,6 +372,132 @@ let sort_keyed ~pool ?trace ?cancel input ~key ~compare_key ~mem_pages =
             !private_envs;
           out))
 
+(* ------------------------------------------------------------------ *)
+(* Sequential columnar decorated sort (the batch engine's sort path).
+
+   The sequential [sort] decodes both records on every comparison — the
+   dominant cost of the merge-join pipeline. Here run formation decodes
+   each record's sort key exactly once into two unboxed float columns
+   (support lo / hi) and sorts an index permutation over them, so the
+   comparator touches no bytes at all; the k-way merge decorates each
+   cursor head the same way. Cancellation is polled once per batch of
+   records rather than per comparison. The record multiset and key order
+   are identical to [sort] with the corresponding record comparator; only
+   ties may land in a different order (exactly like [sort_keyed]). *)
+
+let batch_poll = 1024
+
+let sort_support ?trace ?cancel input ~key ~mem_pages =
+  if mem_pages < 3 then invalid_arg "External_sort.sort_support: mem_pages < 3";
+  let env = Heap_file.env input in
+  let stats = env.Env.stats in
+  Iostats.timed stats Iostats.Sort (fun () ->
+      let budget = mem_pages * Env.page_size env in
+      (* Runs not yet consumed by a merge pass, destroyed on abort like
+         [sort]'s. *)
+      let live = ref [] in
+      let untrack f = live := List.filter (fun g -> g != f) !live in
+      try
+        let make_runs () =
+          let runs = ref [] in
+          let batch = ref [] and batch_bytes = ref 0 and seen = ref 0 in
+          let flush () =
+            if !batch <> [] then begin
+              let arr = Array.of_list (List.rev !batch) in
+              let n = Array.length arr in
+              let klo = Array.make n 0.0 and khi = Array.make n 0.0 in
+              for i = 0 to n - 1 do
+                let lo, hi = key arr.(i) in
+                klo.(i) <- lo;
+                khi.(i) <- hi
+              done;
+              let idx = Array.init n (fun i -> i) in
+              Array.sort
+                (fun i j ->
+                  Iostats.record_comparison stats;
+                  let c = Float.compare klo.(i) klo.(j) in
+                  if c <> 0 then c else Float.compare khi.(i) khi.(j))
+                idx;
+              let run = write_run env (Array.map (fun i -> arr.(i)) idx) in
+              runs := run :: !runs;
+              live := run :: !live;
+              batch := [];
+              batch_bytes := 0
+            end
+          in
+          Heap_file.iter input (fun r ->
+              if !seen land (batch_poll - 1) = 0 then Cancel.check cancel;
+              incr seen;
+              batch := r :: !batch;
+              batch_bytes := !batch_bytes + Bytes.length r + 2;
+              if !batch_bytes >= budget then flush ());
+          flush ();
+          List.rev !runs
+        in
+        let merge_group group =
+          let out = Heap_file.create env in
+          try
+            let le (l1, h1, _, _) (l2, h2, _, _) =
+              Iostats.record_comparison stats;
+              let c = Float.compare l1 l2 in
+              (if c <> 0 then c else Float.compare h1 h2) <= 0
+            in
+            let heap = Heap.create le in
+            let push_head c =
+              match Heap_file.Cursor.next c with
+              | Some r ->
+                  let lo, hi = key r in
+                  Heap.push heap (lo, hi, r, c)
+              | None -> ()
+            in
+            List.iter (fun run -> push_head (Heap_file.Cursor.of_file run)) group;
+            let popped = ref 0 in
+            while not (Heap.is_empty heap) do
+              if !popped land (batch_poll - 1) = 0 then Cancel.check cancel;
+              incr popped;
+              let _, _, r, c = Heap.pop heap in
+              Heap_file.append out r;
+              push_head c
+            done;
+            List.iter Heap_file.destroy group;
+            out
+          with e ->
+            Heap_file.destroy out;
+            raise e
+        in
+        let fan_in = mem_pages - 1 in
+        let rec merge_all = function
+          | [] -> Heap_file.create env
+          | [ only ] ->
+              untrack only;
+              only
+          | runs ->
+              let rec take k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | r :: rest -> take (k - 1) (r :: acc) rest
+              in
+              let rec pass acc = function
+                | [] -> List.rev acc
+                | runs ->
+                    let group, rest = take fan_in [] runs in
+                    let out = merge_group group in
+                    List.iter untrack group;
+                    live := out :: !live;
+                    pass (out :: acc) rest
+              in
+              merge_all (pass [] runs)
+        in
+        let runs =
+          Trace.with_span trace ~stats ~pool:env.Env.pool "run-formation"
+            (fun () -> make_runs ())
+        in
+        Trace.with_span trace ~stats ~pool:env.Env.pool "k-way-merge" (fun () ->
+            merge_all runs)
+      with e ->
+        List.iter Heap_file.destroy !live;
+        raise e)
+
 let sort ?(run_strategy = Load_sort) ?trace ?cancel input ~compare ~mem_pages =
   if mem_pages < 3 then invalid_arg "External_sort.sort: mem_pages < 3";
   let env = Heap_file.env input in

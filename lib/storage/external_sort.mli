@@ -66,3 +66,18 @@ val merge_runs :
     it into as many passes as the fan-in requires). On abort the partial
     output file is destroyed but the input runs are left alive for the
     caller to clean up. *)
+
+val sort_support :
+  ?trace:Trace.t -> ?cancel:Cancel.t -> Heap_file.t ->
+  key:(bytes -> float * float) -> mem_pages:int -> Heap_file.t
+(** Sequential columnar decorated sort, the batch engine's counterpart of
+    {!sort}: run formation decodes each record's [(support lo, support hi)]
+    key exactly once into unboxed float columns and sorts an index
+    permutation over them (runs are produced directly from the columns), so
+    the comparator never touches record bytes; the k-way merge decorates
+    cursor heads the same way and compares floats lexicographically. The
+    record multiset and key order are identical to {!sort} with the
+    corresponding record comparator — only equal-key ties may land in a
+    different order, like {!sort_keyed}. Cancellation is polled once per
+    batch of records (1024) rather than per comparison; abort safety and
+    trace spans ([run-formation], [k-way-merge]) as for {!sort}. *)

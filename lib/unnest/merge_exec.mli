@@ -24,11 +24,17 @@ exception Not_unnestable of string
 
 val run :
   ?name:string -> ?pool:Storage.Task_pool.t -> ?trace:Storage.Trace.t ->
-  ?cancel:Storage.Cancel.t ->
+  ?cancel:Storage.Cancel.t -> ?batch:bool ->
   Classify.two_level -> mem_pages:int -> Relational.Relation.t
 (** With a multi-domain [?pool], the sorts and the sweep run domain-parallel
     (see {!Relational.Join_merge}); answers and degrees are identical to the
-    sequential run. With [?trace], one span per operator is recorded
+    sequential run. With [~batch:true] the sorts and the sweep run columnar
+    (decorated sort, {!Relational.Join_merge.sweep_batch}): IN / NOT IN
+    windows are evaluated by vectorized handlers over the selection vector,
+    the other link types bridge to their scalar closures; answers, IEEE-754
+    degree bits and operation counts are again identical, and batch composes
+    with [?pool], [?trace] (per-batch spans) and [?cancel] (polled per
+    batch). With [?trace], one span per operator is recorded
     (reduce, sort/run-formation/k-way-merge, sweep, dedup — or
     constant-inner for uncorrelated subqueries); [None] costs nothing.
     With [?cancel], the reduction predicates, sort comparators, and sweep
@@ -38,7 +44,7 @@ val run :
 
 val run_chain :
   ?name:string -> ?order:Chain_order.order -> ?pool:Storage.Task_pool.t ->
-  ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t -> ?batch:bool ->
   Classify.chain -> mem_pages:int ->
   Relational.Relation.t
 (** Default order: left-to-right (outermost block first). The order's steps

@@ -22,7 +22,8 @@ val default_mem_pages : int
 
 val run :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  ?domains:int -> ?batch:bool -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   Fuzzysql.Bound.query -> Relational.Relation.t
 (** [chain_dp] (default true) selects the chain join order with the
     dynamic-programming search of {!Chain_order}; false uses the syntactic
@@ -33,6 +34,15 @@ val run :
     query and the sorts and sweeps run domain-parallel. [domains = 1] never
     constructs a pool and is exactly the sequential engine; any value
     returns identical answer tuples and membership degrees.
+
+    [batch] (default false) switches the merge-join engine to the
+    vectorized columnar executor: decorated columnar sorts
+    ({!Storage.External_sort.sort_support}) and the batch window sweep
+    ({!Relational.Join_merge.sweep_batch}) over unboxed trapezoid and
+    degree columns. Answer tuples and IEEE-754 degree bits are identical
+    to the scalar engine for every strategy and shape; batch composes with
+    [domains], [trace] and [cancel] (polled per batch of 1024 rows). The
+    nested-loop and naive methods ignore it.
 
     [trace] (default off, costing nothing) collects one hierarchical span
     per plan operator under a root [query] span — see {!Storage.Trace} and
@@ -47,7 +57,8 @@ val run :
 
 val run_string :
   ?name:string -> ?strategy:strategy -> ?mem_pages:int -> ?chain_dp:bool ->
-  ?domains:int -> ?trace:Storage.Trace.t -> ?cancel:Storage.Cancel.t ->
+  ?domains:int -> ?batch:bool -> ?trace:Storage.Trace.t ->
+  ?cancel:Storage.Cancel.t ->
   catalog:Relational.Catalog.t ->
   terms:Fuzzy.Term.t -> string -> Relational.Relation.t
 (** Parse, bind, and run. *)
