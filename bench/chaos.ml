@@ -95,8 +95,43 @@ type cell_outcome = {
   o_fault_seed : int;
   o_prob : float;
   o_spec : string;
+  o_telemetry_bad : int;
+      (** telemetry-invariant violations in this cell: 0 when the query
+          log holds exactly [accepted] records whose request-ID multiset
+          equals the trace ring's — i.e. every logged request has exactly
+          one span tree *)
   o_row : Harness.chaos_row;
 }
+
+(* Pull every "request_id" out of a JSONL query log. The records are
+   written by {!Server.Telemetry.Query_log} with the ID as the second
+   field, so a plain substring scan per line is enough — no JSON parser
+   in the bench. *)
+let log_request_ids path =
+  let ids = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       let key = "\"request_id\":\"" in
+       let k = String.length key in
+       let n = String.length line in
+       let rec find i =
+         if i + k > n then ()
+         else if String.sub line i k = key then begin
+           let j = ref (i + k) in
+           while !j < n && line.[!j] <> '"' do
+             incr j
+           done;
+           ids := String.sub line (i + k) (!j - (i + k)) :: !ids
+         end
+         else find (i + 1)
+       in
+       find 0
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !ids
 
 let write_schedule path (cells : cell_outcome list) =
   let oc = open_out path in
@@ -134,9 +169,16 @@ let run_cell ~batch ~expected ~setup ~fault_seed ~prob =
     | Ok s -> s
     | Error m -> failwith ("chaos: bad generated spec: " ^ m)
   in
+  (* Telemetry rides along on every cell: a throwaway query log plus a
+     trace ring big enough that nothing evicts (each client retry is a
+     fresh request with its own ID), so after the drain we can assert
+     log records == accepted and the log's ID multiset == the ring's. *)
+  let qlog = Filename.temp_file "fsqld_chaos_qlog" ".jsonl" in
+  let ring_capacity = (!queries * client_retry.Server.Retry.max_attempts) + 64 in
   let daemon =
     Server.Daemon.start ~workers ~queue_capacity:32 ~retry:server_retry
-      ~batch ~breaker:(breaker ()) ~fault_spec:spec ~fault_seed ~setup ()
+      ~batch ~breaker:(breaker ()) ~fault_spec:spec ~fault_seed
+      ~query_log:qlog ~trace_ring_capacity:ring_capacity ~setup ()
   in
   let port = Server.Daemon.port daemon in
   let n_clients = 2 in
@@ -189,10 +231,43 @@ let run_cell ~batch ~expected ~setup ~fault_seed ~prob =
     - (c "requests_completed" + c "requests_cancelled" + c "requests_failed"
      + c "requests_failed_transient")
   in
+  (* Telemetry invariants, checked with the books: one log record per
+     accepted request, and the same request-ID multiset in the log and
+     the trace ring (=> every logged ID has exactly one span tree). *)
+  let telemetry_bad =
+    let logged = match Server.Daemon.query_log_written daemon with
+      | Some n -> n
+      | None -> -1
+    in
+    let log_ids = List.sort compare (log_request_ids qlog) in
+    let ring_ids =
+      List.sort compare (Server.Telemetry.Ring.ids (Server.Daemon.trace_ring daemon))
+    in
+    let bad = ref 0 in
+    if logged <> accepted then begin
+      incr bad;
+      note "  telemetry: query log has %d records, accepted %d@." logged
+        accepted
+    end;
+    if List.length log_ids <> accepted then begin
+      incr bad;
+      note "  telemetry: %d request IDs in the log file, accepted %d@."
+        (List.length log_ids) accepted
+    end;
+    if log_ids <> ring_ids then begin
+      incr bad;
+      note "  telemetry: log / trace-ring request-ID multisets differ (%d vs \
+            %d)@."
+        (List.length log_ids) (List.length ring_ids)
+    end;
+    !bad
+  in
+  (try Sys.remove qlog with Sys_error _ -> ());
   {
     o_fault_seed = fault_seed;
     o_prob = prob;
     o_spec = spec_s;
+    o_telemetry_bad = telemetry_bad;
     o_row =
       {
         Harness.c_engine = (if batch then "batch" else "scalar");
@@ -265,11 +340,14 @@ let run (cfg : Harness.config) =
   let total f = List.fold_left (fun a c -> a + f c.o_row) 0 cells in
   let wrong = total (fun r -> r.Harness.c_wrong) in
   let leaked = total (fun r -> r.Harness.c_leaked) in
+  let telemetry_bad =
+    List.fold_left (fun a c -> a + c.o_telemetry_bad) 0 cells
+  in
   note "@.wrote chaos_schedule.json (%d cells)@." (List.length cells);
-  note "chaos verdict: %s (%d wrong answers, %d leaked queries, %d faults \
-        injected, %d retries, %d respawns)@."
-    (if wrong = 0 && leaked = 0 then "PASS" else "FAIL")
-    wrong leaked
+  note "chaos verdict: %s (%d wrong answers, %d leaked queries, %d telemetry \
+        violations, %d faults injected, %d retries, %d respawns)@."
+    (if wrong = 0 && leaked = 0 && telemetry_bad = 0 then "PASS" else "FAIL")
+    wrong leaked telemetry_bad
     (total (fun r -> r.Harness.c_injected))
     (total (fun r -> r.Harness.c_retries))
     (total (fun r -> r.Harness.c_respawns))

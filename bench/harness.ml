@@ -153,25 +153,39 @@ let metrics = Storage.Metrics.create ()
    producing the same multiset of answers — possibly in different tie
    orders after their sorts — get the same checksum, and any flipped degree
    bit changes it. *)
-let answer_checksum rel =
+let checksum_of_rows rows =
   let acc = ref 0L in
-  Relation.iter rel (fun t ->
+  List.iter
+    (fun (values, degree_bits) ->
       let buf = Buffer.create 64 in
-      Array.iter
+      List.iter
         (fun v ->
-          Buffer.add_string buf (Value.to_string v);
+          Buffer.add_string buf v;
           Buffer.add_char buf '\x00')
-        t.Ftuple.values;
-      Buffer.add_string buf
-        (Printf.sprintf "%Lx" (Int64.bits_of_float (Ftuple.degree t)));
+        values;
+      Buffer.add_string buf (Printf.sprintf "%Lx" degree_bits);
       let d = Digest.string (Buffer.contents buf) in
       let h = ref 0L in
       for i = 0 to 7 do
         h := Int64.logor (Int64.shift_left !h 8)
                (Int64.of_int (Char.code d.[i]))
       done;
-      acc := Int64.add !acc !h);
+      acc := Int64.add !acc !h)
+    rows;
   Printf.sprintf "%016Lx" !acc
+
+(* Rows received over the wire carry the same printed values and degree
+   bits the engine produced, so [checksum_of_rows] on a client's answer
+   equals [answer_checksum] on the relation — the telemetry bench uses
+   that to compare daemon-served answers against engine cells. *)
+let answer_checksum rel =
+  let rows = ref [] in
+  Relation.iter rel (fun t ->
+      rows :=
+        ( Array.to_list (Array.map Value.to_string t.Ftuple.values),
+          Int64.bits_of_float (Ftuple.degree t) )
+        :: !rows);
+  checksum_of_rows !rows
 
 let engines = [ "scalar"; "batch" ]
 

@@ -752,6 +752,126 @@ let batch_bench cfg =
   if not identical then failwith "batch bench: engine checksums differ"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the batch Table-1 cell served by an in-process  *)
+(* fsqld, telemetry fully off vs fully on (metrics port + query log;   *)
+(* windowed metrics and the trace ring are always on). CI asserts the  *)
+(* on/off wall ratio <= 1.05 and checksum equality from the JSON rows. *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let telemetry_bench cfg =
+  section "Telemetry overhead - batch cell through fsqld, off vs on";
+  note "same 16MB-side type J cell as the batch bench, served by a@.";
+  note "1-worker daemon; 'on' adds --metrics-port + --query-log (windowed@.";
+  note "metrics and the trace ring run in both). Wall is the best of 5@.";
+  note "client-observed reps; answers must be bit-identical@.@.";
+  let spec = spec_of ~paper_mb:16 ~tuple_bytes:128 ~fanout:7.0 cfg in
+  let setup env catalog =
+    let r, s =
+      Workload.Gen.join_pair env ~seed:cfg.seed ~outer:spec ~inner:spec
+    in
+    Relational.Catalog.add catalog r;
+    Relational.Catalog.add catalog s
+  in
+  let reps = 5 in
+  let run_config ~on =
+    let qlog =
+      if on then Some (Filename.temp_file "fsqld_qlog" ".jsonl") else None
+    in
+    let daemon =
+      Server.Daemon.start ~workers:1 ~domains:1 ~batch:true
+        ~mem_pages:(mem_pages cfg)
+        ?metrics_port:(if on then Some 0 else None)
+        ?query_log:qlog ~setup ()
+    in
+    let port = Server.Daemon.port daemon in
+    let client = Server.Client.connect ~port () in
+    let best = ref infinity in
+    let checksum = ref "" in
+    for _rep = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      match Server.Client.query client Harness.bench_sql with
+      | Server.Client.Answer { rows; _ } ->
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt;
+          checksum :=
+            Harness.checksum_of_rows
+              (List.map
+                 (fun (r : Server.Client.row) ->
+                   (r.values, Int64.bits_of_float r.degree))
+                 rows)
+      | _ -> failwith "telemetry bench: query did not complete"
+    done;
+    if on then begin
+      (* While the server is live, validate the whole exposition surface:
+         scrape /metrics and /healthz, and check one record per request
+         landed in the query log. *)
+      (match Server.Daemon.metrics_port daemon with
+      | Some p ->
+          let status, body = Server.Telemetry.Http.get ~port:p "/metrics" in
+          if status <> 200 then failwith "telemetry bench: /metrics not 200";
+          List.iter
+            (fun needle ->
+              if not (contains_sub body needle) then
+                failwith ("telemetry bench: /metrics missing " ^ needle))
+            [
+              "# TYPE fsqld_requests_completed counter";
+              "fsqld_latency_s_window{quantile=\"0.99\"}";
+              "fsqld_queue_depth";
+            ];
+          let hstatus, hbody = Server.Telemetry.Http.get ~port:p "/healthz" in
+          if hstatus <> 200 || not (contains_sub hbody "\"status\":\"ok\"")
+          then failwith "telemetry bench: /healthz not healthy"
+      | None -> failwith "telemetry bench: metrics port did not bind");
+      match Server.Daemon.query_log_written daemon with
+      | Some n when n = reps -> ()
+      | n ->
+          failwith
+            (Printf.sprintf
+               "telemetry bench: query log has %s records, expected %d"
+               (match n with Some n -> string_of_int n | None -> "no")
+               reps)
+    end;
+    Server.Client.close client;
+    Server.Daemon.stop daemon;
+    Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) qlog;
+    results :=
+      {
+        row_bench = "telemetry";
+        row_cell = (if on then "on" else "off");
+        row_method = "daemon";
+        row_engine = "batch";
+        row_domains = 1;
+        row_scale = cfg.scale;
+        row_wall_s = !best;
+        row_response_s = !best;
+        row_cpu_s = 0.0;
+        row_ios = 0;
+        row_fuzzy_ops = 0;
+        row_answer_size = 0;
+        row_checksum = !checksum;
+        row_io_overhead = 1.0;
+      }
+      :: !results;
+    (!best, !checksum)
+  in
+  let off_wall, off_sum = run_config ~on:false in
+  let on_wall, on_sum = run_config ~on:true in
+  Format.printf "%-10s | %12s@." "telemetry" "wall (s)";
+  hr Format.std_formatter 26;
+  Format.printf "%-10s | %12s@." "off" (str_seconds off_wall);
+  Format.printf "%-10s | %12s@." "on" (str_seconds on_wall);
+  note "@.overhead (on wall / off wall): %.3fx; checksums %s@."
+    (on_wall /. Float.max 1e-9 off_wall)
+    (if off_sum = on_sum then "identical" else "DIFFER");
+  if off_sum <> on_sum then
+    failwith "telemetry bench: answers differ with telemetry on"
+
+(* ------------------------------------------------------------------ *)
 (* Kernels: the three batch inner loops standalone, scalar vs          *)
 (* vectorized, in rows (elements) per second.                          *)
 (* ------------------------------------------------------------------ *)
@@ -897,6 +1017,7 @@ let all_targets =
     ("chain", chain_bench); ("sort", sort_bench); ("scaling", scaling);
     ("load", load_bench); ("chaos", Chaos.run); ("micro", micro);
     ("batch", batch_bench); ("kernels", kernels);
+    ("telemetry", telemetry_bench);
   ]
 
 let () =

@@ -17,7 +17,10 @@
     [--batch] to start on the vectorized columnar engine), or
     [fsql --connect HOST:PORT] to run statements against a remote fsqld
     instead of the in-process engine (meta commands: \q \help \timing
-    \domains \deadline \metrics). *)
+    \domains \deadline \retry \metrics \top \trace). Every remote query
+    carries a client-generated request ID; failures print it, [\trace ID]
+    fetches that request's server-side Chrome trace, and [\top] shows the
+    server's live windowed metrics. *)
 
 open Frepro
 open Frepro.Relational
@@ -255,6 +258,10 @@ let remote_help () =
     \  \\retry N      retry overloaded/transient replies up to N extra times\n\
     \                with backoff (0 = off)\n\
     \  \\metrics      print the server's metrics registry (JSON)\n\
+    \  \\top          server's windowed metrics (qps, p50/p99, queue,\n\
+    \                breaker); \\top N polls N times at 2s intervals\n\
+    \  \\trace ID     fetch a request's Chrome trace by its request ID\n\
+    \                (printed on failures); \\trace ID FILE writes it\n\
     \  \\timing       toggle per-query timing\n\
     \  \\help         this help\n\
     \  \\q            quit\n"
@@ -285,13 +292,23 @@ let remote_sql st sql =
       Format.printf "(%d tuple%s" n (if n = 1 then "" else "s");
       if st.r_timing then Format.printf ", %.1f ms" (1000.0 *. dt);
       Format.printf ")@."
-  | Server.Client.Failed msg -> Format.printf "error: %s@." msg
-  | Server.Client.Retryable msg ->
-      Format.printf "transient server error: %s (safe to retry, see \\retry)@."
+  | Server.Client.Failed msg ->
+      Format.printf "error: %s@.(request id %s — \\trace %s for the server \
+                     trace)@."
         msg
+        (Server.Client.last_request_id st.client)
+        (Server.Client.last_request_id st.client)
+  | Server.Client.Retryable msg ->
+      Format.printf
+        "transient server error: %s (safe to retry, see \\retry)@.(request \
+         id %s)@."
+        msg
+        (Server.Client.last_request_id st.client)
   | Server.Client.Overloaded ->
       Format.printf "server overloaded (admission shed the query), retry@."
-  | Server.Client.Cancelled reason -> Format.printf "cancelled: %s@." reason
+  | Server.Client.Cancelled reason ->
+      Format.printf "cancelled: %s@.(request id %s)@." reason
+        (Server.Client.last_request_id st.client)
 
 let remote_meta st line =
   match String.split_on_char ' ' (String.trim line) with
@@ -325,6 +342,40 @@ let remote_meta st line =
           Format.printf "retry set to %d@." r
       | _ -> Format.printf "retry must be a non-negative integer@.")
   | [ "\\metrics" ] -> print_endline (Server.Client.metrics_json st.client)
+  | [ "\\top" ] -> print_string (Server.Client.top_text st.client)
+  | [ "\\top"; n ] -> (
+      match int_of_string_opt n with
+      | Some polls when polls >= 1 ->
+          (* A bounded live view: clear + reprint every 2 s. *)
+          for i = 1 to polls do
+            if i > 1 then Unix.sleepf 2.0;
+            print_string "\027[2J\027[H";
+            Printf.printf "fsqld top — poll %d/%d\n" i polls;
+            print_string (Server.Client.top_text st.client);
+            flush stdout
+          done
+      | _ -> Format.printf "usage: \\top [N]  (N = number of 2s polls)@.")
+  | [ "\\trace"; id ] -> (
+      match Server.Client.trace_json st.client id with
+      | Some json -> print_endline json
+      | None ->
+          Format.printf
+            "no trace for request %s (evicted from the server's ring, or \
+             never seen)@."
+            id)
+  | [ "\\trace"; id; file ] -> (
+      match Server.Client.trace_json st.client id with
+      | Some json ->
+          let oc = open_out file in
+          output_string oc json;
+          close_out oc;
+          Format.printf "trace %s written to %s (Chrome trace_event format)@."
+            id file
+      | None ->
+          Format.printf
+            "no trace for request %s (evicted from the server's ring, or \
+             never seen)@."
+            id)
   | _ ->
       Format.printf "unknown meta command in --connect mode (try \\help)@."
 

@@ -7,7 +7,8 @@
     {v
     fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains N]
           [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]
-          [--fault-spec SPEC] [--fault-seed N]
+          [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]
+          [--query-log FILE] [--slow-ms MS] [--trace-ring N]
     v}
 
     [--workers] is the number of queries executing in parallel (each on
@@ -19,7 +20,16 @@
     arms deterministic fault injection on every worker's storage (syntax
     in {!Frepro.Storage.Fault.parse_spec}, e.g.
     ["read:p=0.05;torn:nth=100"]) with per-worker seeds derived from
-    [--fault-seed]. SIGINT / SIGTERM trigger a graceful drain. *)
+    [--fault-seed].
+
+    Telemetry: [--metrics-port P] serves Prometheus text on
+    [http://127.0.0.1:P/metrics] and a health check on [/healthz] (503
+    when the breaker is open or the server is draining); [--query-log
+    FILE] appends one JSONL record per finished request (rotated at 64 MB
+    to [FILE.1]); [--slow-ms MS] logs only requests at least that slow;
+    [--trace-ring N] keeps the last N requests' Chrome traces fetchable
+    by request ID with [fsql \trace ID]. SIGINT / SIGTERM trigger a
+    graceful drain. *)
 
 open Frepro
 
@@ -27,7 +37,8 @@ let usage =
   "usage: fsqld [--host H] [--port P] [--workers N] [--queue N] [--domains \
    N]\n\
   \             [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]\n\
-  \             [--fault-spec SPEC] [--fault-seed N]"
+  \             [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]\n\
+  \             [--query-log FILE] [--slow-ms MS] [--trace-ring N]"
 
 let () =
   let host = ref "127.0.0.1" in
@@ -41,6 +52,10 @@ let () =
   let trace_dir = ref None in
   let fault_spec = ref None in
   let fault_seed = ref 0 in
+  let metrics_port = ref None in
+  let query_log = ref None in
+  let slow_ms = ref 0.0 in
+  let trace_ring = ref 64 in
   let int_arg name n k rest =
     match int_of_string_opt n with
     | Some v when v >= 0 ->
@@ -79,6 +94,24 @@ let () =
         parse rest
     | "--fault-seed" :: n :: rest ->
         parse (int_arg "--fault-seed" n (( := ) fault_seed) rest)
+    | "--metrics-port" :: n :: rest ->
+        parse
+          (int_arg "--metrics-port" n (fun v -> metrics_port := Some v) rest)
+    | "--query-log" :: path :: rest ->
+        query_log := Some path;
+        parse rest
+    | "--slow-ms" :: n :: rest ->
+        parse (int_arg "--slow-ms" n (fun v -> slow_ms := float_of_int v) rest)
+    | "--trace-ring" :: n :: rest ->
+        parse
+          (int_arg "--trace-ring" n
+             (fun v ->
+               if v < 1 then begin
+                 prerr_endline "fsqld: --trace-ring expects at least 1";
+                 exit 2
+               end;
+               trace_ring := v)
+             rest)
     | arg :: _ ->
         prerr_endline ("fsqld: unknown argument " ^ arg);
         prerr_endline usage;
@@ -103,7 +136,10 @@ let () =
       ?default_deadline_ms:
         (if !deadline_ms > 0 then Some !deadline_ms else None)
       ~domains:!domains ~batch:!batch ?on_trace ?fault_spec:!fault_spec
-      ~fault_seed:!fault_seed
+      ~fault_seed:!fault_seed ?metrics_port:!metrics_port
+      ?query_log:!query_log
+      ?slow_ms:(if !slow_ms > 0.0 then Some !slow_ms else None)
+      ~trace_ring_capacity:!trace_ring
       ~setup:(Server.Demo.server_setup ~seed:!seed ())
       ()
   in
@@ -123,6 +159,15 @@ let () =
           (Storage.Fault.spec_to_string spec)
           !fault_seed
     | None -> "");
+  (match Server.Daemon.metrics_port daemon with
+  | Some p ->
+      Printf.printf "fsqld: metrics on http://127.0.0.1:%d/metrics\n%!" p
+  | None -> ());
+  (match !query_log with
+  | Some path ->
+      Printf.printf "fsqld: query log at %s%s\n%!" path
+        (if !slow_ms > 0.0 then Printf.sprintf " (slow-ms=%g)" !slow_ms else "")
+  | None -> ());
   let stop = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);

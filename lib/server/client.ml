@@ -1,7 +1,8 @@
 type t = {
   fd : Unix.file_descr;
   wlock : Mutex.t;  (** [cancel] may write while [query] reads *)
-  rng : Random.State.t;  (** jitter for the opt-in retry backoff *)
+  rng : Random.State.t;  (** request IDs + jitter for the opt-in retry *)
+  mutable last_request_id : string;
   mutable closed : bool;
 }
 
@@ -33,7 +34,8 @@ let connect ?(host = "127.0.0.1") ~port () =
   {
     fd;
     wlock = Mutex.create ();
-    rng = Random.State.make [| 0xC11E; port |];
+    rng = Random.State.make_self_init ();
+    last_request_id = "";
     closed = false;
   }
 
@@ -57,7 +59,13 @@ let write t req =
       raise e)
 
 let query_once ?(deadline_ms = 0) ?(domains = 0) t sql =
-  write t (Wire.Query { deadline_ms; domains; sql });
+  (* Fresh ID per attempt: each server-side span tree (and query-log
+     record) then corresponds to exactly one wire-level attempt, so a
+     retried query never aliases its failed predecessor in the trace
+     ring. *)
+  let request_id = Telemetry.gen_request_id t.rng in
+  t.last_request_id <- request_id;
+  write t (Wire.Query { request_id; deadline_ms; domains; sql });
   let columns = ref [] in
   let rows = ref [] in
   let rec read () =
@@ -79,10 +87,12 @@ let query_once ?(deadline_ms = 0) ?(domains = 0) t sql =
     | Wire.Retryable m -> Retryable m
     | Wire.Overloaded -> Overloaded
     | Wire.Cancelled reason -> Cancelled reason
-    | Wire.Metrics_json _ ->
-        raise (Wire.Protocol_error "unexpected metrics frame in query reply")
+    | Wire.Metrics_json _ | Wire.Trace_json _ | Wire.Top_text _ ->
+        raise (Wire.Protocol_error "unexpected admin frame in query reply")
   in
   read ()
+
+let last_request_id t = t.last_request_id
 
 let query ?deadline_ms ?domains ?retry t sql =
   match retry with
@@ -110,6 +120,18 @@ let metrics_json t =
   match Wire.read_reply t.fd with
   | Wire.Metrics_json json -> json
   | _ -> raise (Wire.Protocol_error "expected a metrics frame")
+
+let trace_json t id =
+  write t (Wire.Trace_get id);
+  match Wire.read_reply t.fd with
+  | Wire.Trace_json r -> r
+  | _ -> raise (Wire.Protocol_error "expected a trace frame")
+
+let top_text t =
+  write t Wire.Top;
+  match Wire.read_reply t.fd with
+  | Wire.Top_text s -> s
+  | _ -> raise (Wire.Protocol_error "expected a top frame")
 
 let close t =
   if not t.closed then begin

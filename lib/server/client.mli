@@ -43,6 +43,12 @@ val query :
     {!Wire.Connection_closed} if the server goes away mid-reply,
     {!Wire.Protocol_error} on a malformed stream. *)
 
+val last_request_id : t -> string
+(** The request ID sent with the most recent {!query} attempt on this
+    connection ([""] before the first). Every attempt gets a fresh ID, so
+    after a retried query this is the ID of the attempt whose reply was
+    returned — print it next to errors and feed it to {!trace_json}. *)
+
 val cancel : t -> unit
 (** Ask the server to cancel this connection's in-flight query. No-op
     (server-side) when none is running. *)
@@ -50,6 +56,16 @@ val cancel : t -> unit
 val metrics_json : t -> string
 (** Fetch the server's metrics registry as JSON. Do not call concurrently
     with {!query} on the same connection. *)
+
+val trace_json : t -> string -> string option
+(** Fetch the Chrome trace of one completed request by its request ID;
+    [None] once it has left the server's bounded ring. Same concurrency
+    rule as {!metrics_json}. *)
+
+val top_text : t -> string
+(** Fetch the server-rendered [\top] snapshot (windowed qps/p50/p99/max,
+    gauges, lifetime counters). Same concurrency rule as
+    {!metrics_json}. *)
 
 val close : t -> unit
 (** Close the socket; idempotent. *)

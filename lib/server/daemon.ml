@@ -23,6 +23,9 @@ type conn = {
 }
 
 type job = {
+  request_id : string;
+      (** client-generated, or server-assigned ([srv-] prefix) for rev-1
+          clients — every span tree in the trace ring has exactly one *)
   sql : string;
   job_domains : int;
   cancel : Cancel.t;
@@ -48,12 +51,17 @@ type t = {
   queue : job Bounded_queue.t;
   metrics : Metrics.t;
   mlock : Mutex.t;  (** the registry is single-threaded; workers share it *)
+  trace_ring : Telemetry.Ring.t;
+  query_log : Telemetry.Query_log.t option;
+  id_rng : Random.State.t;  (** server-assigned request IDs; under mlock *)
+  inflight : int ref;  (** jobs between dequeue and terminal; under mlock *)
   pool : Storage.Task_pool.t;
   retry : Retry.policy;
   breaker : Breaker.t;
   fault_spec : Fault.spec option;
   fault_seed : int;
   mutable draining : bool;
+  mutable http : Telemetry.Http.t option;
   mutable runner : Thread.t option;
   mutable acceptor : Thread.t option;
   conns : (conn * Thread.t) list ref;
@@ -73,7 +81,60 @@ let observe t name v =
 let counter_value t name =
   with_lock t.mlock (fun () -> Metrics.counter_value (Metrics.counter t.metrics name))
 
-let metrics_json t = with_lock t.mlock (fun () -> Metrics.to_json t.metrics)
+let observe_window t name v =
+  let now = Unix.gettimeofday () in
+  with_lock t.mlock (fun () ->
+      Metrics.observe_window (Metrics.window_histogram t.metrics name) ~now v)
+
+(* Gauges are point-in-time: refresh them at every snapshot (metrics
+   dump, Prometheus scrape, \top) rather than on every state change. Call
+   under [mlock]. *)
+let refresh_gauges t =
+  let now = Unix.gettimeofday () in
+  Metrics.set_gauge
+    (Metrics.gauge t.metrics "queue_depth")
+    (float_of_int (Bounded_queue.length t.queue));
+  Metrics.set_gauge
+    (Metrics.gauge t.metrics "busy_workers")
+    (float_of_int !(t.inflight));
+  Metrics.set_gauge
+    (Metrics.gauge t.metrics "breaker_open")
+    (if Breaker.is_open t.breaker ~now then 1.0 else 0.0)
+
+let metrics_json t =
+  with_lock t.mlock (fun () ->
+      refresh_gauges t;
+      Metrics.to_json t.metrics)
+
+let top_text t =
+  let now = Unix.gettimeofday () in
+  with_lock t.mlock (fun () ->
+      refresh_gauges t;
+      Telemetry.render_top t.metrics ~now)
+
+let prometheus_text t =
+  let now = Unix.gettimeofday () in
+  with_lock t.mlock (fun () ->
+      refresh_gauges t;
+      Telemetry.render_prometheus t.metrics ~now)
+
+let trace_json t id = Telemetry.Ring.find t.trace_ring id
+let trace_ring t = t.trace_ring
+let query_log_written t = Option.map Telemetry.Query_log.written t.query_log
+let metrics_port t = Option.map Telemetry.Http.port t.http
+
+let healthz_json t =
+  let now = Unix.gettimeofday () in
+  let open_ = Breaker.is_open t.breaker ~now in
+  let depth = Bounded_queue.length t.queue in
+  let busy = with_lock t.mlock (fun () -> !(t.inflight)) in
+  let ok = (not open_) && not t.draining in
+  ( ok,
+    Printf.sprintf
+      "{\"status\":\"%s\",\"breaker_open\":%b,\"queue_depth\":%d,\
+       \"busy_workers\":%d,\"draining\":%b}"
+      (if ok then "ok" else "unavailable")
+      open_ depth busy t.draining )
 
 (* Frame writes are serialised per connection and silently dropped once
    the peer is gone — a disconnected client must not take its worker down
@@ -126,10 +187,26 @@ let feed_breaker t ~ok =
    then stream the collected rows. Returns [true] when the worker's
    environment must be respawned (a fatal fault or an unclassified
    exception left it suspect). *)
+(* "deadline exceeded" is set by [Storage.Cancel]'s deadline check;
+   "cancelled by client" / "client disconnected" by the connection side.
+   The split keeps the books honest: a latency SLO breach and a user
+   pressing ^C are different operational signals. *)
+let deadline_reason reason =
+  let sub = "deadline" and n = String.length reason in
+  let m = String.length sub in
+  let rec go i = i + m <= n && (String.sub reason i m = sub || go (i + 1)) in
+  go 0
+
 let handle_job t ~env ~catalog ~plane ~rng job =
   let dequeued = Unix.gettimeofday () in
   let tr = Some job.trace in
   let faults_before = match plane with Some p -> Fault.injected p | None -> 0 in
+  let stats = env.Storage.Env.stats in
+  let reads0 = Storage.Iostats.page_reads stats in
+  let writes0 = Storage.Iostats.page_writes stats in
+  let cmps0 = Storage.Iostats.comparisons stats in
+  let fops0 = Storage.Iostats.fuzzy_ops stats in
+  let retries_used = ref 0 in
   let attempt () =
     Cancel.raise_if_cancelled job.cancel;
     let q =
@@ -175,6 +252,7 @@ let handle_job t ~env ~catalog ~plane ~rng job =
             `Gave_up ("transient fault, no deadline budget left to retry: " ^ m)
           else begin
             count t "retries";
+            incr retries_used;
             observe t "retry_backoff_s" delay;
             Trace.add_timed_span tr "retry-backoff" ~start_s:now ~dur_s:delay;
             match Retry.sleep ~cancel:job.cancel delay with
@@ -191,6 +269,8 @@ let handle_job t ~env ~catalog ~plane ~rng job =
         `Fatal ("internal error: " ^ Printexc.to_string e)
   in
   let respawn = ref false in
+  let outcome = ref "ok" in
+  let answer_rows = ref 0 in
   Trace.with_span tr "request" (fun () ->
       Trace.add_timed_span tr "queue-wait" ~start_s:job.enqueued_at
         ~dur_s:(dequeued -. job.enqueued_at);
@@ -202,25 +282,39 @@ let handle_job t ~env ~catalog ~plane ~rng job =
               send job.conn (Wire.Row { degree_bits; values }))
             rows;
           let elapsed_s = Unix.gettimeofday () -. job.enqueued_at in
+          answer_rows := List.length rows;
           send_terminal job.conn
             (Wire.Done { rows = List.length rows; elapsed_s });
           count t "requests_completed";
           feed_breaker t ~ok:true
       | `Cancelled reason ->
           send_terminal job.conn (Wire.Cancelled reason);
-          count t "requests_cancelled"
+          (* The aggregate stays (the books-balance identity and existing
+             dashboards read it); the split attributes it. *)
+          count t "requests_cancelled";
+          if deadline_reason reason then begin
+            count t "requests_cancelled_deadline";
+            outcome := "cancelled_deadline"
+          end
+          else begin
+            count t "requests_cancelled_client";
+            outcome := "cancelled_client"
+          end
       | `Bad_query m ->
           (* The client's mistake, not server health: keep it out of the
              breaker's error budget. *)
           send_terminal job.conn (Wire.Error m);
-          count t "requests_failed"
+          count t "requests_failed";
+          outcome := "error"
       | `Gave_up m ->
           send_terminal job.conn (Wire.Retryable m);
           count t "requests_failed_transient";
+          outcome := "failed_transient";
           feed_breaker t ~ok:false
       | `Fatal m ->
           send_terminal job.conn (Wire.Error m);
           count t "requests_failed";
+          outcome := "error";
           feed_breaker t ~ok:false;
           respawn := true);
   (match plane with
@@ -229,10 +323,36 @@ let handle_job t ~env ~catalog ~plane ~rng job =
       if d > 0 then count ~by:d t "faults_injected"
   | None -> ());
   let now = Unix.gettimeofday () in
-  observe t "queue_wait_s" (dequeued -. job.enqueued_at);
-  observe t "exec_s" (now -. dequeued);
+  let queue_wait_s = dequeued -. job.enqueued_at in
+  let exec_s = now -. dequeued in
+  observe t "queue_wait_s" queue_wait_s;
+  observe t "exec_s" exec_s;
   observe t "latency_s" (now -. job.enqueued_at);
+  observe_window t "queue_wait_s" queue_wait_s;
+  observe_window t "exec_s" exec_s;
+  observe_window t "latency_s" (now -. job.enqueued_at);
   (match t.on_trace with Some f -> f job.trace | None -> ());
+  Telemetry.Ring.add t.trace_ring ~id:job.request_id
+    ~json:(Trace.to_chrome_json job.trace);
+  (match t.query_log with
+  | Some log ->
+      Telemetry.Query_log.log log
+        {
+          Telemetry.Query_log.ts = now;
+          request_id = job.request_id;
+          shape = Telemetry.normalize_sql job.sql;
+          engine = (if t.query_batch then "batch" else "scalar");
+          queue_wait_s;
+          exec_s;
+          page_reads = Storage.Iostats.page_reads stats - reads0;
+          page_writes = Storage.Iostats.page_writes stats - writes0;
+          comparisons = Storage.Iostats.comparisons stats - cmps0;
+          fuzzy_ops = Storage.Iostats.fuzzy_ops stats - fops0;
+          rows = !answer_rows;
+          retries = !retries_used;
+          outcome = !outcome;
+        }
+  | None -> ());
   !respawn
 
 let worker_loop t widx () =
@@ -259,8 +379,12 @@ let worker_loop t widx () =
     | None -> ()
     | Some job ->
         let env, catalog, plane = !state in
+        with_lock t.mlock (fun () -> incr t.inflight);
+        let finally () = with_lock t.mlock (fun () -> decr t.inflight) in
         let respawn =
-          try handle_job t ~env ~catalog ~plane ~rng job
+          try
+            Fun.protect ~finally (fun () ->
+                handle_job t ~env ~catalog ~plane ~rng job)
           with e ->
             (* handle_job classifies everything; if it still raised (a
                poisoned query broke an invariant), answer the query and
@@ -282,8 +406,16 @@ let worker_loop t widx () =
 (* ------------------------------------------------------------------ *)
 (* Connection side *)
 
-let admit t conn ~deadline_ms ~domains sql =
+let admit t conn ~request_id ~deadline_ms ~domains sql =
   let now = Unix.gettimeofday () in
+  let request_id =
+    (* Rev-1 clients send no ID; assign one so the trace ring and query
+       log still have a handle for every request. The [srv-] prefix makes
+       the provenance visible in the log. *)
+    if request_id <> "" then request_id
+    else
+      "srv-" ^ with_lock t.mlock (fun () -> Telemetry.gen_request_id t.id_rng)
+  in
   let deadline_ms =
     if deadline_ms > 0 then Some deadline_ms else t.default_deadline_ms
   in
@@ -294,6 +426,7 @@ let admit t conn ~deadline_ms ~domains sql =
   in
   let job =
     {
+      request_id;
       sql;
       job_domains = (if domains >= 1 then domains else t.query_domains);
       cancel;
@@ -332,13 +465,15 @@ let conn_loop t conn =
   (try
      let rec loop () =
        (match Wire.read_request conn.fd with
-       | Wire.Query { deadline_ms; domains; sql } ->
-           admit t conn ~deadline_ms ~domains sql
+       | Wire.Query { request_id; deadline_ms; domains; sql } ->
+           admit t conn ~request_id ~deadline_ms ~domains sql
        | Wire.Cancel -> (
            match with_lock conn.lock (fun () -> conn.current) with
            | Some c -> Cancel.cancel ~reason:"cancelled by client" c
            | None -> ())
-       | Wire.Metrics -> send conn (Wire.Metrics_json (metrics_json t)));
+       | Wire.Metrics -> send conn (Wire.Metrics_json (metrics_json t))
+       | Wire.Trace_get id -> send conn (Wire.Trace_json (trace_json t id))
+       | Wire.Top -> send conn (Wire.Top_text (top_text t)));
        loop ()
      in
      loop ()
@@ -392,7 +527,8 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     ?(queue_capacity = 16) ?default_deadline_ms ?(domains = 1)
     ?(batch = false) ?(mem_pages = Unnest.Planner.default_mem_pages)
     ?(terms = Fuzzy.Term.paper) ?on_trace ?(retry = Retry.default) ?breaker
-    ?fault_spec ?(fault_seed = 0) ~setup () =
+    ?fault_spec ?(fault_seed = 0) ?metrics_port ?query_log ?slow_ms
+    ?(trace_ring_capacity = 64) ~setup () =
   if workers < 1 then invalid_arg "Daemon.start: workers < 1";
   if domains < 1 then invalid_arg "Daemon.start: domains < 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -422,12 +558,19 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       queue = Bounded_queue.create ~capacity:queue_capacity;
       metrics = Metrics.create ();
       mlock = Mutex.create ();
+      trace_ring = Telemetry.Ring.create trace_ring_capacity;
+      query_log =
+        Option.map (fun path -> Telemetry.Query_log.create ?slow_ms path)
+          query_log;
+      id_rng = Random.State.make [| 0x5EED; fault_seed; bound_port |];
+      inflight = ref 0;
       pool = Storage.Task_pool.create ~domains:workers;
       retry;
       breaker = (match breaker with Some b -> b | None -> Breaker.create ());
       fault_spec;
       fault_seed;
       draining = false;
+      http = None;
       runner = None;
       acceptor = None;
       conns = ref [];
@@ -446,6 +589,19 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
                 (List.init workers (fun i -> worker_loop t i))))
          ());
   t.acceptor <- Some (Thread.create accept_loop t);
+  (match metrics_port with
+  | None -> ()
+  | Some mport ->
+      let handler path =
+        match path with
+        | "/metrics" ->
+            Some (200, "text/plain; version=0.0.4", prometheus_text t)
+        | "/healthz" ->
+            let ok, body = healthz_json t in
+            Some ((if ok then 200 else 503), "application/json", body)
+        | _ -> None
+      in
+      t.http <- Some (Telemetry.Http.start ~port:mport handler));
   t
 
 let stop t =
@@ -475,5 +631,13 @@ let stop t =
         try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
         with Unix.Unix_error _ -> ())
       conns;
-    List.iter (fun (_, th) -> Thread.join th) conns
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (* Telemetry last: the final requests' log records and traces land
+       before the log closes and the scrape endpoint disappears. *)
+    (match t.http with
+    | Some h ->
+        Telemetry.Http.stop h;
+        t.http <- None
+    | None -> ());
+    Option.iter Telemetry.Query_log.close t.query_log
   end

@@ -68,6 +68,26 @@
     counters into each other) counts requests and histograms queue-wait,
     execution, retry-backoff, and end-to-end latency.
 
+    PR 7 adds the production telemetry plane ({!Telemetry}):
+
+    - every request is keyed by a {e request ID} — the client's
+      ([Wire.Query.request_id]) or a server-assigned [srv-...] one for
+      rev-1 clients — and its completed span tree enters a bounded
+      {!Telemetry.Ring} of Chrome traces, fetchable over the wire
+      ([Wire.Trace_get] / {!trace_json});
+    - queue-wait, exec, and latency are also observed into {e sliding
+      windows} ({!Storage.Metrics.window_histogram}, 12 x 5 s), so
+      [\top] and the Prometheus endpoint report last-minute p50/p99/max
+      and rates next to lifetime totals, plus point-in-time gauges
+      [queue_depth], [busy_workers], [breaker_open];
+    - with [?metrics_port] a loopback HTTP listener serves [/metrics]
+      (Prometheus text) and [/healthz] (JSON; 503 when the breaker is
+      open or the server is draining);
+    - with [?query_log] every finished request appends one JSONL record
+      (see {!Telemetry.Query_log.record}); [?slow_ms] keeps only slow
+      ones. Logging observes the finished request from outside the
+      execution path, so answers remain bit-identical with it on.
+
     {1 Shutdown}
 
     {!stop} drains: no new connections or queries are admitted, queries
@@ -92,6 +112,10 @@ val start :
   ?breaker:Breaker.t ->
   ?fault_spec:Storage.Fault.spec ->
   ?fault_seed:int ->
+  ?metrics_port:int ->
+  ?query_log:string ->
+  ?slow_ms:float ->
+  ?trace_ring_capacity:int ->
   setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
   unit ->
   t
@@ -106,7 +130,14 @@ val start :
     {!Breaker.create}, no fault injection, [fault_seed = 0]. [~setup]
     runs once per worker on the worker's own domain (and again on each
     respawn). [?on_trace] runs on the worker that executed the request,
-    after the terminal frame is sent — it must be thread-safe. *)
+    after the terminal frame is sent — it must be thread-safe.
+
+    Telemetry options: [?metrics_port] starts the HTTP exposition
+    listener on loopback ([0] picks an ephemeral port — read it back
+    with {!metrics_port}); [?query_log] opens the JSONL query log at
+    that path, [?slow_ms] logging only requests at least that slow;
+    [?trace_ring_capacity] (default 64) bounds the ring of recent
+    request traces. *)
 
 val port : t -> int
 (** The bound port (useful with [~port:0]). *)
@@ -126,11 +157,33 @@ val counter_value : t -> string -> int
     counted by exactly one of [requests_completed] /
     [requests_cancelled] / [requests_failed] /
     [requests_failed_transient] — the books balance, which is how the
-    chaos harness proves no worker leaked a query. *)
+    chaos harness proves no worker leaked a query. [requests_cancelled]
+    splits further into [requests_cancelled_deadline] (the
+    {!Storage.Cancel} deadline fired) + [requests_cancelled_client]
+    (explicit [Cancel] frame or disconnect) — a latency SLO breach and a
+    user abort are different signals, and the split sums back to the
+    aggregate. *)
 
 val metrics_json : t -> string
 (** JSON dump of the daemon's metrics registry (also available over the
-    wire with a [Metrics] frame). *)
+    wire with a [Metrics] frame). Gauges are refreshed at dump time. *)
+
+val trace_json : t -> string -> string option
+(** The Chrome trace of one completed request by ID, [None] once it has
+    fallen out of the ring (also over the wire: [Wire.Trace_get]). *)
+
+val trace_ring : t -> Telemetry.Ring.t
+(** The ring itself, for tests asserting ring/log agreement. *)
+
+val top_text : t -> string
+(** The rendered [\top] snapshot (also over the wire: [Wire.Top]). *)
+
+val metrics_port : t -> int option
+(** The bound exposition port, when [?metrics_port] was given. *)
+
+val query_log_written : t -> int option
+(** Records written to the query log so far, when [?query_log] was
+    given. *)
 
 val stop : t -> unit
 (** Graceful shutdown: drain admitted queries, deliver their replies,

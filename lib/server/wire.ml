@@ -1,10 +1,19 @@
 exception Protocol_error of string
 exception Connection_closed
 
+let protocol_rev = 2
+
 type request =
-  | Query of { deadline_ms : int; domains : int; sql : string }
+  | Query of {
+      request_id : string;
+      deadline_ms : int;
+      domains : int;
+      sql : string;
+    }
   | Cancel
   | Metrics
+  | Trace_get of string
+  | Top
 
 type reply =
   | Header of string list
@@ -15,6 +24,8 @@ type reply =
   | Overloaded
   | Cancelled of string
   | Metrics_json of string
+  | Trace_json of string option
+  | Top_text of string
 
 let max_frame = 64 * 1024 * 1024
 
@@ -123,16 +134,36 @@ let read_frame fd =
 (* ------------------------------------------------------------------ *)
 (* Messages *)
 
+(* Protocol revisions. Rev 1 had no request IDs and used tag ['Q'] for
+   queries. Rev 2 adds the client-generated request ID under the new tag
+   ['q'] (plus ['G'] trace fetch and ['P'] stats snapshot), and keeps both
+   directions of compatibility:
+
+   - old client / new server: rev-1 ['Q'] frames still decode, yielding
+     [request_id = ""] (the server assigns one);
+   - new client / old server: a query with [request_id = ""] encodes as a
+     byte-identical rev-1 ['Q'] frame, so a client that doesn't opt into
+     IDs speaks pure rev 1 and an old server never sees an unknown tag. *)
 let encode_request r =
   let buf = Buffer.create 64 in
   (match r with
-  | Query { deadline_ms; domains; sql } ->
+  | Query { request_id = ""; deadline_ms; domains; sql } ->
       Buffer.add_char buf 'Q';
       add_u32 buf deadline_ms;
       add_u32 buf domains;
       add_str buf sql
+  | Query { request_id; deadline_ms; domains; sql } ->
+      Buffer.add_char buf 'q';
+      add_str buf request_id;
+      add_u32 buf deadline_ms;
+      add_u32 buf domains;
+      add_str buf sql
   | Cancel -> Buffer.add_char buf 'X'
-  | Metrics -> Buffer.add_char buf 'M');
+  | Metrics -> Buffer.add_char buf 'M'
+  | Trace_get id ->
+      Buffer.add_char buf 'G';
+      add_str buf id
+  | Top -> Buffer.add_char buf 'P');
   Buffer.contents buf
 
 let decode_request payload =
@@ -142,9 +173,17 @@ let decode_request payload =
       let deadline_ms = get_u32 payload pos in
       let domains = get_u32 payload pos in
       let sql = get_str payload pos in
-      Query { deadline_ms; domains; sql }
+      Query { request_id = ""; deadline_ms; domains; sql }
+  | 'q' ->
+      let request_id = get_str payload pos in
+      let deadline_ms = get_u32 payload pos in
+      let domains = get_u32 payload pos in
+      let sql = get_str payload pos in
+      Query { request_id; deadline_ms; domains; sql }
   | 'X' -> Cancel
   | 'M' -> Metrics
+  | 'G' -> Trace_get (get_str payload pos)
+  | 'P' -> Top
   | c -> raise (Protocol_error (Printf.sprintf "unknown request tag %C" c))
 
 let encode_reply r =
@@ -173,7 +212,14 @@ let encode_reply r =
       add_str buf reason
   | Metrics_json json ->
       Buffer.add_char buf 'J';
-      add_str buf json);
+      add_str buf json
+  | Trace_json None -> Buffer.add_string buf "F\x00"
+  | Trace_json (Some json) ->
+      Buffer.add_string buf "F\x01";
+      add_str buf json
+  | Top_text text ->
+      Buffer.add_char buf 'V';
+      add_str buf text);
   Buffer.contents buf
 
 let decode_reply payload =
@@ -193,6 +239,16 @@ let decode_reply payload =
   | 'O' -> Overloaded
   | 'C' -> Cancelled (get_str payload pos)
   | 'J' -> Metrics_json (get_str payload pos)
+  | 'F' -> (
+      if String.length payload < 2 then
+        raise (Protocol_error "truncated trace reply");
+      match payload.[1] with
+      | '\x00' -> Trace_json None
+      | '\x01' ->
+          pos := 2;
+          Trace_json (Some (get_str payload pos))
+      | c -> raise (Protocol_error (Printf.sprintf "bad trace presence %C" c)))
+  | 'V' -> Top_text (get_str payload pos)
   | c -> raise (Protocol_error (Printf.sprintf "unknown reply tag %C" c))
 
 let write_request fd r = write_frame fd (encode_request r)

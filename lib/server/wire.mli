@@ -14,9 +14,12 @@
     vanishes — clean EOF, a short read mid-frame, EPIPE or ECONNRESET —
     raises the single {!Connection_closed} exception.
 
-    Requests (client to server): [Query] (deadline, per-query execution
-    parallelism, SQL text), [Cancel] (cancel the in-flight query on this
-    connection), [Metrics] (dump the server's metrics registry).
+    Requests (client to server): [Query] (request ID, deadline, per-query
+    execution parallelism, SQL text), [Cancel] (cancel the in-flight query
+    on this connection), [Metrics] (dump the server's metrics registry),
+    [Trace_get] (fetch one request's Chrome trace by ID from the server's
+    ring of recent traces), [Top] (a rendered snapshot of the windowed
+    serving metrics).
 
     Replies (server to client) for one query, in order: one [Header]
     (column names), zero or more [Row]s, and exactly one terminal frame —
@@ -24,7 +27,19 @@
     error), [Retryable] (transient fault; a fresh attempt may succeed),
     [Overloaded] (admission queue full or circuit breaker open), or
     [Cancelled] (deadline exceeded, client cancel, or disconnect).
-    [Metrics_json] answers a [Metrics] request. *)
+    [Metrics_json] answers a [Metrics] request, [Trace_json] a
+    [Trace_get], [Top_text] a [Top].
+
+    {1 Protocol revisions}
+
+    Rev 1 (PR 3) had no request IDs; its query tag was ['Q']. Rev 2 adds
+    the client-generated request ID under the distinct tag ['q'], keeping
+    both directions compatible: a rev-1 ['Q'] frame still decodes (the
+    [request_id] comes back [""] and the server assigns one), and a query
+    {e without} an ID encodes as a byte-identical rev-1 frame — so a new
+    client that leaves [request_id = ""] interoperates with an old server,
+    which never sees an unknown tag. Round-trip tests pin both
+    directions. *)
 
 exception Protocol_error of string
 (** Malformed frame: bad tag, truncated body, or an over-sized length
@@ -34,13 +49,28 @@ exception Connection_closed
 (** The peer closed the connection: clean EOF before a frame, a short
     read mid-frame, or a write to a closed socket. *)
 
+val protocol_rev : int
+(** The protocol revision this build speaks (2). Informational — the
+    protocol negotiates nothing; compatibility is carried by the frame
+    tags as described above. *)
+
 type request =
-  | Query of { deadline_ms : int; domains : int; sql : string }
-      (** [deadline_ms = 0] means no client deadline (the server default,
-          if any, still applies); [domains = 0] means the server's
-          configured per-query parallelism. *)
+  | Query of {
+      request_id : string;
+      deadline_ms : int;
+      domains : int;
+      sql : string;
+    }
+      (** [request_id = ""] means the client did not supply one (rev-1
+          client, or a rev-2 client opting out) and the server assigns
+          one; [deadline_ms = 0] means no client deadline (the server
+          default, if any, still applies); [domains = 0] means the
+          server's configured per-query parallelism. *)
   | Cancel
   | Metrics
+  | Trace_get of string
+      (** fetch the Chrome trace of one past request by its ID *)
+  | Top  (** rendered snapshot of the windowed serving metrics *)
 
 type reply =
   | Header of string list  (** column names of the answer schema *)
@@ -58,6 +88,10 @@ type reply =
   | Overloaded
   | Cancelled of string  (** terminal: why the query was cancelled *)
   | Metrics_json of string
+  | Trace_json of string option
+      (** [None] when the requested ID has fallen out of the server's
+          trace ring (or never existed) *)
+  | Top_text of string  (** server-rendered, ready to print *)
 
 val max_frame : int
 (** Frames above this size (64 MB) raise {!Protocol_error} on read. *)

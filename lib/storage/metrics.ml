@@ -1,4 +1,5 @@
 type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable g_value : float }
 
 (* Log-scale buckets: bucket [i] counts observations in
    [min_bound * 2^i, min_bound * 2^(i+1)); below-range observations land in
@@ -16,12 +17,33 @@ type histogram = {
   buckets : int array;
 }
 
+(* One slot of a sliding-window histogram: the same log2 buckets, plus the
+   absolute window index ([slot_epoch]) the data belongs to. A slot whose
+   epoch has fallen out of the window is dead; it is zeroed lazily the next
+   time its ring position is reused, so expiry costs nothing per
+   observation. *)
+type window_slot = {
+  mutable slot_epoch : int;  (** [-1] = never used *)
+  mutable s_n : int;
+  mutable s_sum : float;
+  mutable s_max : float;
+  s_buckets : int array;
+}
+
+type window_histogram = {
+  w_name : string;
+  w_window_s : float;  (** seconds covered by one slot *)
+  w_slots : window_slot array;
+}
+
 type t = {
   mutable counters : counter list;  (** reverse registration order *)
   mutable histograms : histogram list;
+  mutable gauges : gauge list;
+  mutable windows : window_histogram list;
 }
 
-let create () = { counters = []; histograms = [] }
+let create () = { counters = []; histograms = []; gauges = []; windows = [] }
 
 let counter t name =
   match List.find_opt (fun c -> c.c_name = name) t.counters with
@@ -34,6 +56,18 @@ let counter t name =
 let incr ?(by = 1) c = c.count <- c.count + by
 let counter_value c = c.count
 let counter_name c = c.c_name
+
+let gauge t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let set_gauge g v = g.g_value <- v
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
 
 let histogram t name =
   match List.find_opt (fun h -> h.h_name = name) t.histograms with
@@ -74,14 +108,20 @@ let hist_max h = if h.n = 0 then 0.0 else h.max_v
 let hist_name h = h.h_name
 
 (* Upper bound of the first bucket whose cumulative count reaches the
-   quantile — exact to within a factor of 2 (the bucket width). *)
-let hist_quantile h q =
-  if h.n = 0 then 0.0
+   quantile — exact to within a factor of 2 (the bucket width), clamped to
+   the observed max. Shared by lifetime and windowed histograms.
+
+   Edge cases (unit-tested): [n = 0] has no observations, so every quantile
+   is [nan] — returning a bucket bound would invent a latency that never
+   happened. [n = 1] returns the single observation exactly for every [q]:
+   the target index clamps to 1, the observation's bucket bound is >= the
+   observation, and the clamp to [max_v] brings it back down to the
+   observed value. *)
+let quantile_of_buckets ~n ~max_v buckets q =
+  if n = 0 then Float.nan
   else begin
-    let target =
-      Int.max 1 (int_of_float (Float.round (q *. float_of_int h.n)))
-    in
-    let acc = ref 0 and result = ref h.max_v and found = ref false in
+    let target = Int.max 1 (int_of_float (Float.round (q *. float_of_int n))) in
+    let acc = ref 0 and result = ref max_v and found = ref false in
     Array.iteri
       (fun i c ->
         if not !found then begin
@@ -91,9 +131,114 @@ let hist_quantile h q =
             result := min_bound *. Float.pow 2.0 (float_of_int (i + 1))
           end
         end)
-      h.buckets;
-    Float.min !result h.max_v
+      buckets;
+    Float.min !result max_v
   end
+
+let hist_quantile h q = quantile_of_buckets ~n:h.n ~max_v:h.max_v h.buckets q
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window histograms: a ring of [slots] bucket snapshots, each
+   covering [window_s] seconds. Epoch arithmetic replaces timers: the slot
+   for instant [now] is [floor (now / window_s) mod slots]; a slot holding
+   an older epoch is zeroed before reuse, and readers simply skip slots
+   whose epoch has fallen out of the window — so both observation and
+   expiry are O(1), with no background thread. *)
+
+let default_window_s = 5.0
+let default_slots = 12
+
+let window_histogram t ?(window_s = default_window_s) ?(slots = default_slots)
+    name =
+  if window_s <= 0.0 then invalid_arg "Metrics.window_histogram: window_s <= 0";
+  if slots < 1 then invalid_arg "Metrics.window_histogram: slots < 1";
+  match List.find_opt (fun w -> w.w_name = name) t.windows with
+  | Some w -> w
+  | None ->
+      let w =
+        {
+          w_name = name;
+          w_window_s = window_s;
+          w_slots =
+            Array.init slots (fun _ ->
+                {
+                  slot_epoch = -1;
+                  s_n = 0;
+                  s_sum = 0.0;
+                  s_max = Float.neg_infinity;
+                  s_buckets = Array.make n_buckets 0;
+                });
+        }
+      in
+      t.windows <- w :: t.windows;
+      w
+
+let window_name w = w.w_name
+let window_span_s w = w.w_window_s *. float_of_int (Array.length w.w_slots)
+
+let epoch_of w now = int_of_float (Float.floor (now /. w.w_window_s))
+
+let clear_slot s =
+  s.s_n <- 0;
+  s.s_sum <- 0.0;
+  s.s_max <- Float.neg_infinity;
+  Array.fill s.s_buckets 0 n_buckets 0
+
+let observe_window w ~now v =
+  let epoch = epoch_of w now in
+  let s = w.w_slots.(epoch mod Array.length w.w_slots) in
+  if s.slot_epoch <> epoch then begin
+    clear_slot s;
+    s.slot_epoch <- epoch
+  end;
+  s.s_n <- s.s_n + 1;
+  s.s_sum <- s.s_sum +. v;
+  if v > s.s_max then s.s_max <- v;
+  let b = bucket_of v in
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1
+
+(* Fold the live slots (epoch within the last [slots] windows ending at
+   [now]) into one merged view. *)
+let window_fold w ~now f init =
+  let epoch = epoch_of w now in
+  let slots = Array.length w.w_slots in
+  Array.fold_left
+    (fun acc s ->
+      if s.slot_epoch >= 0 && s.slot_epoch <= epoch && epoch - s.slot_epoch < slots
+      then f acc s
+      else acc)
+    init w.w_slots
+
+let window_count w ~now = window_fold w ~now (fun acc s -> acc + s.s_n) 0
+let window_sum w ~now = window_fold w ~now (fun acc s -> acc +. s.s_sum) 0.0
+
+let window_max w ~now =
+  let m = window_fold w ~now (fun acc s -> Float.max acc s.s_max) Float.neg_infinity in
+  if m = Float.neg_infinity then Float.nan else m
+
+let window_quantile w ~now q =
+  let merged = Array.make n_buckets 0 in
+  let n, max_v =
+    window_fold w ~now
+      (fun (n, max_v) s ->
+        Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.s_buckets;
+        (n + s.s_n, Float.max max_v s.s_max))
+      (0, Float.neg_infinity)
+  in
+  quantile_of_buckets ~n ~max_v merged q
+
+(* Rate of observations over the window actually covered so far: until the
+   ring has wrapped once, dividing by the full span would understate a
+   fresh server's qps. *)
+let window_rate w ~now =
+  let epoch = epoch_of w now in
+  let oldest =
+    window_fold w ~now (fun acc s -> Int.min acc s.slot_epoch) epoch
+  in
+  let covered =
+    Float.max w.w_window_s (float_of_int (epoch - oldest + 1) *. w.w_window_s)
+  in
+  float_of_int (window_count w ~now) /. covered
 
 let reset t =
   List.iter (fun c -> c.count <- 0) t.counters;
@@ -104,7 +249,21 @@ let reset t =
       h.min_v <- Float.infinity;
       h.max_v <- Float.neg_infinity;
       Array.fill h.buckets 0 n_buckets 0)
-    t.histograms
+    t.histograms;
+  List.iter (fun g -> g.g_value <- 0.0) t.gauges;
+  List.iter
+    (fun w ->
+      Array.iter
+        (fun s ->
+          clear_slot s;
+          s.slot_epoch <- -1)
+        w.w_slots)
+    t.windows
+
+let counters t = List.rev t.counters
+let histograms t = List.rev t.histograms
+let gauges t = List.rev t.gauges
+let window_histograms t = List.rev t.windows
 
 let pp ppf t =
   let counters = List.rev t.counters and histograms = List.rev t.histograms in
@@ -117,7 +276,10 @@ let pp ppf t =
         "%-32s n=%d mean=%.6g min=%.6g p50<=%.3g p95<=%.3g max=%.6g@."
         h.h_name h.n (hist_mean h) (hist_min h) (hist_quantile h 0.5)
         (hist_quantile h 0.95) (hist_max h))
-    histograms
+    histograms;
+  List.iter
+    (fun g -> Format.fprintf ppf "%-32s %.6g@." g.g_name g.g_value)
+    (List.rev t.gauges)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -133,7 +295,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json t =
+(* A quantile of an empty histogram is [nan]; JSON has no nan, so it
+   travels as [null]. *)
+let json_float v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let to_json ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\"counters\": {";
@@ -142,15 +310,36 @@ let to_json t =
       if i > 0 then add ", ";
       add "\"%s\": %d" (json_escape c.c_name) c.count)
     (List.rev t.counters);
+  add "}, \"gauges\": {";
+  List.iteri
+    (fun i g ->
+      if i > 0 then add ", ";
+      add "\"%s\": %s" (json_escape g.g_name) (json_float g.g_value))
+    (List.rev t.gauges);
   add "}, \"histograms\": {";
   List.iteri
     (fun i h ->
       if i > 0 then add ", ";
       add
         "\"%s\": {\"count\": %d, \"sum\": %.6g, \"mean\": %.6g, \"min\": \
-         %.6g, \"max\": %.6g, \"p50\": %.6g, \"p95\": %.6g}"
+         %.6g, \"max\": %.6g, \"p50\": %s, \"p95\": %s}"
         (json_escape h.h_name) h.n h.sum (hist_mean h) (hist_min h)
-        (hist_max h) (hist_quantile h 0.5) (hist_quantile h 0.95))
+        (hist_max h)
+        (json_float (hist_quantile h 0.5))
+        (json_float (hist_quantile h 0.95)))
     (List.rev t.histograms);
+  add "}, \"windows\": {";
+  List.iteri
+    (fun i w ->
+      if i > 0 then add ", ";
+      add
+        "\"%s\": {\"span_s\": %.6g, \"count\": %d, \"rate\": %.6g, \"p50\": \
+         %s, \"p99\": %s, \"max\": %s}"
+        (json_escape w.w_name) (window_span_s w) (window_count w ~now)
+        (window_rate w ~now)
+        (json_float (window_quantile w ~now 0.5))
+        (json_float (window_quantile w ~now 0.99))
+        (json_float (window_max w ~now)))
+    (List.rev t.windows);
   add "}}";
   Buffer.contents buf

@@ -4,4 +4,5 @@ let () =
    @ Test_joins.suites @ Test_sql.suites @ Test_equivalence.suites
    @ Test_paper.suites @ Test_extensions.suites @ Test_grouping.suites
    @ Test_frontend.suites @ Test_explain.suites @ Test_observability.suites
-   @ Test_server.suites @ Test_fault.suites @ Test_batch.suites)
+   @ Test_server.suites @ Test_telemetry.suites @ Test_fault.suites
+   @ Test_batch.suites)

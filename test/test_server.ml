@@ -55,7 +55,12 @@ let wire_tests =
     tc "requests round-trip" `Quick (fun () ->
         let q =
           Server.Wire.Query
-            { deadline_ms = 250; domains = 4; sql = "SELECT R.ID FROM R" }
+            {
+              request_id = "";
+              deadline_ms = 250;
+              domains = 4;
+              sql = "SELECT R.ID FROM R";
+            }
         in
         Alcotest.(check bool) "query" true (roundtrip_request q = q);
         Alcotest.(check bool)
@@ -85,6 +90,87 @@ let wire_tests =
             Server.Wire.Cancelled "deadline exceeded";
             Server.Wire.Metrics_json "{}";
           ]);
+    tc "request-ID frames round-trip; \\trace and \\top frames too" `Quick
+      (fun () ->
+        let q =
+          Server.Wire.Query
+            {
+              request_id = "a3f09b1c77d2e845";
+              deadline_ms = 250;
+              domains = 4;
+              sql = "SELECT R.ID FROM R";
+            }
+        in
+        Alcotest.(check bool) "query with ID" true (roundtrip_request q = q);
+        Alcotest.(check bool)
+          "trace fetch" true
+          (roundtrip_request (Server.Wire.Trace_get "a3f09b1c77d2e845")
+          = Server.Wire.Trace_get "a3f09b1c77d2e845");
+        Alcotest.(check bool)
+          "top" true
+          (roundtrip_request Server.Wire.Top = Server.Wire.Top);
+        List.iter
+          (fun reply ->
+            Alcotest.(check bool)
+              "telemetry reply" true
+              (roundtrip_reply reply = reply))
+          [
+            Server.Wire.Trace_json None;
+            Server.Wire.Trace_json (Some "{\"traceEvents\":[]}");
+            Server.Wire.Top_text "fsqld top\n";
+          ])
+      ;
+    tc "old client / new server: rev-1 query frames still decode" `Quick
+      (fun () ->
+        (* A rev-1 'Q' frame crafted byte by byte: tag, u32 deadline, u32
+           domains, u32-length-prefixed SQL — no request ID field. *)
+        let sql = "SELECT R.ID FROM R" in
+        let payload = Buffer.create 64 in
+        Buffer.add_char payload 'Q';
+        let u32 n =
+          Buffer.add_char payload (Char.chr ((n lsr 24) land 0xff));
+          Buffer.add_char payload (Char.chr ((n lsr 16) land 0xff));
+          Buffer.add_char payload (Char.chr ((n lsr 8) land 0xff));
+          Buffer.add_char payload (Char.chr (n land 0xff))
+        in
+        u32 250;
+        u32 4;
+        u32 (String.length sql);
+        Buffer.add_string payload sql;
+        let frame = Buffer.create 64 in
+        let n = Buffer.length payload in
+        Buffer.add_char frame (Char.chr ((n lsr 24) land 0xff));
+        Buffer.add_char frame (Char.chr ((n lsr 16) land 0xff));
+        Buffer.add_char frame (Char.chr ((n lsr 8) land 0xff));
+        Buffer.add_char frame (Char.chr (n land 0xff));
+        Buffer.add_buffer frame payload;
+        let raw = Buffer.contents frame in
+        let r, w = Unix.pipe () in
+        assert (
+          Unix.write w (Bytes.of_string raw) 0 (String.length raw)
+          = String.length raw);
+        let got = Server.Wire.read_request r in
+        Alcotest.(check bool)
+          "decodes with an empty request ID (server assigns)" true
+          (got
+          = Server.Wire.Query { request_id = ""; deadline_ms = 250; domains = 4; sql });
+        (* new client / old server: the empty-ID encoding is byte-identical
+           to that rev-1 frame, so an old server never sees a new tag *)
+        Server.Wire.write_request w got;
+        let echoed = Bytes.create (String.length raw) in
+        let rec read_exact off len =
+          if len > 0 then begin
+            let k = Unix.read r echoed off len in
+            assert (k > 0);
+            read_exact (off + k) (len - k)
+          end
+        in
+        read_exact 0 (String.length raw);
+        Alcotest.(check string)
+          "re-encoding is byte-identical to the rev-1 frame" raw
+          (Bytes.to_string echoed);
+        close_noerr w;
+        close_noerr r);
     tc "oversized and empty frames are protocol errors" `Quick (fun () ->
         let r, w = Unix.pipe () in
         (* length header far above max_frame *)
