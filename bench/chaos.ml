@@ -203,7 +203,8 @@ let run_cell ~batch ~expected ~setup ~fault_seed ~prob =
           if got = List.assoc name expected then Atomic.incr ok
           else Atomic.incr wrong
       | Server.Client.Retryable _ -> Atomic.incr retryable
-      | Server.Client.Failed _ -> Atomic.incr failed
+      | Server.Client.Failed _ | Server.Client.Rejected _ ->
+          Atomic.incr failed
       | Server.Client.Cancelled _ -> Atomic.incr cancelled
       | Server.Client.Overloaded -> Atomic.incr overloaded
     done;

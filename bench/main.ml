@@ -567,7 +567,8 @@ let load_bench cfg =
               (* no fault injection here, so a transient failure is as
                  wrong as a bad answer *)
               Atomic.incr wrong
-          | Server.Client.Failed _ | Server.Client.Cancelled _ ->
+          | Server.Client.Failed _ | Server.Client.Rejected _
+          | Server.Client.Cancelled _ ->
               Atomic.incr wrong
         done;
         Server.Client.close client;

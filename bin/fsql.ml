@@ -10,17 +10,24 @@
     \domains N   execution parallelism \help        this help
     \batch on|off  columnar engine     \analyze SQL; run + per-operator
     \trace PATH|off  Chrome trace of                 actual stats
-                  each query to PATH
+                  each query to PATH   \check SQL;  static analysis only
     \q           quit
     v}
+    Invalid statements print rustc-style caret diagnostics with stable
+    [FSQL0xx] codes; [\check SQL;] additionally reports the warnings
+    (always-empty predicates, unsatisfiable threshold cuts, contradictory
+    conjunctions, nested-loop-only shapes) without running the query.
+
     Start with [fsql --domains N] to set the initial parallelism (and
-    [--batch] to start on the vectorized columnar engine), or
-    [fsql --connect HOST:PORT] to run statements against a remote fsqld
-    instead of the in-process engine (meta commands: \q \help \timing
-    \domains \deadline \retry \metrics \top \trace). Every remote query
-    carries a client-generated request ID; failures print it, [\trace ID]
-    fetches that request's server-side Chrome trace, and [\top] shows the
-    server's live windowed metrics. *)
+    [--batch] to start on the vectorized columnar engine),
+    [fsql --check FILE] to batch-lint every ';'-terminated statement in
+    FILE against the demo catalog (exit 1 when any statement has an
+    error), or [fsql --connect HOST:PORT] to run statements against a
+    remote fsqld instead of the in-process engine (meta commands: \q
+    \help \timing \domains \deadline \retry \metrics \top \trace). Every
+    remote query carries a client-generated request ID; failures print
+    it, [\trace ID] fetches that request's server-side Chrome trace, and
+    [\top] shows the server's live windowed metrics. *)
 
 open Frepro
 open Frepro.Relational
@@ -28,6 +35,9 @@ open Frepro.Relational
 type state = {
   catalog : Catalog.t;
   terms : Fuzzy.Term.t;
+  mutable check : Fuzzysql.Check.ctx;
+      (** rebuilt after [\load] so the satisfiability checks see the new
+          relation's loaded domains *)
   mutable strategy : Unnest.Planner.strategy;
   mutable timing : bool;
   mutable domains : int;
@@ -53,6 +63,9 @@ let help () =
     \  \\d NAME       print a relation\n\
     \  \\terms        list linguistic terms\n\
     \  \\shape SQL;   classify a query without running it\n\
+    \  \\check SQL;   static analysis only: errors and warnings\n\
+    \                (empty predicates, dead threshold cuts,\n\
+    \                contradictions, nested-loop-only shapes)\n\
     \  \\explain SQL; show the evaluation plan and estimates\n\
     \  \\strategy X   naive | nl | merge | auto\n\
     \  \\domains N    merge-join execution parallelism (1 = sequential)\n\
@@ -73,39 +86,58 @@ let help () =
      IN\n\
     \         (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age');\n"
 
-let run_sql st sql =
-  try
-    let q = Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql in
-    let trace = Option.map (fun _ -> Storage.Trace.create ()) st.trace_file in
-    let t0 = Unix.gettimeofday () in
-    let answer =
-      Unnest.Planner.run ~strategy:st.strategy ~domains:st.domains
-        ~batch:st.batch ?trace q
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    (match (st.trace_file, trace) with
-    | Some path, Some tr ->
-        Storage.Trace.write_chrome tr ~path;
-        Format.printf "trace written to %s (%d spans)@." path
-          (Storage.Trace.span_count tr)
-    | _ -> ());
-    let limit = 40 in
-    Format.printf "%a@." Schema.pp (Relation.schema answer);
-    let shown = ref 0 in
-    Relation.iter answer (fun t ->
-        incr shown;
-        if !shown <= limit then Format.printf "  %a@." Ftuple.pp t);
-    if !shown > limit then Format.printf "  ... (%d more)@." (!shown - limit);
-    Format.printf "(%d tuple%s" (Relation.cardinality answer)
-      (if Relation.cardinality answer = 1 then "" else "s");
-    if st.timing then Format.printf ", %.1f ms" (1000.0 *. dt);
-    Format.printf ")@."
+(* Binding through the static analyzer: one pass collects every
+   diagnostic. Error-severity findings reject the statement (printed as
+   caret blocks); warnings are reported only by [\check] so the output
+   of a valid statement stays an answer table. *)
+let bind_checked st sql =
+  match
+    Fuzzysql.Check.check_string ~classify:Unnest.Classify.shape_hint st.check
+      sql
   with
-  | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
-  | Fuzzysql.Lexer.Error (msg, pos) ->
-      Format.printf "lex error at offset %d: %s@." pos msg
-  | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg
-  | Unnest.Planner.Unsupported msg -> Format.printf "unsupported: %s@." msg
+  | Some q, _ -> Ok q
+  | None, diags -> Error (Fuzzysql.Diagnostic.errors diags)
+
+let print_diags sql diags =
+  if diags <> [] then
+    print_endline (Fuzzysql.Diagnostic.render_all ~source:sql diags)
+
+let strip_semi sql =
+  if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+    String.sub sql 0 (String.length sql - 1)
+  else sql
+
+let run_sql st sql =
+  match bind_checked st sql with
+  | Error errs -> print_diags sql errs
+  | Ok q -> (
+      try
+        let trace = Option.map (fun _ -> Storage.Trace.create ()) st.trace_file in
+        let t0 = Unix.gettimeofday () in
+        let answer =
+          Unnest.Planner.run ~strategy:st.strategy ~domains:st.domains
+            ~batch:st.batch ?trace q
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match (st.trace_file, trace) with
+        | Some path, Some tr ->
+            Storage.Trace.write_chrome tr ~path;
+            Format.printf "trace written to %s (%d spans)@." path
+              (Storage.Trace.span_count tr)
+        | _ -> ());
+        let limit = 40 in
+        Format.printf "%a@." Schema.pp (Relation.schema answer);
+        let shown = ref 0 in
+        Relation.iter answer (fun t ->
+            incr shown;
+            if !shown <= limit then Format.printf "  %a@." Ftuple.pp t);
+        if !shown > limit then Format.printf "  ... (%d more)@." (!shown - limit);
+        Format.printf "(%d tuple%s" (Relation.cardinality answer)
+          (if Relation.cardinality answer = 1 then "" else "s");
+        if st.timing then Format.printf ", %.1f ms" (1000.0 *. dt);
+        Format.printf ")@."
+      with Unnest.Planner.Unsupported msg ->
+        Format.printf "unsupported: %s@." msg)
 
 let meta st line =
   match String.split_on_char ' ' (String.trim line) with
@@ -165,6 +197,9 @@ let meta st line =
       try
         let rel = Relational.Persist.load (Catalog.env st.catalog) ~path in
         Catalog.add st.catalog rel;
+        (* The satisfiability checks compare predicate supports against
+           each relation's loaded domain; refresh it for the new data. *)
+        st.check <- Fuzzysql.Check.ctx ~catalog:st.catalog ~terms:st.terms;
         Format.printf "loaded %a (%d tuples)@." Schema.pp (Relation.schema rel)
           (Relation.cardinality rel)
       with
@@ -183,62 +218,113 @@ let meta st line =
       st.trace_file <- Some path;
       Format.printf "tracing each query to %s (Chrome trace_event format)@."
         path
-  | "\\analyze" :: rest ->
-      let sql = String.concat " " rest in
-      let sql =
-        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
-          String.sub sql 0 (String.length sql - 1)
-        else sql
+  | "\\check" :: rest ->
+      let sql = strip_semi (String.concat " " rest) in
+      let _, diags =
+        Fuzzysql.Check.check_string ~classify:Unnest.Classify.shape_hint
+          st.check sql
       in
-      (try
-         let q =
-           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms
-             sql
-         in
-         let a =
-           Unnest.Explain.analyze ~strategy:st.strategy ~domains:st.domains q
-         in
-         print_string a.Unnest.Explain.text;
-         match st.trace_file with
-         | Some path ->
-             Storage.Trace.write_chrome a.Unnest.Explain.trace ~path;
-             Format.printf "trace written to %s@." path
-         | None -> ()
-       with
-      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
-      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg
-      | Unnest.Planner.Unsupported msg -> Format.printf "unsupported: %s@." msg)
-  | "\\explain" :: rest ->
-      let sql = String.concat " " rest in
-      let sql =
-        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
-          String.sub sql 0 (String.length sql - 1)
-        else sql
-      in
-      (try
-         let q =
-           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql
-         in
-         print_string (Unnest.Explain.explain q)
-       with
-      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
-      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg)
-  | "\\shape" :: rest ->
-      let sql = String.concat " " rest in
-      let sql =
-        if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
-          String.sub sql 0 (String.length sql - 1)
-        else sql
-      in
-      (try
-         let q =
-           Fuzzysql.Analyzer.bind_string ~catalog:st.catalog ~terms:st.terms sql
-         in
-         Format.printf "%s@." (Unnest.Classify.to_string (Unnest.Classify.classify q))
-       with
-      | Fuzzysql.Parser.Error msg -> Format.printf "parse error: %s@." msg
-      | Fuzzysql.Analyzer.Error msg -> Format.printf "semantic error: %s@." msg)
+      print_diags sql diags;
+      Format.printf "%s@." (Fuzzysql.Diagnostic.summary diags)
+  | "\\analyze" :: rest -> (
+      let sql = strip_semi (String.concat " " rest) in
+      match bind_checked st sql with
+      | Error errs -> print_diags sql errs
+      | Ok q -> (
+          try
+            let a =
+              Unnest.Explain.analyze ~strategy:st.strategy ~domains:st.domains q
+            in
+            print_string a.Unnest.Explain.text;
+            match st.trace_file with
+            | Some path ->
+                Storage.Trace.write_chrome a.Unnest.Explain.trace ~path;
+                Format.printf "trace written to %s@." path
+            | None -> ()
+          with Unnest.Planner.Unsupported msg ->
+            Format.printf "unsupported: %s@." msg))
+  | "\\explain" :: rest -> (
+      let sql = strip_semi (String.concat " " rest) in
+      match bind_checked st sql with
+      | Error errs -> print_diags sql errs
+      | Ok q -> print_string (Unnest.Explain.explain q))
+  | "\\shape" :: rest -> (
+      let sql = strip_semi (String.concat " " rest) in
+      match bind_checked st sql with
+      | Error errs -> print_diags sql errs
+      | Ok q ->
+          Format.printf "%s@."
+            (Unnest.Classify.to_string (Unnest.Classify.classify q)))
   | _ -> Format.printf "unknown meta command (try \\help)@."
+
+(* ---- batch lint: fsql --check FILE ---- *)
+
+(* Split the file into ';'-terminated statements, honouring single-quoted
+   strings (a doubled '' escape toggles twice, which round-trips) and
+   dropping [--] comment lines so a corpus file can be documented. *)
+let split_statements text =
+  let stmts = ref [] in
+  let buf = Buffer.create 128 in
+  let in_str = ref false in
+  String.iter
+    (fun c ->
+      if c = '\'' then begin
+        in_str := not !in_str;
+        Buffer.add_char buf c
+      end
+      else if c = ';' && not !in_str then begin
+        stmts := Buffer.contents buf :: !stmts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    text;
+  stmts := Buffer.contents buf :: !stmts;
+  List.filter (fun s -> s <> "") (List.rev_map String.trim !stmts)
+
+let check_file path =
+  let text =
+    match open_in path with
+    | exception Sys_error msg ->
+        prerr_endline ("fsql: " ^ msg);
+        exit 2
+    | ic ->
+        let n = in_channel_length ic in
+        let raw = really_input_string ic n in
+        close_in ic;
+        let lines = String.split_on_char '\n' raw in
+        String.concat "\n"
+          (List.filter
+             (fun l ->
+               let t = String.trim l in
+               not (String.length t >= 2 && t.[0] = '-' && t.[1] = '-'))
+             lines)
+  in
+  let env = Storage.Env.create () in
+  let catalog = Catalog.create env in
+  load_demo env catalog;
+  let check = Fuzzysql.Check.ctx ~catalog ~terms:Fuzzy.Term.paper in
+  let errors = ref 0 in
+  let warnings = ref 0 in
+  List.iteri
+    (fun i sql ->
+      if i > 0 then print_newline ();
+      Format.printf "%s;@." sql;
+      let _, diags =
+        Fuzzysql.Check.check_string ~classify:Unnest.Classify.shape_hint check
+          sql
+      in
+      print_diags sql diags;
+      Format.printf "%s@." (Fuzzysql.Diagnostic.summary diags);
+      List.iter
+        (fun d ->
+          if Fuzzysql.Diagnostic.is_error d then incr errors else incr warnings)
+        diags)
+    (split_statements text);
+  Format.printf "@.%s: %d error%s, %d warning%s@." path !errors
+    (if !errors = 1 then "" else "s")
+    !warnings
+    (if !warnings = 1 then "" else "s");
+  exit (if !errors > 0 then 1 else 0)
 
 (* ---- remote mode: statements run on a fsqld over the wire protocol ---- *)
 
@@ -297,6 +383,11 @@ let remote_sql st sql =
                      trace)@."
         msg
         (Server.Client.last_request_id st.client)
+        (Server.Client.last_request_id st.client)
+  | Server.Client.Rejected { code = _; diagnostics } ->
+      (* The admission-time static analyzer refused the query; the server
+         never queued it. The report is pre-rendered. *)
+      Format.printf "%s@.(rejected at admission, request id %s)@." diagnostics
         (Server.Client.last_request_id st.client)
   | Server.Client.Retryable msg ->
       Format.printf
@@ -434,6 +525,7 @@ let () =
   let domains = ref None in
   let batch = ref false in
   let connect = ref None in
+  let lint = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--domains" :: n :: rest -> (
@@ -456,23 +548,34 @@ let () =
     | [ "--connect" ] ->
         prerr_endline "fsql: --connect expects HOST:PORT";
         exit 2
+    | "--check" :: file :: rest ->
+        lint := Some file;
+        parse_args rest
+    | [ "--check" ] ->
+        prerr_endline "fsql: --check expects a file of ';'-terminated statements";
+        exit 2
     | arg :: _ ->
         prerr_endline
           ("fsql: unknown argument " ^ arg
-         ^ " (usage: fsql [--domains N] [--batch] [--connect HOST:PORT])");
+         ^ " (usage: fsql [--domains N] [--batch] [--connect HOST:PORT] \
+            [--check FILE])");
         exit 2
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  match !connect with
-  | Some addr ->
+  match (!lint, !connect) with
+  | Some file, _ -> check_file file
+  | None, Some addr ->
       remote_repl addr ~domains:(Option.value ~default:0 !domains)
-  | None ->
+  | None, None ->
   let domains = ref (Option.value ~default:1 !domains) in
   let env = Storage.Env.create () in
+  let catalog = Catalog.create env in
+  load_demo env catalog;
   let st =
     {
-      catalog = Catalog.create env;
+      catalog;
       terms = Fuzzy.Term.paper;
+      check = Fuzzysql.Check.ctx ~catalog ~terms:Fuzzy.Term.paper;
       strategy = Unnest.Planner.Auto;
       timing = true;
       domains = !domains;
@@ -480,7 +583,6 @@ let () =
       trace_file = None;
     }
   in
-  load_demo env st.catalog;
   let interactive = Unix.isatty Unix.stdin in
   if interactive then begin
     print_endline "fsql - nested fuzzy SQL shell (\\help for help, \\q to quit)";

@@ -5,12 +5,29 @@
     term dictionary ("medium young" becomes its trapezoid); against string
     attributes they stay crisp strings. Subqueries used by IN / NOT IN /
     quantifiers must select exactly one column; scalar subqueries must select
-    exactly one aggregate. *)
+    exactly one aggregate.
+
+    The analysis {e accumulates} diagnostics ({!Diagnostic.t}, stable
+    [FSQL0xx] codes) instead of failing fast: {!analyze} reports every
+    independent problem in one pass. {!bind} is the historical fail-fast
+    facade — it raises {!Error} with the first error's message iff any
+    Error-severity diagnostic was produced. *)
 
 exception Error of string
 
+val analyze :
+  catalog:Relational.Catalog.t ->
+  terms:Fuzzy.Term.t ->
+  Ast.query ->
+  Bound.query option * Diagnostic.t list
+(** All diagnostics for the query, sorted by source position. The bound
+    query is [Some] iff no diagnostic has Error severity (the analyzer
+    itself emits only errors; {!Check} layers warnings on top). *)
+
 val bind :
   catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> Ast.query -> Bound.query
+(** Fail-fast facade over {!analyze}: raises {!Error} carrying the first
+    (in source order) error message when the query does not bind. *)
 
 val bind_string :
   catalog:Relational.Catalog.t -> terms:Fuzzy.Term.t -> string -> Bound.query

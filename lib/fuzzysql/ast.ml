@@ -5,7 +5,22 @@
     and an optional [WITH D >= z] threshold on the answer's membership
     degrees. Subqueries appear in IN / NOT IN predicates, under quantifiers
     (ALL / SOME), under EXISTS, and as scalar aggregate subqueries compared
-    with [op] (the paper's type JA). *)
+    with [op] (the paper's type JA).
+
+    Every named node carries a byte {!span} into the source text so the
+    analyzer ({!Analyzer}, {!Check}) can attach caret-rendered diagnostics
+    to the exact offending fragment. Leaf payload types ([const], [quant],
+    [threshold], [order]) are span-free — downstream consumers (the
+    unnesting planner, the CSV loader) pattern-match on those and never
+    need positions. *)
+
+type span = { sp_lo : int; sp_hi : int }
+(** Byte offsets into the source string, [sp_hi] exclusive. *)
+
+let dummy_span = { sp_lo = 0; sp_hi = 0 }
+
+let span_hull a b =
+  { sp_lo = min a.sp_lo b.sp_lo; sp_hi = max a.sp_hi b.sp_hi }
 
 type const =
   | Num of float  (** crisp number *)
@@ -18,16 +33,16 @@ type const =
   | Discrete of (float * float) list  (** DIST(v:d, ...) literal *)
 
 type operand =
-  | Attr of string
-  | Const of const
-  | Agg_of of Relational.Aggregate.t * string
+  | Attr of string * span
+  | Const of const * span
+  | Agg_of of Relational.Aggregate.t * string * span
       (** aggregate operand, only meaningful inside HAVING *)
 
 type quant = All | Some_
 
 type select_item =
-  | Col of string
-  | Agg of Relational.Aggregate.t * string
+  | Col of string * span
+  | Agg of Relational.Aggregate.t * string * span
 
 type threshold = { strict : bool; value : float }
 
@@ -36,13 +51,15 @@ type order = Desc | Asc
 type query = {
   distinct : bool;
   select : select_item list;
-  from : (string * string option) list;
+  from : (string * string option * span) list;
   where : predicate list;  (** conjunction *)
-  group_by : string list;
+  group_by : (string * span) list;
   having : predicate list;
   with_d : threshold option;
+  with_span : span;  (** span of the WITH clause; [dummy_span] if absent *)
   order_by_d : order option;  (** ORDER BY D: rank answers by degree *)
   limit : int option;  (** LIMIT k: top-k answers (by degree when ordered) *)
+  q_span : span;  (** whole block, SELECT to last clause *)
 }
 
 and predicate =
@@ -55,6 +72,15 @@ and predicate =
   | Exists of query
   | Not_exists of query
 
+let operand_span = function
+  | Attr (_, sp) | Const (_, sp) | Agg_of (_, _, sp) -> sp
+
+let predicate_span = function
+  | Cmp (l, _, r) -> span_hull (operand_span l) (operand_span r)
+  | CmpSub (l, _, q) | In (l, q) | Not_in (l, q) | Quant (l, _, _, q) ->
+      span_hull (operand_span l) q.q_span
+  | Exists q | Not_exists q -> q.q_span
+
 let empty_query =
   {
     distinct = false;
@@ -64,6 +90,8 @@ let empty_query =
     group_by = [];
     having = [];
     with_d = None;
+    with_span = dummy_span;
     order_by_d = None;
     limit = None;
+    q_span = dummy_span;
   }

@@ -1,0 +1,144 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  span : Ast.span;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~code ~severity ~span message =
+  { code; severity; span; message; hint }
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let errors ds = List.filter is_error ds
+
+let compare_diag a b =
+  let c = compare a.span.Ast.sp_lo b.span.Ast.sp_lo in
+  if c <> 0 then c
+  else
+    let c = compare a.code b.code in
+    if c <> 0 then c else compare a.message b.message
+
+let sort ds =
+  let sorted = List.stable_sort compare_diag ds in
+  (* Collapse exact duplicates: the accumulating analyzer may visit one
+     offending node through two paths (e.g. typing context + binding). *)
+  let rec dedup = function
+    | a :: b :: rest
+      when a.code = b.code && a.span = b.span && a.message = b.message ->
+        dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+(* ------------------------------------------------------------------ *)
+(* Source positions *)
+
+let position ~source off =
+  let n = String.length source in
+  let off = max 0 (min off n) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to off - 1 do
+    if source.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+(* The line (content, start offset) containing byte [off]. *)
+let line_at ~source off =
+  let n = String.length source in
+  let off = max 0 (min off (max 0 (n - 1))) in
+  let rec back i = if i > 0 && source.[i - 1] <> '\n' then back (i - 1) else i in
+  let rec fwd i = if i < n && source.[i] <> '\n' then fwd (i + 1) else i in
+  let lo = back off in
+  let hi = fwd off in
+  (String.sub source lo (hi - lo), lo)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* Tabs render as single spaces so the caret line (built from spaces)
+   stays column-aligned with the source line. *)
+let detab s = String.map (function '\t' -> ' ' | c -> c) s
+
+let render ~source d =
+  let buf = Buffer.create 160 in
+  let line, col = position ~source d.span.Ast.sp_lo in
+  Buffer.add_string buf
+    (Printf.sprintf "%s[%s]: %s" (severity_name d.severity) d.code d.message);
+  if String.length source > 0 then begin
+    Buffer.add_string buf (Printf.sprintf "\n  --> line %d, column %d" line col);
+    let text, line_lo = line_at ~source d.span.Ast.sp_lo in
+    let gutter = Printf.sprintf "%4d | " line in
+    Buffer.add_string buf (Printf.sprintf "\n%s%s" gutter (detab text));
+    (* Caret run: clamp to the displayed line, at least one caret. *)
+    let start = max 0 (d.span.Ast.sp_lo - line_lo) in
+    let start = min start (String.length text) in
+    let stop = max (start + 1) (min (d.span.Ast.sp_hi - line_lo) (String.length text)) in
+    let stop = max stop (start + 1) in
+    Buffer.add_string buf
+      (Printf.sprintf "\n%s | %s%s"
+         (String.make 4 ' ')
+         (String.make start ' ')
+         (String.make (stop - start) '^'))
+  end;
+  (match d.hint with
+  | Some h -> Buffer.add_string buf (Printf.sprintf "\n  hint: %s" h)
+  | None -> ());
+  Buffer.contents buf
+
+let render_all ~source ds =
+  String.concat "\n\n" (List.map (render ~source) (sort ds))
+
+let summary ds =
+  let errs = List.length (errors ds) in
+  let warns = List.length ds - errs in
+  let plural n = if n = 1 then "" else "s" in
+  match (errs, warns) with
+  | 0, 0 -> "no issues"
+  | 0, w -> Printf.sprintf "%d warning%s" w (plural w)
+  | e, 0 -> Printf.sprintf "%d error%s" e (plural e)
+  | e, w ->
+      Printf.sprintf "%d error%s, %d warning%s" e (plural e) w (plural w)
+
+(* ------------------------------------------------------------------ *)
+(* Nearest-name suggestions *)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest ~candidates word =
+  let w = String.lowercase_ascii word in
+  (* A short word tolerates one edit; longer words up to a third. *)
+  let budget = max 1 (String.length w / 3) in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = levenshtein w (String.lowercase_ascii cand) in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ when d <= budget -> Some (cand, d)
+        | _ -> acc)
+      None candidates
+  in
+  Option.map fst best

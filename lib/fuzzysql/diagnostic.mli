@@ -1,0 +1,54 @@
+(** Typed static-analysis diagnostics with caret-underlined rendering.
+
+    Every diagnostic carries a stable [FSQL0xx] code (the full table lives
+    in {!Check.code_table} and DESIGN.md section 14), a severity, a byte
+    {!Ast.span} into the source text, a human message, and an optional
+    hint (e.g. a nearest-name suggestion). Rendering is rustc-style:
+
+    {v
+    error[FSQL010]: unknown relation NOSUCH
+      --> line 1, column 20
+     1 | SELECT F.NAME FROM NOSUCH
+       |                    ^^^^^^
+      hint: did you mean F?
+    v} *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** stable [FSQL0xx] code *)
+  severity : severity;
+  span : Ast.span;
+  message : string;
+  hint : string option;
+}
+
+val make :
+  ?hint:string -> code:string -> severity:severity -> span:Ast.span ->
+  string -> t
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+val errors : t list -> t list
+
+val sort : t list -> t list
+(** Stable order: by span start, then code, then message; duplicates
+    (same code, span, and message) are collapsed. *)
+
+val position : source:string -> int -> int * int
+(** [position ~source off] is the 1-based (line, column) of byte [off];
+    offsets past the end clamp to the last position. *)
+
+val render : source:string -> t -> string
+(** One diagnostic as a multi-line block (no trailing newline). *)
+
+val render_all : source:string -> t list -> string
+(** All diagnostics, {!sort}ed, blocks separated by a blank line. *)
+
+val summary : t list -> string
+(** One-line count, e.g. ["2 errors, 1 warning"] or ["no issues"]. *)
+
+val suggest : candidates:string list -> string -> string option
+(** Nearest candidate by (case-insensitive) edit distance, within a
+    distance budget scaled to the word length; [None] when nothing is
+    close enough. *)

@@ -30,33 +30,35 @@ let keyword_of_string s =
   | "DIST" -> Some Token.DIST
   | _ -> None
 
-let tokenize input =
+(* Each token carries its (start, end) byte offsets, end exclusive; EOF
+   gets the zero-width span at the end of the input. *)
+let tokenize_spanned input =
   let n = String.length input in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
+  let emit lo hi t = tokens := (t, (lo, hi)) :: !tokens in
   let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
   let rec go i =
-    if i >= n then emit Token.EOF
+    if i >= n then emit n n Token.EOF
     else
       match input.[i] with
       | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
       | '-' when i + 1 < n && input.[i + 1] = '-' -> go (skip_line i)
-      | '(' -> emit Token.LPAREN; go (i + 1)
-      | ')' -> emit Token.RPAREN; go (i + 1)
-      | ',' -> emit Token.COMMA; go (i + 1)
-      | ':' -> emit Token.COLON; go (i + 1)
-      | '*' -> emit Token.STAR; go (i + 1)
-      | '=' -> emit (Token.OP Fuzzy.Fuzzy_compare.Eq); go (i + 1)
+      | '(' -> emit i (i + 1) Token.LPAREN; go (i + 1)
+      | ')' -> emit i (i + 1) Token.RPAREN; go (i + 1)
+      | ',' -> emit i (i + 1) Token.COMMA; go (i + 1)
+      | ':' -> emit i (i + 1) Token.COLON; go (i + 1)
+      | '*' -> emit i (i + 1) Token.STAR; go (i + 1)
+      | '=' -> emit i (i + 1) (Token.OP Fuzzy.Fuzzy_compare.Eq); go (i + 1)
       | '<' when i + 1 < n && input.[i + 1] = '>' ->
-          emit (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
+          emit i (i + 2) (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
       | '<' when i + 1 < n && input.[i + 1] = '=' ->
-          emit (Token.OP Fuzzy.Fuzzy_compare.Le); go (i + 2)
-      | '<' -> emit (Token.OP Fuzzy.Fuzzy_compare.Lt); go (i + 1)
+          emit i (i + 2) (Token.OP Fuzzy.Fuzzy_compare.Le); go (i + 2)
+      | '<' -> emit i (i + 1) (Token.OP Fuzzy.Fuzzy_compare.Lt); go (i + 1)
       | '>' when i + 1 < n && input.[i + 1] = '=' ->
-          emit (Token.OP Fuzzy.Fuzzy_compare.Ge); go (i + 2)
-      | '>' -> emit (Token.OP Fuzzy.Fuzzy_compare.Gt); go (i + 1)
+          emit i (i + 2) (Token.OP Fuzzy.Fuzzy_compare.Ge); go (i + 2)
+      | '>' -> emit i (i + 1) (Token.OP Fuzzy.Fuzzy_compare.Gt); go (i + 1)
       | '!' when i + 1 < n && input.[i + 1] = '=' ->
-          emit (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
+          emit i (i + 2) (Token.OP Fuzzy.Fuzzy_compare.Ne); go (i + 2)
       | ('\'' | '"') as quote ->
           let rec find j =
             if j >= n then raise (Error ("unterminated string literal", i))
@@ -64,7 +66,7 @@ let tokenize input =
             else find (j + 1)
           in
           let j = find (i + 1) in
-          emit (Token.STRING (String.sub input (i + 1) (j - i - 1)));
+          emit i (j + 1) (Token.STRING (String.sub input (i + 1) (j - i - 1)));
           go (j + 1)
       | c when is_digit c ->
           let rec find j =
@@ -74,7 +76,7 @@ let tokenize input =
           let j = find i in
           let s = String.sub input i (j - i) in
           (match float_of_string_opt s with
-          | Some f -> emit (Token.NUMBER f)
+          | Some f -> emit i j (Token.NUMBER f)
           | None -> raise (Error (Printf.sprintf "bad number %S" s, i)));
           go j
       | c when is_ident_start c ->
@@ -82,8 +84,7 @@ let tokenize input =
           let j = find i in
           let s = String.sub input i (j - i) in
           (match keyword_of_string s with
-          | Some Token.GROUPBY -> emit Token.GROUPBY; go j
-          | Some kw -> emit kw; go j
+          | Some kw -> emit i j kw; go j
           | None ->
               (* "GROUP BY" as two words *)
               if String.uppercase_ascii s = "GROUP"
@@ -100,19 +101,21 @@ let tokenize input =
                 let k = skip_ws j in
                 if k + 1 < n && String.uppercase_ascii (String.sub input k 2) = "BY"
                 then begin
-                  emit kw;
+                  emit i (k + 2) kw;
                   go (k + 2)
                 end
                 else begin
-                  emit (Token.IDENT s);
+                  emit i j (Token.IDENT s);
                   go j
                 end
               end
               else begin
-                emit (Token.IDENT s);
+                emit i j (Token.IDENT s);
                 go j
               end)
       | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
   in
   go 0;
   List.rev !tokens
+
+let tokenize input = List.map fst (tokenize_spanned input)

@@ -8,3 +8,7 @@ exception Error of string * int  (** message, byte offset *)
 
 val tokenize : string -> Token.t list
 (** The resulting list always ends with [EOF]. *)
+
+val tokenize_spanned : string -> (Token.t * (int * int)) list
+(** Like {!tokenize}, with each token's (start, end) byte offsets, end
+    exclusive. [EOF] gets the zero-width span at the end of the input. *)

@@ -1,34 +1,58 @@
 exception Error of string
+exception Error_at of string * Ast.span
 
-type state = { mutable tokens : Token.t list }
+type state = {
+  mutable tokens : (Token.t * (int * int)) list;
+  mutable last_end : int;  (** end offset of the last consumed token *)
+}
 
-let peek st = match st.tokens with [] -> Token.EOF | t :: _ -> t
+let peek st = match st.tokens with [] -> Token.EOF | (t, _) :: _ -> t
 
-let peek2 st = match st.tokens with _ :: t :: _ -> t | _ -> Token.EOF
+let peek2 st = match st.tokens with _ :: (t, _) :: _ -> t | _ -> Token.EOF
+
+let peek_span st =
+  match st.tokens with
+  | [] -> { Ast.sp_lo = st.last_end; sp_hi = st.last_end }
+  | (_, (lo, hi)) :: _ -> { Ast.sp_lo = lo; sp_hi = hi }
 
 let advance st =
-  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+  match st.tokens with
+  | [] -> ()
+  | (_, (_, hi)) :: rest ->
+      st.last_end <- hi;
+      st.tokens <- rest
+
+(* Span from a saved start offset to the last consumed token. *)
+let span_from st lo = { Ast.sp_lo = lo; sp_hi = max lo st.last_end }
+
+let fail_at span msg = raise (Error_at (msg, span))
 
 let fail st what =
-  raise
-    (Error (Printf.sprintf "expected %s but found %s" what (Token.to_string (peek st))))
+  fail_at (peek_span st)
+    (Printf.sprintf "expected %s but found %s" what (Token.to_string (peek st)))
 
 let expect st tok what =
   if peek st = tok then advance st else fail st what
 
-let ident st =
+let ident_spanned st =
   match peek st with
   | Token.IDENT s ->
+      let sp = peek_span st in
       advance st;
-      s
+      (s, sp)
   | _ -> fail st "an identifier"
 
-let number st =
+let ident st = fst (ident_spanned st)
+
+let number_spanned st =
   match peek st with
   | Token.NUMBER f ->
+      let sp = peek_span st in
       advance st;
-      f
+      (f, sp)
   | _ -> fail st "a number"
+
+let number st = fst (number_spanned st)
 
 let comma_sep st item =
   let rec more acc =
@@ -92,6 +116,7 @@ let fuzzy_literal st =
   | _ -> fail st "a fuzzy literal"
 
 let operand st =
+  let lo = (peek_span st).Ast.sp_lo in
   match (peek st, peek2 st) with
   | Token.IDENT name, Token.LPAREN
     when Relational.Aggregate.of_string name <> None -> (
@@ -101,22 +126,24 @@ let operand st =
           advance st;
           let attr = ident st in
           expect st Token.RPAREN ")";
-          Ast.Agg_of (agg, attr)
+          Ast.Agg_of (agg, attr, span_from st lo)
       | None -> assert false)
   | Token.IDENT s, _ ->
       advance st;
-      Ast.Attr s
+      Ast.Attr (s, span_from st lo)
   | Token.NUMBER f, _ ->
       advance st;
-      Ast.Const (Ast.Num f)
+      Ast.Const (Ast.Num f, span_from st lo)
   | Token.STRING s, _ ->
       advance st;
-      Ast.Const (Ast.Str s)
+      Ast.Const (Ast.Str s, span_from st lo)
   | (Token.TRAP | Token.TRI | Token.ABOUT | Token.DIST), _ ->
-      Ast.Const (fuzzy_literal st)
+      let c = fuzzy_literal st in
+      Ast.Const (c, span_from st lo)
   | _ -> fail st "an attribute, constant, or fuzzy literal"
 
 let select_item st =
+  let lo = (peek_span st).Ast.sp_lo in
   match (peek st, peek2 st) with
   | Token.IDENT name, Token.LPAREN -> (
       match Relational.Aggregate.of_string name with
@@ -131,20 +158,26 @@ let select_item st =
             | _ -> ident st
           in
           expect st Token.RPAREN ")";
-          Ast.Agg (agg, attr)
-      | None -> raise (Error (Printf.sprintf "unknown aggregate function %s" name)))
-  | Token.IDENT _, _ -> Ast.Col (ident st)
+          Ast.Agg (agg, attr, span_from st lo)
+      | None ->
+          fail_at (peek_span st)
+            (Printf.sprintf "unknown aggregate function %s" name))
+  | Token.IDENT _, _ ->
+      let s, sp = ident_spanned st in
+      Ast.Col (s, sp)
   | _ -> fail st "a projection item"
 
 let from_item st =
-  let rel = ident st in
+  let rel, sp = ident_spanned st in
   match peek st with
   | Token.IDENT alias ->
+      let asp = peek_span st in
       advance st;
-      (rel, Some alias)
-  | _ -> (rel, None)
+      (rel, Some alias, Ast.span_hull sp asp)
+  | _ -> (rel, None, sp)
 
 let rec query st =
+  let qlo = (peek_span st).Ast.sp_lo in
   expect st Token.SELECT "SELECT";
   let distinct =
     if peek st = Token.DISTINCT then begin
@@ -161,28 +194,32 @@ let rec query st =
      appear in any order, each at most once. *)
   let group_by = ref [] and having = ref [] and with_d = ref None in
   let order_by_d = ref None and limit = ref None in
-  let once name r v =
+  let with_span = ref Ast.dummy_span in
+  let once name clause_span r v =
     match !r with
     | None -> r := Some v
-    | Some _ -> raise (Error (Printf.sprintf "duplicate %s clause" name))
+    | Some _ -> fail_at clause_span (Printf.sprintf "duplicate %s clause" name)
   in
   let rec clauses () =
     match peek st with
     | Token.GROUPBY ->
+        let ksp = peek_span st in
         advance st;
-        if !group_by <> [] then raise (Error "duplicate GROUPBY clause");
-        group_by := comma_sep st ident;
+        if !group_by <> [] then fail_at ksp "duplicate GROUPBY clause";
+        group_by := comma_sep st ident_spanned;
         clauses ()
     | Token.HAVING ->
+        let ksp = peek_span st in
         advance st;
-        if !having <> [] then raise (Error "duplicate HAVING clause");
+        if !having <> [] then fail_at ksp "duplicate HAVING clause";
         having := predicates st;
         clauses ()
     | Token.ORDERBY ->
+        let ksp = peek_span st in
         advance st;
-        let d = ident st in
+        let d, dsp = ident_spanned st in
         if String.uppercase_ascii d <> "D" then
-          raise (Error "ORDER BY supports only the degree attribute D");
+          fail_at dsp "ORDER BY supports only the degree attribute D";
         let dir =
           match peek st with
           | Token.DESC ->
@@ -193,20 +230,22 @@ let rec query st =
               Ast.Asc
           | _ -> Ast.Desc
         in
-        once "ORDER BY" order_by_d dir;
+        once "ORDER BY" ksp order_by_d dir;
         clauses ()
     | Token.LIMIT ->
+        let ksp = peek_span st in
         advance st;
-        let k = number st in
+        let k, nsp = number_spanned st in
         if Float.rem k 1.0 <> 0.0 || k < 0.0 then
-          raise (Error "LIMIT expects a non-negative integer");
-        once "LIMIT" limit (int_of_float k);
+          fail_at nsp "LIMIT expects a non-negative integer";
+        once "LIMIT" ksp limit (int_of_float k);
         clauses ()
     | Token.WITH ->
+        let ksp = peek_span st in
         advance st;
-        let d = ident st in
+        let d, dsp = ident_spanned st in
         if String.uppercase_ascii d <> "D" then
-          raise (Error "WITH clause must constrain the degree attribute D");
+          fail_at dsp "WITH clause must constrain the degree attribute D";
         let strict =
           match peek st with
           | Token.OP Fuzzy.Fuzzy_compare.Ge ->
@@ -217,7 +256,8 @@ let rec query st =
               true
           | _ -> fail st ">= or > in WITH clause"
         in
-        once "WITH" with_d { Ast.strict; value = number st };
+        once "WITH" ksp with_d { Ast.strict; value = number st };
+        with_span := Ast.span_hull ksp (span_from st ksp.Ast.sp_lo);
         clauses ()
     | _ -> ()
   in
@@ -230,8 +270,10 @@ let rec query st =
     group_by = !group_by;
     having = !having;
     with_d = !with_d;
+    with_span = !with_span;
     order_by_d = !order_by_d;
     limit = !limit;
+    q_span = span_from st qlo;
   }
 
 and subquery st =
@@ -285,34 +327,41 @@ and predicate st =
           | _ -> Ast.Cmp (lhs, op, operand st))
       | _ -> fail st "a comparison operator, IN, or NOT IN")
 
-let parse input =
-  let st = { tokens = Lexer.tokenize input } in
+let make_state input = { tokens = Lexer.tokenize_spanned input; last_end = 0 }
+
+let parse_spanned input =
+  let st = make_state input in
   let q = query st in
   expect st Token.EOF "end of input";
   q
 
+let parse input =
+  try parse_spanned input with Error_at (msg, _) -> raise (Error msg)
+
 let parse_const input =
-  let st = { tokens = Lexer.tokenize input } in
-  let c =
-    match peek st with
-    | Token.NUMBER f ->
-        advance st;
-        Ast.Num f
-    | Token.STRING s ->
-        advance st;
-        Ast.Str s
-    | Token.IDENT _ ->
-        (* bare word(s): a string such as a linguistic term *)
-        let rec words acc =
-          match peek st with
-          | Token.IDENT s ->
-              advance st;
-              words (s :: acc)
-          | _ -> String.concat " " (List.rev acc)
-        in
-        Ast.Str (words [])
-    | Token.TRAP | Token.TRI | Token.ABOUT | Token.DIST -> fuzzy_literal st
-    | _ -> fail st "a constant"
-  in
-  expect st Token.EOF "end of constant";
-  c
+  try
+    let st = make_state input in
+    let c =
+      match peek st with
+      | Token.NUMBER f ->
+          advance st;
+          Ast.Num f
+      | Token.STRING s ->
+          advance st;
+          Ast.Str s
+      | Token.IDENT _ ->
+          (* bare word(s): a string such as a linguistic term *)
+          let rec words acc =
+            match peek st with
+            | Token.IDENT s ->
+                advance st;
+                words (s :: acc)
+            | _ -> String.concat " " (List.rev acc)
+          in
+          Ast.Str (words [])
+      | Token.TRAP | Token.TRI | Token.ABOUT | Token.DIST -> fuzzy_literal st
+      | _ -> fail st "a constant"
+    in
+    expect st Token.EOF "end of constant";
+    c
+  with Error_at (msg, _) -> raise (Error msg)

@@ -17,8 +17,16 @@
 
 exception Error of string
 
+exception Error_at of string * Ast.span
+(** Spanned variant raised by {!parse_spanned}; {!parse} unwraps it to the
+    message-only {!Error} for legacy callers. *)
+
 val parse : string -> Ast.query
 (** Raises [Error] (or {!Lexer.Error}) on malformed input. *)
+
+val parse_spanned : string -> Ast.query
+(** Like {!parse} but syntax errors raise {!Error_at} carrying the source
+    span of the offending token — used by {!Check} for caret rendering. *)
 
 val parse_const : string -> Ast.const
 (** Parse a single constant: a number, a quoted string, or a fuzzy literal

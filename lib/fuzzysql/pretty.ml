@@ -12,20 +12,20 @@ let const_to_string = function
         (String.concat ", " (List.map (fun (v, d) -> Printf.sprintf "%g:%g" v d) pts))
 
 let operand_to_string = function
-  | Ast.Attr a -> a
-  | Ast.Const c -> const_to_string c
-  | Ast.Agg_of (agg, a) ->
+  | Ast.Attr (a, _) -> a
+  | Ast.Const (c, _) -> const_to_string c
+  | Ast.Agg_of (agg, a, _) ->
       Printf.sprintf "%s(%s)" (Relational.Aggregate.to_string agg) a
 
 let rec query_to_string (q : Ast.query) =
   let select_item = function
-    | Ast.Col a -> a
-    | Ast.Agg (agg, a) ->
+    | Ast.Col (a, _) -> a
+    | Ast.Agg (agg, a, _) ->
         Printf.sprintf "%s(%s)" (Relational.Aggregate.to_string agg) a
   in
   let from_item = function
-    | rel, None -> rel
-    | rel, Some alias -> rel ^ " " ^ alias
+    | rel, None, _ -> rel
+    | rel, Some alias, _ -> rel ^ " " ^ alias
   in
   let parts =
     [
@@ -39,7 +39,7 @@ let rec query_to_string (q : Ast.query) =
       | ps -> [ "WHERE " ^ String.concat " AND " (List.map pred_to_string ps) ])
     @ (match q.Ast.group_by with
       | [] -> []
-      | gs -> [ "GROUPBY " ^ String.concat ", " gs ])
+      | gs -> [ "GROUPBY " ^ String.concat ", " (List.map fst gs) ])
     @ (match q.Ast.having with
       | [] -> []
       | ps -> [ "HAVING " ^ String.concat " AND " (List.map pred_to_string ps) ])

@@ -13,6 +13,7 @@ type reply =
   | Failed of string
   | Retryable of string
   | Overloaded
+  | Rejected of { code : string; diagnostics : string }
   | Cancelled of string
 
 let resolve host =
@@ -86,6 +87,7 @@ let query_once ?(deadline_ms = 0) ?(domains = 0) t sql =
     | Wire.Error m -> Failed m
     | Wire.Retryable m -> Retryable m
     | Wire.Overloaded -> Overloaded
+    | Wire.Rejected { code; diagnostics } -> Rejected { code; diagnostics }
     | Wire.Cancelled reason -> Cancelled reason
     | Wire.Metrics_json _ | Wire.Trace_json _ | Wire.Top_text _ ->
         raise (Wire.Protocol_error "unexpected admin frame in query reply")

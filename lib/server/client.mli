@@ -20,6 +20,10 @@ type reply =
   | Retryable of string
       (** transient server-side fault; resubmitting may succeed *)
   | Overloaded  (** admission queue full or circuit breaker open *)
+  | Rejected of { code : string; diagnostics : string }
+      (** the admission-time static analyzer found errors; never retried
+          (resubmitting the same text cannot succeed). [code] is the
+          primary [FSQL0xx] code, [diagnostics] the rendered report *)
   | Cancelled of string  (** deadline exceeded or explicit cancel *)
 
 val connect : ?host:string -> port:int -> unit -> t

@@ -47,6 +47,12 @@ type t = {
   mem_pages : int;
   terms : Fuzzy.Term.t;
   setup : Storage.Env.t -> Catalog.t -> unit;
+  check : Fuzzysql.Check.ctx;
+      (** admission-side static analysis context, over a private
+          env + catalog built once at [start] with [setup] *)
+  check_lock : Mutex.t;
+      (** the admission catalog's storage is single-threaded; connection
+          threads take this around every static check *)
   on_trace : (Trace.t -> unit) option;
   queue : job Bounded_queue.t;
   metrics : Metrics.t;
@@ -197,7 +203,11 @@ let deadline_reason reason =
   let rec go i = i + m <= n && (String.sub reason i m = sub || go (i + 1)) in
   go 0
 
-let handle_job t ~env ~catalog ~plane ~rng job =
+exception Invalid_query of string
+(** rendered diagnostics; raised inside an attempt by the worker-side
+    backstop check (admission normally rejects these queries first) *)
+
+let handle_job t ~env ~check ~plane ~rng job =
   let dequeued = Unix.gettimeofday () in
   let tr = Some job.trace in
   let faults_before = match plane with Some p -> Fault.injected p | None -> 0 in
@@ -211,7 +221,25 @@ let handle_job t ~env ~catalog ~plane ~rng job =
     Cancel.raise_if_cancelled job.cancel;
     let q =
       Trace.with_span tr "plan" (fun () ->
-          Fuzzysql.Analyzer.bind_string ~catalog ~terms:t.terms job.sql)
+          (* The same static analysis that guards admission, against this
+             worker's private catalog. Statically-invalid queries normally
+             never get here; when one does (or the exception backstops
+             below fire), the reply renders the full diagnostics. *)
+          match Fuzzysql.Check.check_string check job.sql with
+          | Some q, _ -> q
+          | None, diags ->
+              let prefix =
+                match Fuzzysql.Diagnostic.errors diags with
+                | { Fuzzysql.Diagnostic.code = "FSQL001"; _ } :: _ ->
+                    "lex error"
+                | { Fuzzysql.Diagnostic.code = "FSQL002"; _ } :: _ ->
+                    "parse error"
+                | _ -> "semantic error"
+              in
+              raise
+                (Invalid_query
+                   (prefix ^ ":\n"
+                   ^ Fuzzysql.Diagnostic.render_all ~source:job.sql diags)))
     in
     let stats = env.Storage.Env.stats in
     Trace.with_span tr ~stats "exec" (fun () ->
@@ -227,6 +255,7 @@ let handle_job t ~env ~catalog ~plane ~rng job =
     match attempt () with
     | v -> `Ok v
     | exception Cancel.Cancelled reason -> `Cancelled reason
+    | exception Invalid_query m -> `Bad_query m
     | exception Fuzzysql.Parser.Error m -> `Bad_query ("parse error: " ^ m)
     | exception Fuzzysql.Lexer.Error (m, pos) ->
         `Bad_query (Printf.sprintf "lex error at offset %d: %s" pos m)
@@ -271,6 +300,12 @@ let handle_job t ~env ~catalog ~plane ~rng job =
   let respawn = ref false in
   let outcome = ref "ok" in
   let answer_rows = ref 0 in
+  (* ALL bookkeeping — counters, breaker, histograms, trace ring, query
+     log — lands before the terminal frame goes out (the one exception:
+     [inflight], decremented by the caller). A client that reads its
+     reply and immediately scrapes /metrics, fetches the trace, or tails
+     the log must see this request already booked. *)
+  let terminal = ref None in
   Trace.with_span tr "request" (fun () ->
       Trace.add_timed_span tr "queue-wait" ~start_s:job.enqueued_at
         ~dur_s:(dequeued -. job.enqueued_at);
@@ -283,12 +318,10 @@ let handle_job t ~env ~catalog ~plane ~rng job =
             rows;
           let elapsed_s = Unix.gettimeofday () -. job.enqueued_at in
           answer_rows := List.length rows;
-          send_terminal job.conn
-            (Wire.Done { rows = List.length rows; elapsed_s });
           count t "requests_completed";
-          feed_breaker t ~ok:true
+          feed_breaker t ~ok:true;
+          terminal := Some (Wire.Done { rows = List.length rows; elapsed_s })
       | `Cancelled reason ->
-          send_terminal job.conn (Wire.Cancelled reason);
           (* The aggregate stays (the books-balance identity and existing
              dashboards read it); the split attributes it. *)
           count t "requests_cancelled";
@@ -299,24 +332,25 @@ let handle_job t ~env ~catalog ~plane ~rng job =
           else begin
             count t "requests_cancelled_client";
             outcome := "cancelled_client"
-          end
+          end;
+          terminal := Some (Wire.Cancelled reason)
       | `Bad_query m ->
           (* The client's mistake, not server health: keep it out of the
              breaker's error budget. *)
-          send_terminal job.conn (Wire.Error m);
           count t "requests_failed";
-          outcome := "error"
+          outcome := "error";
+          terminal := Some (Wire.Error m)
       | `Gave_up m ->
-          send_terminal job.conn (Wire.Retryable m);
           count t "requests_failed_transient";
           outcome := "failed_transient";
-          feed_breaker t ~ok:false
+          feed_breaker t ~ok:false;
+          terminal := Some (Wire.Retryable m)
       | `Fatal m ->
-          send_terminal job.conn (Wire.Error m);
           count t "requests_failed";
           outcome := "error";
           feed_breaker t ~ok:false;
-          respawn := true);
+          respawn := true;
+          terminal := Some (Wire.Error m));
   (match plane with
   | Some p ->
       let d = Fault.injected p - faults_before in
@@ -353,6 +387,9 @@ let handle_job t ~env ~catalog ~plane ~rng job =
           outcome = !outcome;
         }
   | None -> ());
+  (match !terminal with
+  | Some reply -> send_terminal job.conn reply
+  | None -> ());
   !respawn
 
 let worker_loop t widx () =
@@ -364,13 +401,16 @@ let worker_loop t widx () =
     let env = Storage.Env.create ~pool_pages:t.mem_pages () in
     let catalog = Catalog.create env in
     t.setup env catalog;
+    (* The static-analysis context scans every relation once; built before
+       the fault plane attaches, so the scan itself never faults. *)
+    let check = Fuzzysql.Check.ctx ~catalog ~terms:t.terms in
     let plane =
       Option.map
         (fun spec -> Fault.create ~seed:(t.fault_seed + widx) spec)
         t.fault_spec
     in
     Storage.Env.set_fault env plane;
-    (env, catalog, plane)
+    (env, check, plane)
   in
   let rng = Random.State.make [| 0xB0FF; t.fault_seed; widx |] in
   let state = ref (build ()) in
@@ -378,13 +418,13 @@ let worker_loop t widx () =
     match Bounded_queue.pop t.queue with
     | None -> ()
     | Some job ->
-        let env, catalog, plane = !state in
+        let env, check, plane = !state in
         with_lock t.mlock (fun () -> incr t.inflight);
         let finally () = with_lock t.mlock (fun () -> decr t.inflight) in
         let respawn =
           try
             Fun.protect ~finally (fun () ->
-                handle_job t ~env ~catalog ~plane ~rng job)
+                handle_job t ~env ~check ~plane ~rng job)
           with e ->
             (* handle_job classifies everything; if it still raised (a
                poisoned query broke an invariant), answer the query and
@@ -406,6 +446,22 @@ let worker_loop t widx () =
 (* ------------------------------------------------------------------ *)
 (* Connection side *)
 
+(* A statically-invalid query never reaches the worker queue: the check
+   runs on the connection thread against the admission catalog (built
+   once at [start]), and the rejection is terminal and non-retryable —
+   resubmitting the same text cannot succeed. Only Error-severity
+   diagnostics reject; satisfiability warnings ride along in the
+   rendered report of a rejected query but never reject on their own. *)
+let static_reject t sql =
+  let diags =
+    with_lock t.check_lock (fun () ->
+        snd (Fuzzysql.Check.check_string t.check sql))
+  in
+  match Fuzzysql.Diagnostic.errors diags with
+  | [] -> None
+  | { Fuzzysql.Diagnostic.code; _ } :: _ ->
+      Some (code, Fuzzysql.Diagnostic.render_all ~source:sql diags)
+
 let admit t conn ~request_id ~deadline_ms ~domains sql =
   let now = Unix.gettimeofday () in
   let request_id =
@@ -416,50 +472,85 @@ let admit t conn ~request_id ~deadline_ms ~domains sql =
     else
       "srv-" ^ with_lock t.mlock (fun () -> Telemetry.gen_request_id t.id_rng)
   in
-  let deadline_ms =
-    if deadline_ms > 0 then Some deadline_ms else t.default_deadline_ms
-  in
-  let cancel =
-    match deadline_ms with
-    | Some ms -> Cancel.create ~deadline:(now +. (float_of_int ms /. 1000.0)) ()
-    | None -> Cancel.create ()
-  in
-  let job =
-    {
-      request_id;
-      sql;
-      job_domains = (if domains >= 1 then domains else t.query_domains);
-      cancel;
-      enqueued_at = now;
-      trace = Trace.create ();
-      conn;
-    }
-  in
-  let verdict =
+  (* Cheap connection-state verdicts first; the static check (a parse
+     plus catalog lookups) runs only for queries that could be admitted.
+     [admit] is the only writer of [busy] and runs on the one connection
+     thread, so the state cannot flip between these sections. *)
+  let pre =
     with_lock conn.lock (fun () ->
-        if conn.busy then `Busy
-        else if t.draining then `Draining
-        else if not (Breaker.allow t.breaker ~now) then `Shed
-        else if Bounded_queue.try_push t.queue job then begin
-          conn.busy <- true;
-          conn.current <- Some cancel;
-          `Accepted
-        end
-        else `Full)
+        if conn.busy then `Busy else if t.draining then `Draining else `Go)
   in
-  match verdict with
-  | `Accepted -> count t "requests_accepted"
-  | `Full ->
-      count t "requests_rejected_overload";
-      send conn Wire.Overloaded
-  | `Shed ->
-      (* Error budget exhausted: shed before the queue, same reply as a
-         full queue so clients back off identically. *)
-      count t "requests_shed_breaker";
-      send conn Wire.Overloaded
+  match pre with
   | `Busy ->
       send conn (Wire.Error "a query is already in flight on this connection")
   | `Draining -> send conn (Wire.Error "server is shutting down")
+  | `Go -> (
+      match static_reject t sql with
+      | Some (code, diagnostics) ->
+          count t "requests_rejected_static";
+          (match t.query_log with
+          | Some log ->
+              Telemetry.Query_log.log log
+                {
+                  Telemetry.Query_log.ts = now;
+                  request_id;
+                  shape = Telemetry.normalize_sql sql;
+                  engine = (if t.query_batch then "batch" else "scalar");
+                  queue_wait_s = 0.;
+                  exec_s = 0.;
+                  page_reads = 0;
+                  page_writes = 0;
+                  comparisons = 0;
+                  fuzzy_ops = 0;
+                  rows = 0;
+                  retries = 0;
+                  outcome = "rejected_static";
+                }
+          | None -> ());
+          send conn (Wire.Rejected { code; diagnostics })
+      | None -> (
+          let deadline_ms =
+            if deadline_ms > 0 then Some deadline_ms else t.default_deadline_ms
+          in
+          let cancel =
+            match deadline_ms with
+            | Some ms ->
+                Cancel.create ~deadline:(now +. (float_of_int ms /. 1000.0)) ()
+            | None -> Cancel.create ()
+          in
+          let job =
+            {
+              request_id;
+              sql;
+              job_domains = (if domains >= 1 then domains else t.query_domains);
+              cancel;
+              enqueued_at = now;
+              trace = Trace.create ();
+              conn;
+            }
+          in
+          let verdict =
+            with_lock conn.lock (fun () ->
+                if t.draining then `Draining
+                else if not (Breaker.allow t.breaker ~now) then `Shed
+                else if Bounded_queue.try_push t.queue job then begin
+                  conn.busy <- true;
+                  conn.current <- Some cancel;
+                  `Accepted
+                end
+                else `Full)
+          in
+          match verdict with
+          | `Accepted -> count t "requests_accepted"
+          | `Full ->
+              count t "requests_rejected_overload";
+              send conn Wire.Overloaded
+          | `Shed ->
+              (* Error budget exhausted: shed before the queue, same reply
+                 as a full queue so clients back off identically. *)
+              count t "requests_shed_breaker";
+              send conn Wire.Overloaded
+          | `Draining -> send conn (Wire.Error "server is shutting down")))
 
 let conn_loop t conn =
   (try
@@ -542,6 +633,15 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
+  (* The admission-side static-analysis context: a private environment
+     loaded with the same [setup] the workers use, scanned once. No fault
+     plane is ever attached to it — admission must stay deterministic. *)
+  let check =
+    let env = Storage.Env.create ~pool_pages:mem_pages () in
+    let catalog = Catalog.create env in
+    setup env catalog;
+    Fuzzysql.Check.ctx ~catalog ~terms
+  in
   let t =
     {
       listen_fd;
@@ -554,6 +654,8 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       mem_pages;
       terms;
       setup;
+      check;
+      check_lock = Mutex.create ();
       on_trace;
       queue = Bounded_queue.create ~capacity:queue_capacity;
       metrics = Metrics.create ();

@@ -149,10 +149,13 @@ val workers : t -> int
 
 val counter_value : t -> string -> int
 (** Read one metrics counter; 0 when it has not been touched yet.
-    Counters: [requests_accepted], [requests_rejected_overload],
-    [requests_shed_breaker], [requests_cancelled], [requests_failed],
-    [requests_failed_transient] (gave up on a transient fault; the client
-    saw [Retryable]), [requests_completed], [faults_injected], [retries],
+    Counters: [requests_accepted], [requests_rejected_static] (the
+    admission-time static analyzer found errors; the client saw
+    [Rejected] and the query never reached the worker queue),
+    [requests_rejected_overload], [requests_shed_breaker],
+    [requests_cancelled], [requests_failed], [requests_failed_transient]
+    (gave up on a transient fault; the client saw [Retryable]),
+    [requests_completed], [faults_injected], [retries],
     [workers_respawned], [breaker_opened]. Every accepted request is
     counted by exactly one of [requests_completed] /
     [requests_cancelled] / [requests_failed] /

@@ -95,9 +95,16 @@ end
 (* ------------------------------------------------------------------ *)
 (* SQL shape normalization: literals become [?], whitespace collapses,
    so the query log groups structurally identical statements without
-   storing user data. *)
+   storing user data.
 
-let normalize_sql sql =
+   The shape is rebuilt from the real lexer's token stream, so it stays
+   in lockstep with the grammar (a new literal form can never leak user
+   data because anything the lexer calls STRING/NUMBER becomes [?]).
+   Statements the lexer refuses still need a shape — the log records
+   rejected requests too — so those fall back to the old character-level
+   scrubber below. *)
+
+let normalize_fallback sql =
   let b = Buffer.create (String.length sql) in
   let n = String.length sql in
   let is_ident c =
@@ -153,6 +160,44 @@ let normalize_sql sql =
   let s = Buffer.contents b in
   let len = String.length s in
   if len > 0 && s.[len - 1] = ' ' then String.sub s 0 (len - 1) else s
+
+let normalize_sql sql =
+  match Fuzzysql.Lexer.tokenize sql with
+  | exception Fuzzysql.Lexer.Error _ -> normalize_fallback sql
+  | tokens ->
+      let module T = Fuzzysql.Token in
+      let text = function
+        | T.IDENT s -> s
+        | T.STRING _ | T.NUMBER _ -> "?"
+        | T.OP op -> Fuzzy.Fuzzy_compare.op_to_string op
+        | t -> T.to_string t
+      in
+      let no_space_before = function
+        | T.RPAREN | T.COMMA | T.COLON -> true
+        | _ -> false
+      in
+      let no_space_after = function
+        | T.LPAREN | T.COLON -> true
+        | _ -> false
+      in
+      let b = Buffer.create (String.length sql) in
+      let rec go prev = function
+        | [] | T.EOF :: _ -> ()
+        | T.STRING _ :: rest
+          when match prev with Some (T.STRING _) -> true | _ -> false ->
+            (* the lexer splits ['O''Brien'] at the doubled quote; both
+               halves are one literal, one [?] *)
+            go prev rest
+        | tok :: rest ->
+            (match prev with
+            | Some p when not (no_space_after p || no_space_before tok) ->
+                Buffer.add_char b ' '
+            | _ -> ());
+            Buffer.add_string b (text tok);
+            go (Some tok) rest
+      in
+      go None tokens;
+      Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Query log: one JSON object per line per finished request, with size

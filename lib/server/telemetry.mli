@@ -30,7 +30,11 @@ val gen_request_id : Random.State.t -> string
 val normalize_sql : string -> string
 (** The statement's {e shape}: string and numeric literals replaced by
     [?], whitespace collapsed. Groups structurally identical queries in
-    the log without recording user data. *)
+    the log without recording user data. Rebuilt from the real
+    {!Fuzzysql.Lexer} token stream so it tracks the grammar exactly;
+    statements the lexer refuses (which the log still records, as
+    admission rejections) fall back to a character-level scrub with the
+    same [?] guarantees. *)
 
 (** Bounded ring of recent request traces, keyed by request ID.
     Thread-safe; memory is bounded by [capacity] (old traces are

@@ -22,6 +22,7 @@ type reply =
   | Error of string
   | Retryable of string
   | Overloaded
+  | Rejected of { code : string; diagnostics : string }
   | Cancelled of string
   | Metrics_json of string
   | Trace_json of string option
@@ -207,6 +208,10 @@ let encode_reply r =
       Buffer.add_char buf 'T';
       add_str buf msg
   | Overloaded -> Buffer.add_char buf 'O'
+  | Rejected { code; diagnostics } ->
+      Buffer.add_char buf 'S';
+      add_str buf code;
+      add_str buf diagnostics
   | Cancelled reason ->
       Buffer.add_char buf 'C';
       add_str buf reason
@@ -237,6 +242,10 @@ let decode_reply payload =
   | 'E' -> Error (get_str payload pos)
   | 'T' -> Retryable (get_str payload pos)
   | 'O' -> Overloaded
+  | 'S' ->
+      let code = get_str payload pos in
+      let diagnostics = get_str payload pos in
+      Rejected { code; diagnostics }
   | 'C' -> Cancelled (get_str payload pos)
   | 'J' -> Metrics_json (get_str payload pos)
   | 'F' -> (

@@ -25,7 +25,9 @@
     (column names), zero or more [Row]s, and exactly one terminal frame —
     [Done] on success, [Error] (parse / semantic / fatal execution
     error), [Retryable] (transient fault; a fresh attempt may succeed),
-    [Overloaded] (admission queue full or circuit breaker open), or
+    [Overloaded] (admission queue full or circuit breaker open),
+    [Rejected] (the admission-time static analyzer found errors; carries
+    the primary [FSQL0xx] code and the rendered diagnostics), or
     [Cancelled] (deadline exceeded, client cancel, or disconnect).
     [Metrics_json] answers a [Metrics] request, [Trace_json] a
     [Trace_get], [Top_text] a [Top].
@@ -86,6 +88,10 @@ type reply =
           left to retry); the query is read-only, so resubmitting is
           always safe and may succeed *)
   | Overloaded
+  | Rejected of { code : string; diagnostics : string }
+      (** terminal: the static analyzer rejected the query at admission —
+          [code] is the primary [FSQL0xx] error code, [diagnostics] the
+          full caret-rendered report (tag ['S'], rev 2) *)
   | Cancelled of string  (** terminal: why the query was cancelled *)
   | Metrics_json of string
   | Trace_json of string option

@@ -12,7 +12,7 @@ let () =
 
 type frame = {
   page_id : int;
-  mutable data : bytes;
+  data : bytes;
   mutable dirty : bool;
   mutable pins : int;
   mutable last_use : int;

@@ -327,3 +327,7 @@ let classify (q : Bound.query) : t =
               | None -> General)
           | _ -> General))
   | _ :: _ :: _ -> General
+
+let shape_hint q =
+  if Fuzzysql.Bound.depth q <= 1 then None
+  else match classify q with General -> Some (to_string General) | _ -> None

@@ -77,3 +77,10 @@ val link_name : link -> string
 (** "N", "J", "JX", "NX", "JA", "NA", "JALL", "JSOME", "JEXISTS", ... *)
 
 val to_string : t -> string
+
+val shape_hint : Fuzzysql.Bound.query -> string option
+(** [Some desc] iff the query is nested (depth > 1) yet classifies as
+    {!General}, i.e. it falls outside the paper's unnestable taxonomy and
+    will run on the nested-loop interpreter. Passed to
+    [Fuzzysql.Check.check_string ?classify] by the binaries and the
+    daemon (the fuzzysql library cannot depend on this one). *)

@@ -1,0 +1,93 @@
+The static analyzer as a batch linter: fsql --check prints every
+diagnostic with caret underlines and exits nonzero iff any Error.
+
+A clean corpus file passes silently:
+
+  $ fsql --check ../../examples/queries/clean.fsql
+  SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN
+  (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age');
+  no issues
+  
+  SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.W <= R.W);
+  no issues
+  
+  ../../examples/queries/clean.fsql: 0 errors, 0 warnings
+
+Warnings (FSQL030-033) are reported but do not fail the lint:
+
+  $ fsql --check ../../examples/queries/warnings.fsql
+  SELECT F.NAME FROM F WHERE F.ID = 999;
+  warning[FSQL030]: predicate is always degree 0: support [999, 999] of 999 cannot meet F.ID's loaded domain [101, 104]
+    --> line 1, column 28
+     1 | SELECT F.NAME FROM F WHERE F.ID = 999
+       |                            ^^^^^^^^^^
+  1 warning
+  
+  SELECT F.NAME FROM F WHERE F.ID = DIST(101:0.5) WITH D >= 0.8;
+  warning[FSQL031]: predicate degree can reach at most 0.5 (the height of DIST(101:0.5)), below the WITH D >= 0.8 cut — this block yields no answers
+    --> line 1, column 28
+     1 | SELECT F.NAME FROM F WHERE F.ID = DIST(101:0.5) WITH D >= 0.8
+       |                            ^^^^^^^^^^^^^^^^^^^^
+  1 warning
+  
+  SELECT F.NAME FROM F WHERE F.ID > 103 AND F.ID < 102;
+  warning[FSQL032]: contradictory conjunction on F.ID: the combined supports admit no loaded value (degree is always 0)
+    --> line 1, column 28
+     1 | SELECT F.NAME FROM F WHERE F.ID > 103 AND F.ID < 102
+       |                            ^^^^^^^^^^^^^^^^^^^^^^^^^
+  1 warning
+  
+  SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT M.INCOME FROM M)
+  AND F.AGE IN (SELECT M.AGE FROM M);
+  warning[FSQL033]: query is general nested — outside the unnestable types N/J/JX/JA/JALL, so it runs on the nested-loop interpreter
+    --> line 1, column 28
+     1 | SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT M.INCOME FROM M)
+       |                            ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+    hint: expect O(outer x inner) scan cost; consider rewriting the subquery into an unnestable form
+  1 warning
+  
+  ../../examples/queries/warnings.fsql: 0 errors, 4 warnings
+
+Errors fail with exit 1, each carrying its stable code and a hint
+where a near-miss exists:
+
+  $ fsql --check ../../examples/queries/errors.fsql
+  SELECT F.NAME FROM F, NOSUCH;
+  error[FSQL010]: unknown relation NOSUCH
+    --> line 1, column 23
+     1 | SELECT F.NAME FROM F, NOSUCH
+       |                       ^^^^^^
+  1 error
+  
+  SELECT F.NAMEE FROM F;
+  error[FSQL011]: unknown attribute F.NAMEE
+    --> line 1, column 8
+     1 | SELECT F.NAMEE FROM F
+       |        ^^^^^^^
+    hint: did you mean F.NAME?
+  1 error
+  
+  SELECT F.NAME FROM F WHERE F.AGE = 'midle age';
+  error[FSQL021]: unknown linguistic term "midle age" (numeric context)
+    --> line 1, column 36
+     1 | SELECT F.NAME FROM F WHERE F.AGE = 'midle age'
+       |                                    ^^^^^^^^^^^
+    hint: did you mean "middle age"?
+  1 error
+  
+  SELECT F.NAME FROM F WITH D >= 1.5;
+  error[FSQL023]: WITH threshold 1.5 outside [0, 1]
+    --> line 1, column 22
+     1 | SELECT F.NAME FROM F WITH D >= 1.5
+       |                      ^^^^^^^^^^^^^
+  1 error
+  
+  SELECT FROM R;
+  error[FSQL002]: expected a projection item but found FROM
+    --> line 1, column 8
+     1 | SELECT FROM R
+       |        ^^^^
+  1 error
+  
+  ../../examples/queries/errors.fsql: 5 errors, 0 warnings
+  [1]

@@ -32,8 +32,11 @@ let gen_query =
           (list_size (int_range 1 3) (int_range 0 9));
       ]
   in
+  let sp = Ast.dummy_span in
   let operand =
-    oneof [ map (fun a -> Ast.Attr a) ident; map (fun c -> Ast.Const c) const ]
+    oneof
+      [ map (fun a -> Ast.Attr (a, sp)) ident;
+        map (fun c -> Ast.Const (c, sp)) const ]
   in
   let op = oneofl Fuzzy.Fuzzy_compare.[ Eq; Ne; Lt; Le; Gt; Ge ] in
   let rec query depth =
@@ -56,9 +59,9 @@ let gen_query =
     let select =
       oneof
         [
-          map (fun a -> [ Ast.Col a ]) ident;
-          map (fun a -> [ Ast.Agg (Aggregate.Max, a) ]) ident;
-          map2 (fun a b -> [ Ast.Col a; Ast.Col b ]) ident ident;
+          map (fun a -> [ Ast.Col (a, sp) ]) ident;
+          map (fun a -> [ Ast.Agg (Aggregate.Max, a, sp) ]) ident;
+          map2 (fun a b -> [ Ast.Col (a, sp); Ast.Col (b, sp) ]) ident ident;
         ]
     in
     map3
@@ -71,11 +74,18 @@ let gen_query =
           group_by = [];
           having = [];
           with_d;
+          with_span = sp;
           order_by_d = None;
           limit = None;
+          q_span = sp;
         })
       select
-      (oneofl [ [ ("R", None) ]; [ ("R", Some "A") ]; [ ("R", None); ("S", None) ] ])
+      (oneofl
+         [
+           [ ("R", None, sp) ];
+           [ ("R", Some "A", sp) ];
+           [ ("R", None, sp); ("S", None, sp) ];
+         ])
       (pair
          (list_size (int_range 0 3) pred)
          (oneofl [ None; Some { Ast.strict = false; value = 0.5 };

@@ -264,6 +264,8 @@ let normal_of_reply name = function
              (r.values, Int64.bits_of_float r.degree))
            rows)
   | Server.Client.Failed m -> Alcotest.failf "%s failed: %s" name m
+  | Server.Client.Rejected { diagnostics; _ } ->
+      Alcotest.failf "%s rejected: %s" name diagnostics
   | Server.Client.Retryable m -> Alcotest.failf "%s transient: %s" name m
   | Server.Client.Overloaded -> Alcotest.failf "%s overloaded" name
   | Server.Client.Cancelled r -> Alcotest.failf "%s cancelled: %s" name r
@@ -482,6 +484,37 @@ let daemon_tests =
         Server.Client.close client;
         Server.Daemon.stop d1;
         Server.Daemon.stop d2);
+    tc "statically invalid queries are rejected at admission" `Quick
+      (fun () ->
+        let daemon = Server.Daemon.start ~workers:2 ~queue_capacity:8 ~setup () in
+        let client = Server.Client.connect ~port:(Server.Daemon.port daemon) () in
+        (* one good query so the books carry accepted traffic too *)
+        (match Server.Client.query client (List.assoc "N" shapes) with
+        | Server.Client.Answer _ -> ()
+        | _ -> Alcotest.fail "expected an answer");
+        (* semantic error: rejected with the analyzer's stable code *)
+        (match Server.Client.query client "SELECT R.NOPE FROM R" with
+        | Server.Client.Rejected { code; diagnostics } ->
+            Alcotest.(check string) "code" "FSQL011" code;
+            Alcotest.(check bool) "caret render" true
+              (contains diagnostics "error[FSQL011]")
+        | _ -> Alcotest.fail "expected Rejected for unknown attribute");
+        (* parse error: same path, different code *)
+        (match Server.Client.query client "SELECT FROM R" with
+        | Server.Client.Rejected { code; _ } ->
+            Alcotest.(check string) "code" "FSQL002" code
+        | _ -> Alcotest.fail "expected Rejected for parse error");
+        Server.Client.close client;
+        Server.Daemon.stop daemon;
+        let c name = Server.Daemon.counter_value daemon name in
+        Alcotest.(check int) "rejections counted" 2 (c "requests_rejected_static");
+        (* rejection happens before admission: the books still balance *)
+        Alcotest.(check int) "accepted only the good query" 1
+          (c "requests_accepted");
+        Alcotest.(check int) "books balance"
+          (c "requests_accepted")
+          (c "requests_completed" + c "requests_cancelled"
+         + c "requests_failed" + c "requests_failed_transient"));
     tc "graceful shutdown drains and is idempotent" `Quick (fun () ->
         let daemon = Server.Daemon.start ~workers:2 ~setup () in
         let port = Server.Daemon.port daemon in

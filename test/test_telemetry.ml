@@ -108,6 +108,39 @@ let normalize_tests =
              99)"
         in
         Alcotest.(check string) "same shape" a b);
+    tc "token-stream rebase: canonical keyword case" `Quick (fun () ->
+        Alcotest.(check string) "keywords uppercase, identifiers keep case"
+          "SELECT r.id FROM r WHERE r.x >= ?"
+          (Server.Telemetry.normalize_sql "select r.id from r where r.x >= 42");
+        Alcotest.(check bool) "identifier case preserved" true
+          (String.length
+             (Server.Telemetry.normalize_sql "select MixedCase.ID from MixedCase")
+          > 0
+          &&
+          Server.Telemetry.normalize_sql "select MixedCase.ID from MixedCase"
+          = "SELECT MixedCase.ID FROM MixedCase"));
+    tc "token-stream rebase: comments are dropped" `Quick (fun () ->
+        Alcotest.(check string) "line comment vanishes"
+          "SELECT R.ID FROM R WHERE R.X = ?"
+          (Server.Telemetry.normalize_sql
+             "SELECT R.ID -- project the key\nFROM R WHERE R.X = 7"));
+    tc "token-stream rebase: paren and comma spacing" `Quick (fun () ->
+        Alcotest.(check string) "subquery shape"
+          "SELECT R.ID, R.Y FROM R WHERE R.Y IN (SELECT S.Z FROM S)"
+          (Server.Telemetry.normalize_sql
+             "SELECT R.ID,R.Y FROM R WHERE R.Y IN ( SELECT S.Z FROM S )"));
+    tc "lexer-refused statements fall back to the char scrub" `Quick
+      (fun () ->
+        let n = Server.Telemetry.normalize_sql in
+        (* unterminated string: still scrubbed, never raises *)
+        let s = n "SELECT R.ID FROM R WHERE R.NAME = 'oops" in
+        Alcotest.(check bool) "literal text scrubbed" true
+          (not
+             (let rec has i =
+                i + 4 <= String.length s
+                && (String.sub s i 4 = "oops" || has (i + 1))
+              in
+              has 0)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -461,24 +494,31 @@ let daemon_tests =
             | None -> Alcotest.fail "trace missing from the ring");
             Alcotest.(check (option string)) "unknown ID is None" None
               (Server.Client.trace_json client "deadbeefdeadbeef");
-            (* a failed query still gets an ID, a ring entry, and a log
-               record with outcome "error" *)
+            (* a statically-invalid query is rejected at admission: it
+               still gets an ID and a log record (outcome
+               "rejected_static"), but never a worker or a ring entry *)
             (match Server.Client.query client "SELECT FROM WHERE" with
-            | Server.Client.Failed _ -> ()
-            | _ -> Alcotest.fail "expected Failed");
+            | Server.Client.Rejected { code; diagnostics } ->
+                Alcotest.(check string) "primary code" "FSQL002" code;
+                check_contains "rendered diagnostics" diagnostics
+                  "error[FSQL002]"
+            | _ -> Alcotest.fail "expected Rejected");
             let bad_id = Server.Client.last_request_id client in
             Alcotest.(check bool) "fresh ID per query" true (bad_id <> id);
-            wait_for "failed query's trace in the ring" (fun () ->
-                Server.Daemon.trace_json daemon bad_id <> None);
+            Alcotest.(check int) "rejected counted" 1
+              (Server.Daemon.counter_value daemon "requests_rejected_static");
+            Alcotest.(check (option string)) "no span tree for a rejection"
+              None
+              (Server.Daemon.trace_json daemon bad_id);
             Server.Client.close client;
             Server.Daemon.stop daemon;
-            (* log/ring agreement: one record per accepted request, same
-               ID multiset as the ring *)
+            (* log/ring agreement: one record per accepted or rejected
+               request; accepted IDs match the ring's span trees *)
             let accepted =
               Server.Daemon.counter_value daemon "requests_accepted"
             in
-            Alcotest.(check (option int)) "log count = accepted"
-              (Some accepted)
+            Alcotest.(check (option int)) "log count = accepted + rejected"
+              (Some (accepted + 1))
               (Server.Daemon.query_log_written daemon);
             let ring_ids =
               List.sort compare
@@ -501,10 +541,13 @@ let daemon_tests =
                    (log_lines path))
             in
             Alcotest.(check (list string))
-              "every logged ID has exactly one span tree" ring_ids logged_ids;
+              "every accepted logged ID has exactly one span tree" ring_ids
+              (List.filter (fun i -> i <> bad_id) logged_ids);
+            Alcotest.(check bool) "the rejection is logged too" true
+              (List.mem bad_id logged_ids);
             let outcomes = String.concat "\n" (log_lines path) in
-            check_contains "error outcome logged" outcomes
-              "\"outcome\":\"error\""));
+            check_contains "rejected_static outcome logged" outcomes
+              "\"outcome\":\"rejected_static\""));
     tc "the cancelled counter splits into deadline vs client" `Slow (fun () ->
         let daemon =
           Server.Daemon.start ~workers:1 ~queue_capacity:4 ~setup:slow_setup ()
