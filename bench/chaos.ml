@@ -17,7 +17,8 @@
       [BENCH_results.json].
 
     The full schedule (seeds, specs, per-cell outcomes) is also dumped to
-    [chaos_schedule.json] so a failing CI run can be replayed locally. *)
+    [bench/artifacts/chaos_schedule.json] so a failing CI run can be
+    replayed locally. *)
 
 open Frepro
 
@@ -337,14 +338,21 @@ let run (cfg : Harness.config) =
           probs)
       [ 0; 1; 2 ]
   in
-  write_schedule "chaos_schedule.json" cells;
+  (* Bench artifacts live under bench/artifacts/, not the repo root. *)
+  let artifacts_dir = Filename.concat "bench" "artifacts" in
+  (try Unix.mkdir "bench" 0o755
+   with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  (try Unix.mkdir artifacts_dir 0o755
+   with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  let schedule_path = Filename.concat artifacts_dir "chaos_schedule.json" in
+  write_schedule schedule_path cells;
   let total f = List.fold_left (fun a c -> a + f c.o_row) 0 cells in
   let wrong = total (fun r -> r.Harness.c_wrong) in
   let leaked = total (fun r -> r.Harness.c_leaked) in
   let telemetry_bad =
     List.fold_left (fun a c -> a + c.o_telemetry_bad) 0 cells
   in
-  note "@.wrote chaos_schedule.json (%d cells)@." (List.length cells);
+  note "@.wrote %s (%d cells)@." schedule_path (List.length cells);
   note "chaos verdict: %s (%d wrong answers, %d leaked queries, %d telemetry \
         violations, %d faults injected, %d retries, %d respawns)@."
     (if wrong = 0 && leaked = 0 && telemetry_bad = 0 then "PASS" else "FAIL")

@@ -143,6 +143,53 @@ type chaos_row = {
 
 let chaos_results : chaos_row list ref = ref []
 
+(* One row per (sync mode, thread count) cell of the WAL commit-throughput
+   bench. [w_fsyncs] against [w_commits] shows the group-commit batching
+   factor. *)
+type wal_row = {
+  w_mode : string;  (** ["always"] | ["group"] | ["never"] *)
+  w_threads : int;
+  w_commits : int;
+  w_fsyncs : int;
+  w_qps : float;
+  w_duration_s : float;
+}
+
+let wal_results : wal_row list ref = ref []
+
+(* One row per measured restart of the recovery bench: WAL length in,
+   recovery time out. *)
+type recovery_row = {
+  r_cell : string;
+  r_wal_records : int;
+  r_replayed : int;
+  r_pages_redone : int;
+  r_wal_bytes : int;
+  r_clean : bool;
+  r_ms : float;
+}
+
+let recovery_results : recovery_row list ref = ref []
+
+(* One row per fault seed of the crash-recovery chaos harness: a forked
+   fsqld-style writer SIGKILLed mid-workload, then recovered. [rc_match]
+   asserts the recovered relation is bit-identical (order-independent
+   checksum) to the same committed prefix rebuilt in-memory;
+   [rc_torn_undetected] counts manifest-live pages that fail trailer
+   validation after recovery (must be 0). *)
+type rchaos_row = {
+  rc_seed : int;
+  rc_kill_after_s : float;
+  rc_committed_batches : int;  (** child's last durably-acked batch *)
+  rc_recovered_tuples : int;
+  rc_checksum : string;
+  rc_match : bool;
+  rc_torn_undetected : int;
+  rc_recover_ms : float;
+}
+
+let rchaos_results : rchaos_row list ref = ref []
+
 (* Run-wide metrics registry: one observation per measured cell. The
    summary is printed (and dumped as JSON) at the end of the bench run. *)
 let metrics = Storage.Metrics.create ()
@@ -208,6 +255,9 @@ let write_results path =
   let rows = List.rev !results in
   let loads = List.rev !load_results in
   let chaos = List.rev !chaos_results in
+  let wals = List.rev !wal_results in
+  let recoveries = List.rev !recovery_results in
+  let rchaos = List.rev !rchaos_results in
   (* Every emitted row — measurement, load, chaos — must carry a valid
      engine tag; regression tooling groups on it, so fail loudly here
      rather than emit an untagged row. *)
@@ -226,7 +276,10 @@ let write_results path =
       if not (List.mem c.c_engine engines) then
         invalid_arg ("write_results: bad engine tag " ^ c.c_engine))
     chaos;
-  let total = List.length rows + List.length loads + List.length chaos in
+  let total =
+    List.length rows + List.length loads + List.length chaos
+    + List.length wals + List.length recoveries + List.length rchaos
+  in
   let emitted = ref 0 in
   let sep () =
     incr emitted;
@@ -272,6 +325,35 @@ let write_results path =
         c.c_retries c.c_respawns c.c_breaker_opened c.c_shed c.c_leaked
         c.c_duration_s (sep ()))
     chaos;
+  List.iter
+    (fun w ->
+      Printf.fprintf oc
+        "  {\"bench\": \"wal\", \"mode\": \"%s\", \"threads\": %d, \
+         \"commits\": %d, \"fsyncs\": %d, \"commit_qps\": %.1f, \
+         \"duration_s\": %.3f}%s\n"
+        (json_escape w.w_mode) w.w_threads w.w_commits w.w_fsyncs w.w_qps
+        w.w_duration_s (sep ()))
+    wals;
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "  {\"bench\": \"recovery\", \"cell\": \"%s\", \"wal_records\": %d, \
+         \"replayed\": %d, \"pages_redone\": %d, \"wal_bytes\": %d, \
+         \"clean\": %b, \"recovery_ms\": %.3f}%s\n"
+        (json_escape r.r_cell) r.r_wal_records r.r_replayed r.r_pages_redone
+        r.r_wal_bytes r.r_clean r.r_ms (sep ()))
+    recoveries;
+  List.iter
+    (fun c ->
+      Printf.fprintf oc
+        "  {\"bench\": \"recovery_chaos\", \"fault_seed\": %d, \
+         \"kill_after_s\": %.3f, \"committed_batches\": %d, \
+         \"recovered_tuples\": %d, \"checksum\": \"%s\", \"match\": %b, \
+         \"torn_undetected\": %d, \"recovery_ms\": %.3f}%s\n"
+        c.rc_seed c.rc_kill_after_s c.rc_committed_batches
+        c.rc_recovered_tuples (json_escape c.rc_checksum) c.rc_match
+        c.rc_torn_undetected c.rc_recover_ms (sep ()))
+    rchaos;
   output_string oc "]\n";
   close_out oc
 
@@ -386,6 +468,27 @@ let record_io_overhead ~bench ~domains ratio =
       if r.row_bench = bench && r.row_domains = domains then
         r.row_io_overhead <- ratio)
     !results
+
+(* Scratch data directories for the durable-storage benches. *)
+let temp_dir_counter = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir f =
+  incr temp_dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "frepro-bench-%d-%d" (Unix.getpid ()) !temp_dir_counter)
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
 let str_seconds s =
   if s >= 100.0 then Printf.sprintf "%.0f" s

@@ -5,7 +5,10 @@
     [--seed N] [--domains N] [--batch] [--clients L] [--queries N]
     [--trace PATH]] where targets are any of [table1 table2 table3 table4
     fig3 fig1 ablation chain sort scaling load chaos micro batch kernels
-    all] (default: all). [--batch] runs every merge-join cell on the
+    telemetry wal recovery all] (default: all). [wal] measures WAL commit
+    throughput per sync mode and redo-restart time vs log length;
+    [recovery] is the SIGKILL crash-recovery chaos harness (see
+    {!Recovery_chaos}). [--batch] runs every merge-join cell on the
     vectorized columnar engine (rows are tagged ["engine": "batch"] in
     [BENCH_results.json]); the [batch] target measures that engine against
     the scalar one head-to-head, and [kernels] times the three vectorized
@@ -1018,7 +1021,8 @@ let all_targets =
     ("chain", chain_bench); ("sort", sort_bench); ("scaling", scaling);
     ("load", load_bench); ("chaos", Chaos.run); ("micro", micro);
     ("batch", batch_bench); ("kernels", kernels);
-    ("telemetry", telemetry_bench);
+    ("telemetry", telemetry_bench); ("wal", Wal_bench.run);
+    ("recovery", Recovery_chaos.run);
   ]
 
 let () =
@@ -1103,7 +1107,10 @@ let () =
   Format.printf "@.wrote BENCH_results.json (%d cells)@."
     (List.length !Harness.results
     + List.length !Harness.load_results
-    + List.length !Harness.chaos_results);
+    + List.length !Harness.chaos_results
+    + List.length !Harness.wal_results
+    + List.length !Harness.recovery_results
+    + List.length !Harness.rchaos_results);
   if !Harness.results <> [] then (
     section "Run metrics";
     Format.printf "%a" Storage.Metrics.pp Harness.metrics)

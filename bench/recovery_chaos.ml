@@ -1,0 +1,174 @@
+(** Crash-recovery chaos harness: a forked writer process loads durable
+    batches and is SIGKILLed mid-workload; the parent then runs restart
+    recovery on the data directory and proves three things per fault
+    seed:
+
+    - {b durability}: every batch the child acknowledged (progress file
+      written with fsync {e after} [Env.commit] returned) is present
+      after recovery;
+    - {b atomicity + determinism}: the recovered relation is an exact
+      prefix of the deterministic insert sequence, bit-identical — the
+      order-independent answer checksum of the recovered heap equals the
+      checksum of the same prefix rebuilt in memory;
+    - {b torn-page detection}: zero manifest-live pages fail trailer
+      validation after recovery ({!Storage.Recovery.verify_pages}).
+
+    SIGKILL (not SIGTERM) means the child gets no chance to flush or
+    close anything: whatever the crash left on the device — torn WAL
+    tail, half-written data pages — is what recovery must cope with.
+    One ["recovery_chaos"] row per seed lands in BENCH_results.json. *)
+
+open Frepro
+open Frepro.Storage
+open Harness
+
+let section title = Format.printf "@.==== %s ====@." title
+let note fmt = Format.printf fmt
+
+let batch_size = 17
+
+let chaos_schema =
+  Relational.Schema.make ~name:"C"
+    [ ("ID", Relational.Schema.TNum); ("X", Relational.Schema.TNum) ]
+
+(* Tuple [i] of the workload is a pure function of (seed, i): parent and
+   child compute identical sequences without sharing anything. *)
+let tuple_at ~seed i =
+  let rng = Random.State.make [| 0xC4A5; seed; i |] in
+  Relational.Ftuple.make
+    [| Relational.Value.Int i;
+       Relational.Value.crisp_num (Random.State.float rng 1000.0) |]
+    (0.125 *. float_of_int (1 + Random.State.int rng 8))
+
+let progress_file dir = Filename.concat dir "progress.txt"
+
+(* Atomically record "batches <= k are durable": tmp + fsync + rename,
+   written only after [Env.commit] has returned. A crash between the
+   commit and the rename under-reports progress, which is the safe
+   direction for the durability check. *)
+let write_progress dir k =
+  let tmp = progress_file dir ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let s = string_of_int k ^ "\n" in
+  ignore (Unix.write_substring fd s 0 (String.length s));
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp (progress_file dir)
+
+let read_progress dir =
+  match open_in (progress_file dir) with
+  | ic ->
+      let k = try int_of_string (String.trim (input_line ic)) with _ -> 0 in
+      close_in ic;
+      k
+  | exception Sys_error _ -> 0
+
+(* The child: insert-commit-acknowledge forever until SIGKILLed. Exits
+   via [Unix._exit] on any error so the parent's at_exit/buffers never
+   run twice. *)
+let child_workload ~seed dir =
+  match
+    let env =
+      Env.open_durable ~dir ~page_size:2048 ~pool_pages:4096
+        ~wal_sync:Wal.Always ()
+    in
+    let rel = Relational.Relation.create ~durable:true env chaos_schema in
+    let k = ref 0 in
+    while true do
+      let start = !k * batch_size in
+      for i = start to start + batch_size - 1 do
+        Relational.Relation.insert rel (tuple_at ~seed i)
+      done;
+      Env.commit env;
+      incr k;
+      write_progress dir !k
+    done
+  with
+  | () -> Unix._exit 0
+  | exception _ -> Unix._exit 1
+
+let expected_checksum ~seed n =
+  let env = Env.create () in
+  let rel =
+    Relational.Relation.of_list env chaos_schema
+      (List.init n (fun i -> tuple_at ~seed i))
+  in
+  Harness.answer_checksum rel
+
+let run_seed ~seed =
+  with_temp_dir (fun dir ->
+      let pid = Unix.fork () in
+      if pid = 0 then child_workload ~seed dir;
+      (* Wait for the first acknowledged batch so the kill always lands
+         mid-workload, then fire after a seed-derived delay. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists (progress_file dir)))
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      let kill_after = 0.03 +. (0.04 *. float_of_int (seed mod 5)) in
+      Unix.sleepf kill_after;
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      let committed = read_progress dir in
+      let t0 = Unix.gettimeofday () in
+      let env = Env.open_durable ~dir () in
+      let recover_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let torn =
+        match (Env.wal env, Disk.as_real env.Env.disk) with
+        | Some wal, Some disk -> List.length (Recovery.verify_pages wal disk)
+        | _ -> -1
+      in
+      let recovered_tuples, checksum =
+        match
+          Relational.Catalog.find (Relational.Catalog.load_durable env) "C"
+        with
+        | Some rel ->
+            (Relational.Relation.cardinality rel, Harness.answer_checksum rel)
+        | None -> (0, "")
+      in
+      Env.close env;
+      let matches =
+        recovered_tuples >= committed * batch_size
+        && (recovered_tuples = 0 && checksum = ""
+           || checksum = expected_checksum ~seed recovered_tuples)
+      in
+      {
+        rc_seed = seed;
+        rc_kill_after_s = kill_after;
+        rc_committed_batches = committed;
+        rc_recovered_tuples = recovered_tuples;
+        rc_checksum = checksum;
+        rc_match = matches;
+        rc_torn_undetected = torn;
+        rc_recover_ms = recover_ms;
+      })
+
+let run (cfg : Harness.config) =
+  section "Recovery chaos - SIGKILL a durable writer, recover, verify";
+  note "child commits %d-tuple batches (wal-sync always) and fsync-acks@."
+    batch_size;
+  note "each; parent SIGKILLs mid-workload, recovers the directory, and@.";
+  note "checks the recovered heap is a bit-identical committed prefix@.";
+  note "with zero undetected torn pages@.@.";
+  Format.printf "%-6s | %10s | %10s | %10s | %12s | %6s | %6s@." "seed"
+    "kill (s)" "committed" "recovered" "recover(ms)" "match" "torn";
+  hr Format.std_formatter 76;
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let row = run_seed ~seed in
+      rchaos_results := row :: !rchaos_results;
+      if not (row.rc_match && row.rc_torn_undetected = 0) then incr failures;
+      Format.printf "%-6d | %10.3f | %10d | %10d | %12.2f | %6b | %6d@."
+        row.rc_seed row.rc_kill_after_s row.rc_committed_batches
+        row.rc_recovered_tuples row.rc_recover_ms row.rc_match
+        row.rc_torn_undetected)
+    [ cfg.seed; cfg.seed + 1; cfg.seed + 2 ];
+  if !failures > 0 then
+    failwith
+      (Printf.sprintf "recovery chaos: %d of 3 seeds failed verification"
+         !failures);
+  note "@.all seeds recovered bit-identical committed prefixes@."

@@ -9,7 +9,16 @@
           [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]
           [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]
           [--query-log FILE] [--slow-ms MS] [--trace-ring N]
+          [--data-dir DIR] [--wal-sync always|group|never]
     v}
+
+    [--data-dir DIR] serves from durable storage: the main process opens
+    (or initialises) the directory's data file + write-ahead log, runs
+    crash recovery if the last shutdown was unclean, loads the demo
+    relations durably on first use, checkpoints, and then serves with
+    each worker holding its own read-only handles on the recovered
+    directory. [--wal-sync] picks the commit durability discipline for
+    that initial load (default [group]).
 
     [--workers] is the number of queries executing in parallel (each on
     its own domain with a private storage environment); [--domains] is
@@ -38,7 +47,8 @@ let usage =
    N]\n\
   \             [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]\n\
   \             [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]\n\
-  \             [--query-log FILE] [--slow-ms MS] [--trace-ring N]"
+  \             [--query-log FILE] [--slow-ms MS] [--trace-ring N]\n\
+  \             [--data-dir DIR] [--wal-sync always|group|never]"
 
 let () =
   let host = ref "127.0.0.1" in
@@ -56,6 +66,8 @@ let () =
   let query_log = ref None in
   let slow_ms = ref 0.0 in
   let trace_ring = ref 64 in
+  let data_dir = ref None in
+  let wal_sync = ref Storage.Wal.Group in
   let int_arg name n k rest =
     match int_of_string_opt n with
     | Some v when v >= 0 ->
@@ -112,6 +124,16 @@ let () =
                end;
                trace_ring := v)
              rest)
+    | "--data-dir" :: dir :: rest ->
+        data_dir := Some dir;
+        parse rest
+    | "--wal-sync" :: s :: rest ->
+        (match Storage.Wal.sync_mode_of_string s with
+        | Some m -> wal_sync := m
+        | None ->
+            prerr_endline "fsqld: --wal-sync expects always, group or never";
+            exit 2);
+        parse rest
     | arg :: _ ->
         prerr_endline ("fsqld: unknown argument " ^ arg);
         prerr_endline usage;
@@ -130,6 +152,42 @@ let () =
           Storage.Trace.write_chrome trace ~path)
       !trace_dir
   in
+  (* Durable serving: recover (writable) in the main process, load the
+     demo relations durably if the directory is fresh, checkpoint and
+     close — then every shared-nothing worker opens its own read-only
+     handles on the now-clean directory. *)
+  let make_env, setup =
+    match !data_dir with
+    | None -> (None, Server.Demo.server_setup ~seed:!seed ())
+    | Some dir ->
+        let env = Storage.Env.open_durable ~dir ~wal_sync:!wal_sync () in
+        (match Storage.Env.recovery env with
+        | Some r ->
+            Printf.printf "fsqld: recovery: %s\n%!"
+              (Format.asprintf "%a" Storage.Recovery.pp_report r)
+        | None -> ());
+        let catalog = Relational.Catalog.load_durable env in
+        if Relational.Catalog.names catalog = [] then begin
+          Server.Demo.server_setup ~durable:true ~seed:!seed () env
+            (Relational.Catalog.create env);
+          Storage.Env.commit env;
+          Printf.printf "fsqld: initialised demo relations in %s\n%!" dir
+        end;
+        Storage.Env.close env;
+        let make_env () =
+          Storage.Env.open_durable ~dir ~readonly:true ()
+        in
+        let setup env catalog =
+          let durable = Relational.Catalog.load_durable env in
+          List.iter
+            (fun name ->
+              match Relational.Catalog.find durable name with
+              | Some rel -> Relational.Catalog.add catalog rel
+              | None -> ())
+            (Relational.Catalog.names durable)
+        in
+        (Some make_env, setup)
+  in
   let daemon =
     Server.Daemon.start ~host:!host ~port:!port ~workers:!workers
       ~queue_capacity:!queue
@@ -139,16 +197,19 @@ let () =
       ~fault_seed:!fault_seed ?metrics_port:!metrics_port
       ?query_log:!query_log
       ?slow_ms:(if !slow_ms > 0.0 then Some !slow_ms else None)
-      ~trace_ring_capacity:!trace_ring
-      ~setup:(Server.Demo.server_setup ~seed:!seed ())
-      ()
+      ~trace_ring_capacity:!trace_ring ?make_env ~setup ()
   in
   Printf.printf
-    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s%s)\n%!"
+    "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s%s%s)\n%!"
     !host
     (Server.Daemon.port daemon)
     (Server.Daemon.workers daemon)
     !queue !domains
+    (match !data_dir with
+    | Some d ->
+        Printf.sprintf ", data-dir=%s wal-sync=%s" d
+          (Storage.Wal.sync_mode_name !wal_sync)
+    | None -> "")
     (if !batch then ", batch" else "")
     (if !deadline_ms > 0 then Printf.sprintf ", deadline=%dms" !deadline_ms
      else "")

@@ -9,3 +9,16 @@ let key name = String.lowercase_ascii name
 let add t rel = Hashtbl.replace t.rels (key (Schema.name (Relation.schema rel))) rel
 let find t name = Hashtbl.find_opt t.rels (key name)
 let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [] |> List.sort compare
+
+(* Rebuild the catalog from a durable environment's WAL manifest.
+   Entries without metadata (files created but never [Define]d — e.g. a
+   crash between allocation and definition) are skipped: their pages
+   are already back on the free list after recovery. *)
+let load_durable env =
+  let t = create env in
+  List.iter
+    (fun (fid, meta, pages) ->
+      if Bytes.length meta > 0 then
+        add t (Relation.open_durable env ~fid ~meta ~pages))
+    (Storage.Env.manifest env);
+  t

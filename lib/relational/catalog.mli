@@ -11,3 +11,9 @@ val add : t -> Relation.t -> unit
 
 val find : t -> string -> Relation.t option
 val names : t -> string list
+
+val load_durable : Storage.Env.t -> t
+(** Rebuild the catalog of a durable environment from its WAL manifest
+    ({!Storage.Env.manifest}): one relation per [Define]d file. Files
+    with no metadata (allocated but never defined before the last
+    commit) are skipped. *)

@@ -5,7 +5,7 @@ let interval_key ~attr r = Value.support (Ftuple.value (Codec.decode r) attr)
 
 let sort_by ?pool ?trace ?cancel ?(batch = false) rel ~attr ~mem_pages =
   let env = Relation.env rel in
-  Buffer_pool.flush env.Env.pool;
+  Buffer_pool.flush (Heap_file.pool (Relation.file rel));
   let name = "sort " ^ Schema.name (Relation.schema rel) in
   Trace.with_span trace ~stats:env.Env.stats ~pool:env.Env.pool name
     (fun () ->
@@ -274,17 +274,20 @@ let sweep_sorted ?pool ?trace ?cancel ?(batch = false) ?f_batch ~outer ~inner
     ~outer_attr ~inner_attr ~mem_pages ~f () =
   let env = Relation.env outer in
   let stats = env.Env.stats in
-  Buffer_pool.flush env.Env.pool;
-  Buffer_pool.flush (Relation.env inner).Env.pool;
+  Buffer_pool.flush (Heap_file.pool (Relation.file outer));
+  Buffer_pool.flush (Heap_file.pool (Relation.file inner));
   (* Each relation is read strictly once in sorted order; the window of
      candidate inner tuples is kept decoded in memory, so the merge phase
      only needs scan buffers: the memory budget is split between the two
-     scoped cursor pools. *)
+     scoped cursor pools, each over its own file's backend (durable
+     relations and temporary intermediates may live on different disks). *)
   let capacity = Int.max 1 (mem_pages / 2) in
   Iostats.timed stats Iostats.Merge (fun () ->
-      let outer_pool = Buffer_pool.create env.Env.disk ~capacity in
+      let outer_pool =
+        Buffer_pool.create (Heap_file.disk (Relation.file outer)) ~capacity
+      in
       let inner_pool =
-        Buffer_pool.create (Relation.env inner).Env.disk ~capacity
+        Buffer_pool.create (Heap_file.disk (Relation.file inner)) ~capacity
       in
       match pool with
       | Some p when Task_pool.domains p > 1 ->

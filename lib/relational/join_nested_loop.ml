@@ -4,15 +4,20 @@ open Fuzzy
 let iter_blocks ~outer ~inner ~mem_pages ~f =
   if mem_pages < 2 then invalid_arg "Join_nested_loop: mem_pages < 2";
   let env = Relation.env outer in
-  Buffer_pool.flush env.Env.pool;
-  Buffer_pool.flush (Relation.env inner).Env.pool;
+  let outer_file = Relation.file outer in
+  Buffer_pool.flush (Heap_file.pool outer_file);
+  Buffer_pool.flush (Heap_file.pool (Relation.file inner));
   Iostats.timed env.Env.stats Iostats.Join (fun () ->
       let outer_block = mem_pages - 1 in
-      let outer_pool = Buffer_pool.create env.Env.disk ~capacity:outer_block in
-      let inner_pool =
-        Buffer_pool.create (Relation.env inner).Env.disk ~capacity:1
+      (* Scoped pools sit over each scanned file's own backend — durable
+         relations and temporary intermediates may live on different
+         disks of the same environment. *)
+      let outer_pool =
+        Buffer_pool.create (Heap_file.disk outer_file) ~capacity:outer_block
       in
-      let outer_file = Relation.file outer in
+      let inner_pool =
+        Buffer_pool.create (Heap_file.disk (Relation.file inner)) ~capacity:1
+      in
       let n_outer_pages = Heap_file.num_pages outer_file in
       let rec blocks start =
         if start < n_outer_pages then begin

@@ -46,6 +46,10 @@ type t = {
   default_deadline_ms : int option;
   mem_pages : int;
   terms : Fuzzy.Term.t;
+  make_env : unit -> Storage.Env.t;
+      (** storage factory for worker and admission environments; the
+          default builds simulated envs, [fsqld --data-dir] passes
+          read-only durable opens of a recovered directory *)
   setup : Storage.Env.t -> Catalog.t -> unit;
   check : Fuzzysql.Check.ctx;
       (** admission-side static analysis context, over a private
@@ -398,7 +402,7 @@ let worker_loop t widx () =
      attached only after [setup] has loaded the catalog, so data loading
      itself never faults; each worker's plane gets its own seed stream. *)
   let build () =
-    let env = Storage.Env.create ~pool_pages:t.mem_pages () in
+    let env = t.make_env () in
     let catalog = Catalog.create env in
     t.setup env catalog;
     (* The static-analysis context scans every relation once; built before
@@ -619,7 +623,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     ?(batch = false) ?(mem_pages = Unnest.Planner.default_mem_pages)
     ?(terms = Fuzzy.Term.paper) ?on_trace ?(retry = Retry.default) ?breaker
     ?fault_spec ?(fault_seed = 0) ?metrics_port ?query_log ?slow_ms
-    ?(trace_ring_capacity = 64) ~setup () =
+    ?(trace_ring_capacity = 64) ?make_env ~setup () =
   if workers < 1 then invalid_arg "Daemon.start: workers < 1";
   if domains < 1 then invalid_arg "Daemon.start: domains < 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -636,8 +640,13 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
   (* The admission-side static-analysis context: a private environment
      loaded with the same [setup] the workers use, scanned once. No fault
      plane is ever attached to it — admission must stay deterministic. *)
+  let make_env =
+    match make_env with
+    | Some f -> f
+    | None -> fun () -> Storage.Env.create ~pool_pages:mem_pages ()
+  in
   let check =
-    let env = Storage.Env.create ~pool_pages:mem_pages () in
+    let env = make_env () in
     let catalog = Catalog.create env in
     setup env catalog;
     Fuzzysql.Check.ctx ~catalog ~terms
@@ -653,6 +662,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       default_deadline_ms;
       mem_pages;
       terms;
+      make_env;
       setup;
       check;
       check_lock = Mutex.create ();

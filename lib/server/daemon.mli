@@ -116,6 +116,7 @@ val start :
   ?query_log:string ->
   ?slow_ms:float ->
   ?trace_ring_capacity:int ->
+  ?make_env:(unit -> Storage.Env.t) ->
   setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
   unit ->
   t
@@ -129,8 +130,13 @@ val start :
     the paper's term vocabulary, [retry = Retry.default], a default
     {!Breaker.create}, no fault injection, [fault_seed = 0]. [~setup]
     runs once per worker on the worker's own domain (and again on each
-    respawn). [?on_trace] runs on the worker that executed the request,
-    after the terminal frame is sent — it must be thread-safe.
+    respawn). [?make_env] overrides how worker (and admission)
+    environments are built — default simulated
+    ([Storage.Env.create ~pool_pages:mem_pages ()]); [fsqld --data-dir]
+    passes read-only durable opens of a directory the main process has
+    already recovered, so each shared-nothing worker gets its own fds
+    over the same data. [?on_trace] runs on the worker that executed the
+    request, after the terminal frame is sent — it must be thread-safe.
 
     Telemetry options: [?metrics_port] starts the HTTP exposition
     listener on loopback ([0] picks an ephemeral port — read it back

@@ -10,9 +10,9 @@ let person_schema name =
     [ ("ID", Schema.TNum); ("NAME", Schema.TStr); ("AGE", Schema.TNum);
       ("INCOME", Schema.TNum) ]
 
-let load_dating env catalog =
+let load_dating ?durable env catalog =
   Catalog.add catalog
-    (Relation.of_list env (person_schema "F")
+    (Relation.of_list ?durable env (person_schema "F")
        [
          tuple [ Value.Int 101; Value.Str "Ann"; term "about 35"; term "about 60K" ] 1.0;
          tuple [ Value.Int 102; Value.Str "Ann"; term "medium young"; term "medium high" ] 1.0;
@@ -20,7 +20,7 @@ let load_dating env catalog =
          tuple [ Value.Int 104; Value.Str "Cathy"; term "about 50"; term "low" ] 1.0;
        ]);
   Catalog.add catalog
-    (Relation.of_list env (person_schema "M")
+    (Relation.of_list ?durable env (person_schema "M")
        [
          tuple [ Value.Int 201; Value.Str "Allen"; Value.crisp_num 24.0; term "about 25K" ] 1.0;
          tuple [ Value.Int 202; Value.Str "Allen"; term "about 50"; term "about 40K" ] 1.0;
@@ -49,7 +49,7 @@ let rand_value rng =
 
 let rand_degree rng = 0.125 *. float_of_int (1 + Random.State.int rng 8)
 
-let load_nested ?(seed = 11) ?(n_r = 120) ?(n_s = 120) ?(n_t = 60) env catalog
+let load_nested ?durable ?(seed = 11) ?(n_r = 120) ?(n_s = 120) ?(n_t = 60) env catalog
     =
   let rng = Random.State.make [| seed |] in
   let rel name n attrs =
@@ -63,12 +63,12 @@ let load_nested ?(seed = 11) ?(n_r = 120) ?(n_s = 120) ?(n_t = 60) env catalog
             (Value.Int i :: List.map (fun _ -> rand_value rng) attrs)
             (rand_degree rng))
     in
-    Catalog.add catalog (Relation.of_list env schema tuples)
+    Catalog.add catalog (Relation.of_list ?durable env schema tuples)
   in
   rel "R" n_r [ "Y"; "U" ];
   rel "S" n_s [ "Z"; "V" ];
   rel "T" n_t [ "W"; "P" ]
 
-let server_setup ?seed ?n_r ?n_s ?n_t () env catalog =
-  load_dating env catalog;
-  load_nested ?seed ?n_r ?n_s ?n_t env catalog
+let server_setup ?durable ?seed ?n_r ?n_s ?n_t () env catalog =
+  load_dating ?durable env catalog;
+  load_nested ?durable ?seed ?n_r ?n_s ?n_t env catalog

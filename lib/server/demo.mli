@@ -14,9 +14,14 @@
     Every generator is a pure function of its seed: two processes calling
     the same loader with the same seed build bit-identical relations,
     which is what lets a load-bench client verify server answers against
-    a locally computed expectation. *)
+    a locally computed expectation.
 
-val load_dating : Storage.Env.t -> Relational.Catalog.t -> unit
+    [?durable] (default [false]) builds the relations durably on the
+    environment's real-disk backend ([fsqld --data-dir] initialising a
+    fresh directory); remember to {!Storage.Env.commit} or
+    {!Storage.Env.checkpoint} afterwards. *)
+
+val load_dating : ?durable:bool -> Storage.Env.t -> Relational.Catalog.t -> unit
 
 val load_generated :
   ?seed:int -> ?n:int -> ?groups:int ->
@@ -25,14 +30,14 @@ val load_generated :
     "R, S (generated, 500 tuples)". *)
 
 val load_nested :
-  ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int ->
+  ?durable:bool -> ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int ->
   Storage.Env.t -> Relational.Catalog.t -> unit
 (** Defaults: [seed = 11], [n_r = 120], [n_s = 120], [n_t = 60]. Values
     are crisp numbers or random trapezoids in [0, 50]; degrees are
     multiples of 1/8 in (0, 1]. *)
 
 val server_setup :
-  ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int -> unit ->
+  ?durable:bool -> ?seed:int -> ?n_r:int -> ?n_s:int -> ?n_t:int -> unit ->
   Storage.Env.t -> Relational.Catalog.t -> unit
 (** The default [fsqld] worker database: {!load_dating} (F, M) plus
     {!load_nested} (R, S, T). Partially applied, it is the [~setup]

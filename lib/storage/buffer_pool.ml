@@ -14,12 +14,15 @@ type frame = {
   page_id : int;
   data : bytes;
   mutable dirty : bool;
+  mutable page_lsn : int;
+      (* LSN of the last WAL record that touched this page; 0 = unlogged *)
   mutable pins : int;
   mutable last_use : int;
 }
 
 type t = {
-  disk : Sim_disk.t;
+  disk : Disk.t;
+  wal : Wal.t option;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
   mutable clock : int;
@@ -27,10 +30,11 @@ type t = {
   mutable misses : int;
 }
 
-let create disk ~capacity =
+let create ?wal disk ~capacity =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity";
   {
     disk;
+    wal;
     capacity;
     frames = Hashtbl.create (2 * capacity);
     clock = 0;
@@ -40,6 +44,7 @@ let create disk ~capacity =
 
 let capacity t = t.capacity
 let disk t = t.disk
+let wal t = t.wal
 
 let touch t f =
   t.clock <- t.clock + 1;
@@ -47,7 +52,13 @@ let touch t f =
 
 let write_back t f =
   if f.dirty then begin
-    Sim_disk.write t.disk f.page_id f.data;
+    (* WAL rule: a logged page may reach the data file only after its
+       log records — and, because recovery is redo-to-last-commit, only
+       after a commit point covering them — are durable. *)
+    (match t.wal with
+    | Some w when f.page_lsn > 0 -> Wal.ensure_committed w f.page_lsn
+    | _ -> ());
+    Disk.write ~lsn:f.page_lsn t.disk f.page_id f.data;
     f.dirty <- false
   end
 
@@ -78,8 +89,8 @@ let load t page_id =
       t.misses <- t.misses + 1;
       if Hashtbl.length t.frames >= t.capacity then evict_one t ~for_page:page_id;
       let f =
-        { page_id; data = Sim_disk.read t.disk page_id; dirty = false;
-          pins = 0; last_use = 0 }
+        { page_id; data = Disk.read t.disk page_id; dirty = false;
+          page_lsn = 0; pins = 0; last_use = 0 }
       in
       touch t f;
       Hashtbl.replace t.frames page_id f;
@@ -87,10 +98,13 @@ let load t page_id =
 
 let read t page_id = (load t page_id).data
 
-let with_write t page_id fn =
+let with_write ?lsn t page_id fn =
   let f = load t page_id in
   fn f.data;
-  f.dirty <- true
+  f.dirty <- true;
+  match lsn with
+  | Some l when l > f.page_lsn -> f.page_lsn <- l
+  | _ -> ()
 
 let pin t page_id =
   let f = load t page_id in
@@ -102,6 +116,11 @@ let unpin t page_id =
   | Some _ | None -> invalid_arg "Buffer_pool.unpin: page not pinned"
 
 let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let reset_lsns t =
+  Hashtbl.iter
+    (fun _ f -> if not f.dirty then f.page_lsn <- 0)
+    t.frames
 
 let drop t =
   flush t;

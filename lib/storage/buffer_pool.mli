@@ -1,11 +1,18 @@
-(** LRU buffer pool over the simulated disk.
+(** LRU buffer pool over a storage backend.
 
     The paper gives both methods a 2 MB buffer (256 pages of 8 KB). Reads go
     through the pool: a hit costs no I/O, a miss reads the page from disk and
     may evict the least-recently-used unpinned frame (writing it back if
     dirty). Pinned frames are never evicted — the join algorithms pin the
     frames of the current merge window, mirroring "the page stays in the main
-    memory" of Section 3. *)
+    memory" of Section 3.
+
+    On a durable backend the pool also enforces the WAL rule: each frame
+    carries the LSN of the last log record that touched it (stamped via
+    {!with_write}'s [?lsn]), and a dirty logged frame is written back only
+    after {!Wal.ensure_committed} has made a covering commit point durable.
+    Combined with redo-to-last-commit recovery, the data file never holds
+    effects from beyond a commit point. *)
 
 type t
 
@@ -15,17 +22,23 @@ exception All_frames_pinned of { page : int; capacity : int }
     programming error (pin leak or pool sized below the working set),
     never injected by {!Fault}. *)
 
-val create : Sim_disk.t -> capacity:int -> t
-(** [capacity] in pages; must be >= 1 ([Invalid_argument] otherwise). *)
+val create : ?wal:Wal.t -> Disk.t -> capacity:int -> t
+(** [capacity] in pages; must be >= 1 ([Invalid_argument] otherwise).
+    Pass [?wal] on durable environments so write-backs obey the WAL
+    rule; without it, [?lsn] stamps are kept but nothing is forced. *)
 
 val capacity : t -> int
-val disk : t -> Sim_disk.t
+val disk : t -> Disk.t
+val wal : t -> Wal.t option
 
 val read : t -> int -> bytes
 (** The cached frame (do not mutate; use {!with_write} to modify). *)
 
-val with_write : t -> int -> (bytes -> unit) -> unit
-(** Mutate the page through the pool and mark the frame dirty. *)
+val with_write : ?lsn:int -> t -> int -> (bytes -> unit) -> unit
+(** Mutate the page through the pool and mark the frame dirty. [?lsn]
+    is the WAL position of the record describing this mutation; the
+    frame's page-LSN becomes the max of all stamps and rides along on
+    write-back (into the durable page trailer). *)
 
 val pin : t -> int -> unit
 val unpin : t -> int -> unit
@@ -37,11 +50,18 @@ val unpin : t -> int -> unit
     (the frame is only inserted after a successful disk read). *)
 
 val flush : t -> unit
-(** Write back all dirty frames. *)
+(** Write back all dirty frames (each obeying the WAL rule). *)
+
+val reset_lsns : t -> unit
+(** Zero the page-LSN of every clean frame. Called after a checkpoint,
+    whose log rewrite invalidates old LSNs; the pool must be
+    {!flush}ed first. *)
 
 val drop : t -> unit
-(** Discard all frames (flushing dirty ones first); used between experiment
-    runs so each starts cold. *)
+(** Discard all frames, {e flushing dirty ones first} — dropping never
+    loses writes; used between experiment runs so each starts cold.
+    (To observe drop-without-flush semantics there is deliberately no
+    entry point: write-back is the pool's invariant.) *)
 
 val hits : t -> int
 val misses : t -> int

@@ -1,0 +1,34 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Guards every
+   persisted page trailer and WAL record; any single-byte corruption of a
+   protected region changes the digest. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !c (Int32.of_int (Bytes.get_uint8 buf i)))
+           0xffl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let digest buf ~pos ~len = update 0l buf ~pos ~len
+let bytes buf = digest buf ~pos:0 ~len:(Bytes.length buf)
+let string s = bytes (Bytes.unsafe_of_string s)

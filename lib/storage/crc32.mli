@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]).
+
+    Used for the page trailers of {!Real_disk} and the record checksums of
+    {!Wal}. Any single-byte corruption of the protected region changes the
+    digest, which is what the corruption-detection qcheck property relies
+    on. *)
+
+val update : int32 -> bytes -> pos:int -> len:int -> int32
+(** Fold more bytes into a running digest (start from [0l]). Raises
+    [Invalid_argument] if the slice is out of bounds. *)
+
+val digest : bytes -> pos:int -> len:int -> int32
+val bytes : bytes -> int32
+val string : string -> int32

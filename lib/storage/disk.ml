@@ -1,0 +1,85 @@
+(* Backend dispatch: every consumer of page storage (buffer pool, heap
+   files, benches, tests) goes through this type, so the simulated and
+   durable backends are interchangeable per environment. Plain variant
+   dispatch, not a functor: the storage stack stays concrete records and
+   the backend is chosen at runtime by [Env.create]/[Env.open_durable]. *)
+
+module type S = sig
+  type disk
+
+  val page_size : disk -> int
+  val stats : disk -> Iostats.t
+  val set_fault : disk -> Fault.t option -> unit
+  val fault : disk -> Fault.t option
+  val alloc : disk -> int
+  val read : disk -> int -> bytes
+  val num_pages : disk -> int
+  val live_pages : disk -> int
+  val free_pages : disk -> int
+  val free : disk -> int list -> unit
+end
+
+(* Both backends satisfy the contract; checked here so a drifting API
+   fails the build rather than the docs. *)
+module _ : S with type disk := Sim_disk.t = Sim_disk
+module _ : S with type disk := Real_disk.t = Real_disk
+
+type t = Sim of Sim_disk.t | Real of Real_disk.t
+
+let sim d = Sim d
+let real d = Real d
+
+let is_durable = function Sim _ -> false | Real _ -> true
+let as_sim = function Sim d -> Some d | Real _ -> None
+let as_real = function Real d -> Some d | Sim _ -> None
+
+let page_size = function
+  | Sim d -> Sim_disk.page_size d
+  | Real d -> Real_disk.page_size d
+
+let stats = function
+  | Sim d -> Sim_disk.stats d
+  | Real d -> Real_disk.stats d
+
+let set_fault t f =
+  match t with
+  | Sim d -> Sim_disk.set_fault d f
+  | Real d -> Real_disk.set_fault d f
+
+let fault = function
+  | Sim d -> Sim_disk.fault d
+  | Real d -> Real_disk.fault d
+
+let alloc = function
+  | Sim d -> Sim_disk.alloc d
+  | Real d -> Real_disk.alloc d
+
+let read = function
+  | Sim d -> Sim_disk.read d
+  | Real d -> Real_disk.read d
+
+let write ?lsn t page buf =
+  match t with
+  | Sim d -> Sim_disk.write d page buf (* simulated pages carry no LSN *)
+  | Real d -> Real_disk.write ?lsn d page buf
+
+let num_pages = function
+  | Sim d -> Sim_disk.num_pages d
+  | Real d -> Real_disk.num_pages d
+
+let live_pages = function
+  | Sim d -> Sim_disk.live_pages d
+  | Real d -> Real_disk.live_pages d
+
+let free_pages = function
+  | Sim d -> Sim_disk.free_pages d
+  | Real d -> Real_disk.free_pages d
+
+let free t pages =
+  match t with
+  | Sim d -> Sim_disk.free d pages
+  | Real d -> Real_disk.free d pages
+
+let sync = function
+  | Sim _ -> () (* nothing to make durable *)
+  | Real d -> Real_disk.sync d

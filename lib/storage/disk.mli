@@ -1,0 +1,67 @@
+(** Storage-backend dispatch.
+
+    The page-store contract both backends implement — abstracted out of
+    {!Sim_disk} so an environment can run on the in-memory simulated
+    disk (the default; the paper's Section 9 I/O model) or on
+    {!Real_disk}, a checksummed data-directory file. All page consumers
+    ({!Buffer_pool}, {!Heap_file}, benches, tests) dispatch through this
+    type, so the choice is made once, in {!Env.create} /
+    {!Env.open_durable}.
+
+    The contract, shared with {!Sim_disk} (and documented there):
+    [alloc] returns a zeroed page and is uncounted I/O; [read]/[write]
+    count one transfer in the backend's {!Iostats}; out-of-range ids
+    raise {!Sim_disk.Bad_page}; wrong-size buffers raise
+    {!Sim_disk.Write_size}; an attached {!Fault} plane is consulted on
+    every operation. The durable backend additionally raises
+    {!Real_disk.Checksum_mismatch} when a page fails trailer
+    validation. *)
+
+(** The module-level contract, for documentation and for writing
+    backend-generic test helpers against a first-class module. *)
+module type S = sig
+  type disk
+
+  val page_size : disk -> int
+  val stats : disk -> Iostats.t
+  val set_fault : disk -> Fault.t option -> unit
+  val fault : disk -> Fault.t option
+  val alloc : disk -> int
+  val read : disk -> int -> bytes
+  val num_pages : disk -> int
+  val live_pages : disk -> int
+  val free_pages : disk -> int
+  val free : disk -> int list -> unit
+end
+
+type t = Sim of Sim_disk.t | Real of Real_disk.t
+
+val sim : Sim_disk.t -> t
+val real : Real_disk.t -> t
+
+val is_durable : t -> bool
+(** [true] for the real-disk backend: pages survive process exit and
+    writes must obey the WAL rule. *)
+
+val as_sim : t -> Sim_disk.t option
+val as_real : t -> Real_disk.t option
+
+val page_size : t -> int
+val stats : t -> Iostats.t
+val set_fault : t -> Fault.t option -> unit
+val fault : t -> Fault.t option
+val alloc : t -> int
+val read : t -> int -> bytes
+
+val write : ?lsn:int -> t -> int -> bytes -> unit
+(** [lsn] is the WAL position of the record that last touched this page;
+    stamped into the page trailer on the durable backend, ignored by the
+    simulated one. *)
+
+val num_pages : t -> int
+val live_pages : t -> int
+val free_pages : t -> int
+val free : t -> int list -> unit
+
+val sync : t -> unit
+(** fsync the durable backend; no-op on the simulated one. *)

@@ -1,19 +1,101 @@
 type t = {
   stats : Iostats.t;
-  disk : Sim_disk.t;
+  disk : Disk.t;
   pool : Buffer_pool.t;
+  temp_disk : Disk.t;
+  temp_pool : Buffer_pool.t;
+  wal : Wal.t option;
+  recovery : Recovery.report option;
 }
 
 let create ?(page_size = 8192) ?(pool_pages = 256) () =
   let stats = Iostats.create () in
-  let disk = Sim_disk.create ~page_size stats in
+  let disk = Disk.sim (Sim_disk.create ~page_size stats) in
   let pool = Buffer_pool.create disk ~capacity:pool_pages in
-  { stats; disk; pool }
+  (* Simulated environments make no durable/temporary distinction: temp
+     pages live on the same disk, so every existing test and bench sees
+     the exact pre-durability behaviour. *)
+  { stats; disk; pool; temp_disk = disk; temp_pool = pool; wal = None;
+    recovery = None }
 
-let page_size t = Sim_disk.page_size t.disk
-let set_fault t f = Sim_disk.set_fault t.disk f
-let fault t = Sim_disk.fault t.disk
+let open_durable ?(page_size = 8192) ?(pool_pages = 256)
+    ?(wal_sync = Wal.Group) ?(readonly = false) ~dir () =
+  let stats = Iostats.create () in
+  let disk, wal, recovery =
+    if readonly then begin
+      (* Read-only openers (daemon workers after the coordinator has
+         recovered) require a clean log; Wal.open_existing enforces it. *)
+      let rdisk = Real_disk.open_existing ~readonly:true ~dir stats in
+      let wal =
+        Wal.open_existing ~path:(Recovery.wal_path_of dir) ~mode:wal_sync
+          ~readonly:true
+      in
+      (rdisk, wal, None)
+    end
+    else begin
+      let rdisk, wal, report = Recovery.recover ~page_size ~mode:wal_sync ~dir stats in
+      (rdisk, wal, Some report)
+    end
+  in
+  let disk = Disk.real disk in
+  let pool = Buffer_pool.create ~wal disk ~capacity:pool_pages in
+  (* Temporary pages (sort runs, materialised intermediates) stay
+     unlogged and in memory: a private simulated disk charging I/O to
+     the same stats record, with its own pool half the main one's size
+     (minimum 64 pages). *)
+  let temp_disk =
+    Disk.sim (Sim_disk.create ~page_size:(Disk.page_size disk) stats)
+  in
+  let temp_pool =
+    Buffer_pool.create temp_disk ~capacity:(max 64 (pool_pages / 2))
+  in
+  { stats; disk; pool; temp_disk; temp_pool; wal = Some wal; recovery }
+
+let is_durable t = Disk.is_durable t.disk
+let page_size t = Disk.page_size t.disk
+let set_fault t f = Disk.set_fault t.disk f
+let fault t = Disk.fault t.disk
+let wal t = t.wal
+let recovery t = t.recovery
+
+let manifest t =
+  match t.wal with Some w -> Wal.manifest w | None -> []
+
+let flush t =
+  Buffer_pool.flush t.pool;
+  if t.temp_pool != t.pool then Buffer_pool.flush t.temp_pool
+
+let commit t =
+  Buffer_pool.flush t.pool;
+  match t.wal with Some w -> Wal.commit w | None -> ()
+
+let checkpoint t =
+  match t.wal with
+  | None -> flush t
+  | Some w ->
+      Buffer_pool.flush t.pool;
+      Disk.sync t.disk;
+      Wal.checkpoint w;
+      Buffer_pool.reset_lsns t.pool
 
 let reset_stats t =
   Buffer_pool.drop t.pool;
+  if t.temp_pool != t.pool then Buffer_pool.drop t.temp_pool;
   Iostats.reset t.stats
+
+let close t =
+  (match t.wal with
+  | Some w when not (Wal.readonly w) ->
+      checkpoint t;
+      Wal.close w
+  | Some w -> Wal.close w
+  | None -> ());
+  match Disk.as_real t.disk with
+  | Some d -> Real_disk.close d
+  | None -> ()
+
+let crash t =
+  (match t.wal with Some w -> Wal.crash w | None -> ());
+  match Disk.as_real t.disk with
+  | Some d -> Real_disk.close d
+  | None -> ()

@@ -1,25 +1,88 @@
-(** A storage environment bundles the simulated disk, its buffer pool, and
-    the statistics they report into. One environment per experiment run. *)
+(** A storage environment bundles a backend disk, its buffer pool, and
+    the statistics they report into. One environment per experiment run
+    (simulated) or per data directory (durable).
+
+    Durable environments additionally carry a {!Wal} and a second,
+    always-simulated disk/pool pair for {e temporary} pages: sort runs
+    and materialised intermediates are rebuilt on restart anyway, so
+    they stay unlogged and in memory ("temp pages stay unlogged"). In a
+    simulated environment [temp_disk]/[temp_pool] are the main
+    disk/pool themselves, so pre-durability behaviour is unchanged. *)
 
 type t = {
   stats : Iostats.t;
-  disk : Sim_disk.t;
+  disk : Disk.t;
   pool : Buffer_pool.t;
+  temp_disk : Disk.t;  (** where unlogged temporary pages live *)
+  temp_pool : Buffer_pool.t;
+  wal : Wal.t option;  (** present iff the environment is durable *)
+  recovery : Recovery.report option;
+      (** what {!open_durable} had to replay (writable opens only) *)
 }
 
 val create : ?page_size:int -> ?pool_pages:int -> unit -> t
-(** Defaults: 8 KB pages, 256-page (2 MB) pool — the configuration of the
-    paper's experiments. *)
+(** Simulated environment. Defaults: 8 KB pages, 256-page (2 MB) pool —
+    the configuration of the paper's experiments. *)
 
+val open_durable :
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?wal_sync:Wal.sync_mode ->
+  ?readonly:bool ->
+  dir:string ->
+  unit ->
+  t
+(** Durable environment over [dir] (created if missing), running crash
+    recovery first when the last shutdown was unclean. With
+    [~readonly:true] no recovery is attempted — the log must already be
+    clean (raises {!Wal.Needs_recovery} otherwise) and all mutation
+    raises; this is how daemon workers share a directory the
+    coordinator has already recovered. [page_size] applies to fresh
+    directories only. *)
+
+val is_durable : t -> bool
 val page_size : t -> int
 
 val set_fault : t -> Fault.t option -> unit
-(** Attach (or clear) a fault-injection plane on the environment's disk.
-    Attach it only after catalogs are loaded, so data loading itself
-    cannot fault. *)
+(** Attach (or clear) a fault-injection plane on the environment's main
+    disk. Attach it only after catalogs are loaded, so data loading
+    itself cannot fault. *)
 
 val fault : t -> Fault.t option
+val wal : t -> Wal.t option
+val recovery : t -> Recovery.report option
+
+val manifest : t -> (int * bytes * int array) list
+(** Durable files as [(fid, meta blob, pages)]; [[]] when simulated.
+    {!Relational.Catalog.load_durable} rebuilds relations from this. *)
+
+val flush : t -> unit
+(** Write every dirty page back to the backend (WAL rule respected),
+    keeping the frames cached. The safe prelude to anything that reads
+    the disk behind the pool's back. *)
+
+val commit : t -> unit
+(** Flush the pool and force a durable commit point (no-op WAL-wise on
+    simulated environments). After [commit] returns, all preceding
+    mutations survive a crash. *)
+
+val checkpoint : t -> unit
+(** Flush, fsync the data file, rewrite the log as a manifest snapshot
+    and reset page-LSNs — bounds replay at the next restart to zero. *)
 
 val reset_stats : t -> unit
-(** Zero the counters and drop the buffer pool so a measurement starts
-    cold. *)
+(** Zero the counters and {e drop} the buffer pool so a measurement
+    starts cold. Dropping flushes dirty pages first ({!Buffer_pool.drop}
+    never discards writes), so this is safe on durable environments
+    too; it does {e not} commit — call {!commit} for a durability
+    point. Use {!flush} when you only need pages written back without
+    losing the cache. *)
+
+val close : t -> unit
+(** Clean shutdown: checkpoint (writable durable environments), then
+    close WAL and data file. Recovery at the next open is a no-op. *)
+
+val crash : t -> unit
+(** Simulate a crash: close the underlying fds {e without} flushing the
+    pool or the WAL's buffered records. The next {!open_durable} must
+    recover. Test/bench hook. *)

@@ -1,5 +1,8 @@
 type t = {
   env : Env.t;
+  disk : Disk.t;  (** the backend this file's pages live on *)
+  pool : Buffer_pool.t;  (** the pool in front of [disk] *)
+  log : (Wal.t * int) option;  (** (wal, file id); durable files only *)
   mutable page_ids : int array;  (** physical page id of each file page *)
   mutable npages : int;
   mutable recs_per_page : int array;
@@ -9,9 +12,24 @@ type t = {
 
 let header_size = 2
 
-let create env =
+let create ?(durable = false) env =
+  let disk, pool, log =
+    if durable then begin
+      match Env.wal env with
+      | None -> invalid_arg "Heap_file.create: ~durable on a simulated env"
+      | Some wal -> (env.Env.disk, env.Env.pool, Some (wal, Wal.new_file wal))
+    end
+    else
+      (* Default: temporary pages — unlogged, rebuilt on restart. In a
+         simulated environment these are the main disk/pool, so nothing
+         changes for existing callers. *)
+      (env.Env.temp_disk, env.Env.temp_pool, None)
+  in
   {
     env;
+    disk;
+    pool;
+    log;
     page_ids = Array.make 8 (-1);
     npages = 0;
     recs_per_page = Array.make 8 0;
@@ -20,6 +38,15 @@ let create env =
   }
 
 let env t = t.env
+let disk t = t.disk
+let pool t = t.pool
+let fid t = match t.log with Some (_, fid) -> Some fid | None -> None
+let is_durable t = t.log <> None
+
+let set_meta t meta =
+  match t.log with
+  | Some (wal, fid) -> Wal.log_define wal ~fid ~meta
+  | None -> ()
 
 let grow t =
   let cap = Array.length t.page_ids in
@@ -40,7 +67,10 @@ let get_u16 buf off = Bytes.get_uint8 buf off lor (Bytes.get_uint8 buf (off + 1)
 
 let add_page t =
   grow t;
-  let id = Sim_disk.alloc t.env.Env.disk in
+  let id = Disk.alloc t.disk in
+  (match t.log with
+  | Some (wal, fid) -> ignore (Wal.log_alloc wal ~fid ~page:id)
+  | None -> ());
   t.page_ids.(t.npages) <- id;
   t.recs_per_page.(t.npages) <- 0;
   t.npages <- t.npages + 1;
@@ -55,11 +85,27 @@ let append t record =
   if t.npages = 0 || t.tail_free + 2 + len > page_size then add_page t;
   let pi = t.npages - 1 in
   let off = t.tail_free in
-  Buffer_pool.with_write t.env.Env.pool t.page_ids.(pi) (fun data ->
+  let pid = t.page_ids.(pi) in
+  let count = t.recs_per_page.(pi) + 1 in
+  let lsn =
+    match t.log with
+    | None -> None
+    | Some (wal, _) ->
+        (* Log before the in-pool mutation. The record carries the
+           len-prefixed bytes; [image] captures the page's pre-append
+           content if this is its first post-checkpoint touch. *)
+        let data = Bytes.create (2 + len) in
+        set_u16 data 0 len;
+        Bytes.blit record 0 data 2 len;
+        Some
+          (Wal.log_heap_append wal ~page:pid ~off ~count ~data
+             ~image:(fun () -> Bytes.copy (Buffer_pool.read t.pool pid)))
+  in
+  Buffer_pool.with_write ?lsn t.pool pid (fun data ->
       set_u16 data off len;
       Bytes.blit record 0 data (off + 2) len;
-      t.recs_per_page.(pi) <- t.recs_per_page.(pi) + 1;
-      set_u16 data 0 t.recs_per_page.(pi));
+      set_u16 data 0 count);
+  t.recs_per_page.(pi) <- count;
   t.tail_free <- off + 2 + len;
   t.nrecords <- t.nrecords + 1
 
@@ -81,7 +127,7 @@ let page_records_via pool t i =
   if i < 0 || i >= t.npages then invalid_arg "Heap_file.page_records";
   parse_page (Buffer_pool.read pool t.page_ids.(i))
 
-let page_records t i = page_records_via t.env.Env.pool t i
+let page_records t i = page_records_via t.pool t i
 
 let iter t f =
   for i = 0 to t.npages - 1 do
@@ -95,17 +141,59 @@ let fold t ~init ~f =
 
 let pin_page t i =
   if i < 0 || i >= t.npages then invalid_arg "Heap_file.pin_page";
-  Buffer_pool.pin t.env.Env.pool t.page_ids.(i)
+  Buffer_pool.pin t.pool t.page_ids.(i)
 
 let unpin_page t i =
   if i < 0 || i >= t.npages then invalid_arg "Heap_file.unpin_page";
-  Buffer_pool.unpin t.env.Env.pool t.page_ids.(i)
+  Buffer_pool.unpin t.pool t.page_ids.(i)
 
 let destroy t =
-  Sim_disk.free t.env.Env.disk (Array.to_list (Array.sub t.page_ids 0 t.npages));
+  (match t.log with
+  | Some (wal, fid) -> Wal.log_free wal ~fid
+  | None -> ());
+  Disk.free t.disk (Array.to_list (Array.sub t.page_ids 0 t.npages));
   t.npages <- 0;
   t.nrecords <- 0;
   t.tail_free <- 0
+
+(* Reattach a durable file recovered from the WAL manifest: rebuild the
+   per-page record counts and the tail offset by reading the pages. *)
+let open_durable env ~fid ~pages =
+  match Env.wal env with
+  | None -> invalid_arg "Heap_file.open_durable: simulated env"
+  | Some wal ->
+      let npages = Array.length pages in
+      let cap = max 8 npages in
+      let t =
+        {
+          env;
+          disk = env.Env.disk;
+          pool = env.Env.pool;
+          log = Some (wal, fid);
+          page_ids = Array.init cap (fun i -> if i < npages then pages.(i) else -1);
+          npages;
+          recs_per_page = Array.make cap 0;
+          nrecords = 0;
+          tail_free = 0;
+        }
+      in
+      for i = 0 to npages - 1 do
+        let data = Buffer_pool.read t.pool pages.(i) in
+        let count = get_u16 data 0 in
+        t.recs_per_page.(i) <- count;
+        t.nrecords <- t.nrecords + count;
+        if i = npages - 1 then begin
+          (* Walk the last page to find the append point. *)
+          let off = ref header_size in
+          for _ = 1 to count do
+            off := !off + 2 + get_u16 data !off
+          done;
+          t.tail_free <- !off
+        end
+      done;
+      t
+
+let home_pool = pool
 
 module Cursor = struct
   type file = t
@@ -121,7 +209,7 @@ module Cursor = struct
   }
 
   let of_file ?pool file =
-    let pool = Option.value pool ~default:file.env.Env.pool in
+    let pool = Option.value pool ~default:(home_pool file) in
     { file; pool; page_i = 0; rec_i = 0; abs = 0; cache = [||]; cache_page = -1 }
 
   let fill c =

@@ -1,0 +1,90 @@
+(** Durable page store over a data-directory file.
+
+    The on-disk layout is [<dir>/data.fsql]: a 4 KiB header (magic +
+    page size) followed by fixed-size page slots, each [page_size]
+    payload bytes plus a 16-byte trailer holding a CRC-32, the LSN of
+    the last logged write, and a trailer magic. The CRC covers the
+    payload {e and} the page id {e and} the LSN, so misdirected writes,
+    torn writes and bit rot all surface as a typed
+    {!Checksum_mismatch} on read — never as garbage rows.
+
+    Mirrors the {!Sim_disk} API (same [Bad_page]/[Write_size]
+    exceptions, same alloc-zeroes contract, same {!Iostats} accounting)
+    so {!Disk} can dispatch between them; adds LSN-aware reads/writes
+    for the WAL rule and [sync]/[extend] hooks for checkpointing and
+    recovery. Individual writes are {e not} fsynced — durability points
+    belong to {!Wal}; {!sync} is called at checkpoints.
+
+    The free list is in-memory only: after a crash, {!Recovery} rebuilds
+    it from the WAL manifest as the complement of live pages. *)
+
+type t
+
+exception Checksum_mismatch of { page : int; stored : int32; computed : int32 }
+(** A page failed trailer validation on read. Always raised instead of
+    returning corrupt payload bytes. *)
+
+exception Bad_header of string
+(** The data file's header is missing or malformed. *)
+
+val create : ?page_size:int -> dir:string -> Iostats.t -> t
+(** Create (or truncate) [<dir>/data.fsql]; creates [dir] if missing.
+    Default page size 8192, as {!Sim_disk.create}. *)
+
+val open_existing : ?readonly:bool -> dir:string -> Iostats.t -> t
+(** Open an existing data file, validating its header (raises
+    {!Bad_header}). With [~readonly:true] all mutation raises
+    [Invalid_argument] — the mode daemon workers use after recovery. *)
+
+val exists : dir:string -> bool
+val dir : t -> string
+
+val path : t -> string
+(** The data file's path ([<dir>/data.fsql]). *)
+
+val page_size : t -> int
+val stats : t -> Iostats.t
+val set_fault : t -> Fault.t option -> unit
+val fault : t -> Fault.t option
+
+val alloc : t -> int
+(** As {!Sim_disk.alloc}: returns a zeroed page (recycled pages are
+    re-zeroed on disk), allocation itself uncounted as I/O. *)
+
+val read : t -> int -> bytes
+(** Page payload after trailer validation; counts one read. Raises
+    {!Checksum_mismatch}, {!Sim_disk.Bad_page}, or {!Fault.Injected}. *)
+
+val read_with_lsn : t -> int -> bytes * int
+(** [read] plus the LSN stamped at the last logged write. *)
+
+val read_raw : t -> int -> bytes
+(** Payload without trailer validation — recovery diagnostics only. *)
+
+val verify : t -> int -> (unit, int32 * int32) result
+(** Check one page's trailer: [Error (stored, computed)] on mismatch. *)
+
+val write : ?lsn:int -> t -> int -> bytes -> unit
+(** Write a page with its WAL LSN stamped in the trailer (default 0 for
+    unlogged pages); counts one write, no fsync. Raises
+    {!Sim_disk.Bad_page}, {!Sim_disk.Write_size}, or {!Fault.Injected}
+    ([Torn_write] persists the first half of the slot, leaving a
+    detectable stale trailer). *)
+
+val ensure_pages : t -> int -> unit
+(** Grow the file so pages [0, n) exist (zeroed, valid trailers). Used
+    by recovery before redo. *)
+
+val num_pages : t -> int
+val live_pages : t -> int
+val free_pages : t -> int
+val free : t -> int list -> unit
+
+val reset_free : t -> int list -> unit
+(** Replace the in-memory free list wholesale (recovery: complement of
+    the manifest's live pages). *)
+
+val sync : t -> unit
+(** fsync the data file — a checkpoint's durability point. *)
+
+val close : t -> unit

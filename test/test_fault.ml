@@ -150,7 +150,7 @@ let plane_tests =
            Alcotest.(check int) "got" 9 got);
         let stats = Iostats.create () in
         let disk2 = Sim_disk.create ~page_size:16 stats in
-        let pool = Buffer_pool.create disk2 ~capacity:1 in
+        let pool = Buffer_pool.create (Disk.sim disk2) ~capacity:1 in
         let q1 = Sim_disk.alloc disk2 and q2 = Sim_disk.alloc disk2 in
         Buffer_pool.pin pool q1;
         try
@@ -198,7 +198,7 @@ let sort_leak_tests =
     tc "aborted sort frees its run pages (injected fault)" `Quick (fun () ->
         let env = Env.create ~page_size:256 ~pool_pages:8 () in
         let input = build_input env 300 in
-        let baseline = Sim_disk.live_pages env.Env.disk in
+        let baseline = Disk.live_pages env.Env.disk in
         Env.set_fault env (Some (Fault.create (fspec "write:nth=3")));
         (try
            ignore
@@ -208,7 +208,7 @@ let sort_leak_tests =
         Env.set_fault env None;
         Alcotest.(check int)
           "live pages back to baseline" baseline
-          (Sim_disk.live_pages env.Env.disk);
+          (Disk.live_pages env.Env.disk);
         (* the input survived and the environment still works *)
         let sorted =
           External_sort.sort input ~compare:Bytes.compare ~mem_pages:3
@@ -218,11 +218,11 @@ let sort_leak_tests =
         Heap_file.destroy sorted;
         Alcotest.(check int)
           "output freed too" baseline
-          (Sim_disk.live_pages env.Env.disk));
+          (Disk.live_pages env.Env.disk));
     tc "aborted sort frees its run pages (cancellation)" `Quick (fun () ->
         let env = Env.create ~page_size:256 ~pool_pages:8 () in
         let input = build_input env 300 in
-        let baseline = Sim_disk.live_pages env.Env.disk in
+        let baseline = Disk.live_pages env.Env.disk in
         let cancel = Cancel.create () in
         Cancel.cancel ~reason:"test" cancel;
         (try
@@ -233,12 +233,12 @@ let sort_leak_tests =
          with Cancel.Cancelled _ -> ());
         Alcotest.(check int)
           "live pages back to baseline" baseline
-          (Sim_disk.live_pages env.Env.disk));
+          (Disk.live_pages env.Env.disk));
     tc "replacement-selection abort frees the in-progress run" `Quick
       (fun () ->
         let env = Env.create ~page_size:256 ~pool_pages:8 () in
         let input = build_input env 300 in
-        let baseline = Sim_disk.live_pages env.Env.disk in
+        let baseline = Disk.live_pages env.Env.disk in
         Env.set_fault env (Some (Fault.create (fspec "write:nth=5")));
         (try
            ignore
@@ -249,7 +249,7 @@ let sort_leak_tests =
         Env.set_fault env None;
         Alcotest.(check int)
           "live pages back to baseline" baseline
-          (Sim_disk.live_pages env.Env.disk));
+          (Disk.live_pages env.Env.disk));
   ]
 
 (* ------------------------------------------------------------------ *)

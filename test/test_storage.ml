@@ -39,7 +39,7 @@ let pool_tests =
     tc "hits avoid disk reads" `Quick (fun () ->
         let stats = Iostats.create () in
         let disk = Sim_disk.create ~page_size:16 stats in
-        let pool = Buffer_pool.create disk ~capacity:2 in
+        let pool = Buffer_pool.create (Disk.sim disk) ~capacity:2 in
         let p = Sim_disk.alloc disk in
         ignore (Buffer_pool.read pool p);
         ignore (Buffer_pool.read pool p);
@@ -48,7 +48,7 @@ let pool_tests =
     tc "LRU eviction writes dirty page back" `Quick (fun () ->
         let stats = Iostats.create () in
         let disk = Sim_disk.create ~page_size:16 stats in
-        let pool = Buffer_pool.create disk ~capacity:1 in
+        let pool = Buffer_pool.create (Disk.sim disk) ~capacity:1 in
         let p1 = Sim_disk.alloc disk and p2 = Sim_disk.alloc disk in
         Buffer_pool.with_write pool p1 (fun b -> Bytes.set b 0 'A');
         ignore (Buffer_pool.read pool p2) (* evicts dirty p1 *);
@@ -59,7 +59,7 @@ let pool_tests =
     tc "pinned frames never evicted" `Quick (fun () ->
         let stats = Iostats.create () in
         let disk = Sim_disk.create ~page_size:16 stats in
-        let pool = Buffer_pool.create disk ~capacity:1 in
+        let pool = Buffer_pool.create (Disk.sim disk) ~capacity:1 in
         let p1 = Sim_disk.alloc disk and p2 = Sim_disk.alloc disk in
         Buffer_pool.pin pool p1;
         Alcotest.(check bool) "miss with all pinned fails" true
@@ -70,7 +70,7 @@ let pool_tests =
     tc "sequential scan misses once per page" `Quick (fun () ->
         let stats = Iostats.create () in
         let disk = Sim_disk.create ~page_size:16 stats in
-        let pool = Buffer_pool.create disk ~capacity:3 in
+        let pool = Buffer_pool.create (Disk.sim disk) ~capacity:3 in
         let pages = List.init 10 (fun _ -> Sim_disk.alloc disk) in
         List.iter (fun p -> ignore (Buffer_pool.read pool p)) pages;
         Alcotest.(check int) "10 misses" 10 (Buffer_pool.misses pool));
@@ -117,12 +117,12 @@ let heap_tests =
         let f = Heap_file.create env in
         for _ = 1 to 30 do Heap_file.append f (Bytes.make 20 'a') done;
         Buffer_pool.flush env.Env.pool;
-        let used_before = Sim_disk.num_pages env.Env.disk in
+        let used_before = Disk.num_pages env.Env.disk in
         Heap_file.destroy f;
         let g = Heap_file.create env in
         for _ = 1 to 30 do Heap_file.append g (Bytes.make 20 'b') done;
         Alcotest.(check int) "no disk growth" used_before
-          (Sim_disk.num_pages env.Env.disk));
+          (Disk.num_pages env.Env.disk));
   ]
 
 let sort_record i = Bytes.of_string (Printf.sprintf "%06d" i)
@@ -338,7 +338,7 @@ let prop_pool_model =
       let capacity = 1 + cap_sel in
       let stats = Iostats.create () in
       let disk = Sim_disk.create ~page_size:8 stats in
-      let pool = Buffer_pool.create disk ~capacity in
+      let pool = Buffer_pool.create (Disk.sim disk) ~capacity in
       let n_pages = 6 in
       let pages = Array.init n_pages (fun _ -> Sim_disk.alloc disk) in
       let model = Array.make n_pages '\000' in
