@@ -174,8 +174,8 @@ let () =
           Printf.printf "fsqld: initialised demo relations in %s\n%!" dir
         end;
         Storage.Env.close env;
-        let make_env () =
-          Storage.Env.open_durable ~dir ~readonly:true ()
+        let make_env ~pool_pages =
+          Storage.Env.open_durable ~dir ~readonly:true ~pool_pages ()
         in
         let setup env catalog =
           let durable = Relational.Catalog.load_durable env in

@@ -642,7 +642,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
      plane is ever attached to it — admission must stay deterministic. *)
   let make_env =
     match make_env with
-    | Some f -> f
+    | Some f -> fun () -> f ~pool_pages:mem_pages
     | None -> fun () -> Storage.Env.create ~pool_pages:mem_pages ()
   in
   let check =

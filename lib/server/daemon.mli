@@ -116,7 +116,7 @@ val start :
   ?query_log:string ->
   ?slow_ms:float ->
   ?trace_ring_capacity:int ->
-  ?make_env:(unit -> Storage.Env.t) ->
+  ?make_env:(pool_pages:int -> Storage.Env.t) ->
   setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
   unit ->
   t
@@ -132,7 +132,9 @@ val start :
     runs once per worker on the worker's own domain (and again on each
     respawn). [?make_env] overrides how worker (and admission)
     environments are built — default simulated
-    ([Storage.Env.create ~pool_pages:mem_pages ()]); [fsqld --data-dir]
+    ([Storage.Env.create ~pool_pages:mem_pages ()]); it receives the
+    daemon's [mem_pages] as [~pool_pages] so overriding the backend
+    never silently changes buffer-pool sizing. [fsqld --data-dir]
     passes read-only durable opens of a directory the main process has
     already recovered, so each shared-nothing worker gets its own fds
     over the same data. [?on_trace] runs on the worker that executed the

@@ -90,14 +90,12 @@ let rec write_all fd buf pos len =
   end
 
 let rec read_all fd buf pos len =
-  if len > 0 then begin
-    let n =
-      try Unix.read fd buf pos len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    if n = 0 && len > 0 then failwith "Real_disk: short read";
-    read_all fd buf (pos + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.read fd buf pos len with
+    | 0 -> failwith "Real_disk: short read"
+    | n -> read_all fd buf (pos + n) (len - n)
+    (* EINTR is a signal interruption, not EOF: retry the same range. *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf pos len
 
 (* pwrite/pread emulation: seek + full transfer, under the handle lock. *)
 let pwrite t ~off buf pos len =
@@ -261,8 +259,14 @@ let make ~dir ~fd ~readonly ~page_size stats =
     fault = None;
   }
 
+(* The WAL frames heap-append offsets and record counts as u16, so a
+   durable page must fit in 65536 bytes or redo offsets would silently
+   truncate. *)
+let max_page_size = 65536
+
 let create ?(page_size = 8192) ~dir stats =
-  if page_size <= 0 then invalid_arg "Real_disk.create: page_size";
+  if page_size <= 0 || page_size > max_page_size then
+    invalid_arg "Real_disk.create: page_size must be in [1, 65536]";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path = path_of dir in
   let fd =
@@ -294,7 +298,7 @@ let open_existing ?(readonly = false) ~dir stats =
     Unix.close fd;
     raise (Bad_header (Printf.sprintf "%s: not a fsql data file" path))
   end;
-  if page_size <= 0 then begin
+  if page_size <= 0 || page_size > max_page_size then begin
     Unix.close fd;
     raise (Bad_header (Printf.sprintf "%s: bad page size" path))
   end;

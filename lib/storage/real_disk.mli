@@ -29,7 +29,9 @@ exception Bad_header of string
 
 val create : ?page_size:int -> dir:string -> Iostats.t -> t
 (** Create (or truncate) [<dir>/data.fsql]; creates [dir] if missing.
-    Default page size 8192, as {!Sim_disk.create}. *)
+    Default page size 8192, as {!Sim_disk.create}; raises
+    [Invalid_argument] unless [0 < page_size <= 65536] (the WAL encodes
+    in-page offsets as u16). *)
 
 val open_existing : ?readonly:bool -> dir:string -> Iostats.t -> t
 (** Open an existing data file, validating its header (raises

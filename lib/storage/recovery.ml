@@ -103,8 +103,19 @@ let redo ~psize records boundary =
         Bytes.blit data 0 b 0 (min (Bytes.length data) psize);
         Hashtbl.replace images page b
     | Wal.Heap_append { page; off; count; data } ->
+        (* A CRC-valid record can still be logically bad (e.g. the WAL
+           was paired with a data file of a different page size): bounds
+           must hold against THIS file's page size or the blit below
+           would abort recovery with an untyped Invalid_argument. *)
+        let len = Bytes.length data in
+        if off < 2 || off + len > psize then
+          raise
+            (Corrupt
+               (Printf.sprintf
+                  "heap append on page %d spans [%d, %d) outside page size %d"
+                  page off (off + len) psize));
         let img = image_of page in
-        Bytes.blit data 0 img off (Bytes.length data);
+        Bytes.blit data 0 img off len;
         Bytes.set_uint8 img 0 (count land 0xff);
         Bytes.set_uint8 img 1 ((count lsr 8) land 0xff)
     | Wal.Free _ | Wal.Define _ | Wal.Commit | Wal.Checkpoint _ -> ()

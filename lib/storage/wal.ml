@@ -482,15 +482,32 @@ let log_alloc t ~fid ~page = append t (Alloc { fid; page })
 
 let log_heap_append t ~page ~off ~count ~data ~image =
   Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      if not (Hashtbl.mem t.epoch_fresh page) then
-        (* First touch of a pre-checkpoint page this epoch: log its full
-           before-image so recovery rebuilds it without reading the
-           (possibly torn) data file. *)
-        ignore (append_locked t (Page_image { page; data = image () }));
-      append_locked t (Heap_append { page; off; count; data }))
+  if Hashtbl.mem t.epoch_fresh page then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> append_locked t (Heap_append { page; off; count; data }))
+  else begin
+    (* First touch of a pre-checkpoint page this epoch: log its full
+       before-image so recovery rebuilds it without reading the
+       (possibly torn) data file. [image] must run with the lock
+       RELEASED — it reads through the buffer pool, whose eviction path
+       re-enters this WAL ([ensure_committed]) on the same non-recursive
+       mutex, so calling it while holding the lock self-deadlocks. *)
+    Mutex.unlock t.lock;
+    let img = image () in
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        (* Re-check: a concurrent appender may have imaged the page, or
+           a checkpoint reset the epoch, while the lock was released.
+           The captured image is still the page's pre-append content
+           (heap writers are single-threaded per file), so it is valid
+           to log in either epoch. *)
+        if not (Hashtbl.mem t.epoch_fresh page) then
+          ignore (append_locked t (Page_image { page; data = img }));
+        append_locked t (Heap_append { page; off; count; data }))
+  end
 
 let log_define t ~fid ~meta = ignore (append t (Define { fid; meta }))
 let log_free t ~fid = ignore (append t (Free { fid }))

@@ -95,6 +95,16 @@ let real_disk_tests =
                  false
                with Sim_disk.Bad_page { page = 7; num_pages = 0 } -> true);
             Real_disk.close d));
+    tc "page_size above 65536 rejected" `Quick (fun () ->
+        (* The WAL encodes in-page offsets as u16; larger pages would
+           silently truncate redo offsets. *)
+        with_dir (fun dir ->
+            Alcotest.(check bool) "Invalid_argument" true
+              (try
+                 ignore
+                   (Real_disk.create ~page_size:65537 ~dir (Iostats.create ()));
+                 false
+               with Invalid_argument _ -> true)));
     tc "torn write leaves a detectable page" `Quick (fun () ->
         with_dir (fun dir ->
             let d = Real_disk.create ~page_size:256 ~dir (Iostats.create ()) in
@@ -296,11 +306,73 @@ let flush_and_reset_stats_contract () =
       check_raw "records survive a drop" expected (raw_records rel);
       Env.close env)
 
+let eviction_during_image_capture () =
+  with_dir (fun dir ->
+      (* Regression: appending to a pre-checkpoint page logs a full page
+         image first, and capturing that image reads through the buffer
+         pool. With a 2-frame pool that read can evict a dirty logged
+         frame, whose write-back re-enters the WAL via
+         [ensure_committed] — so the image callback must run with the
+         WAL mutex released (self-deadlock otherwise). Three appends to
+         three distinct pre-checkpoint tail pages guarantee that by the
+         third, both pool frames hold dirty logged pages and the
+         image-capture read must evict one. *)
+      let env = Env.open_durable ~dir ~page_size:256 ~pool_pages:2 () in
+      let mk seed name =
+        let schema =
+          Schema.make ~name [ ("ID", Schema.TNum); ("X", Schema.TNum) ]
+        in
+        Relation.of_list ~durable:true env schema (batch ~seed ~start:0 4)
+      in
+      let rels = [ mk 21 "A"; mk 22 "B"; mk 23 "C" ] in
+      Env.checkpoint env;
+      List.iter
+        (fun rel -> List.iter (Relation.insert rel) (batch ~seed:31 ~start:4 2))
+        rels;
+      Env.commit env;
+      let expected = List.map raw_records rels in
+      Env.crash env;
+      let env2 = Env.open_durable ~dir () in
+      let cat = Catalog.load_durable env2 in
+      List.iteri
+        (fun i name ->
+          match Catalog.find cat name with
+          | None -> Alcotest.fail (name ^ " lost")
+          | Some rel ->
+              check_raw (name ^ " bit-identical") (List.nth expected i)
+                (raw_records rel))
+        [ "A"; "B"; "C" ];
+      Env.close env2)
+
+let oob_heap_append_is_corrupt () =
+  with_dir (fun dir ->
+      (* A CRC-valid log paired with a smaller-paged data file must
+         surface as a typed [Recovery.Corrupt], not abort redo with an
+         untyped [Invalid_argument] from an out-of-bounds blit. *)
+      Unix.mkdir dir 0o755;
+      let wal = Wal.create ~path:(Recovery.wal_path_of dir) ~mode:Wal.Always in
+      let fid = Wal.new_file wal in
+      ignore (Wal.log_alloc wal ~fid ~page:0);
+      ignore
+        (Wal.log_heap_append wal ~page:0 ~off:60_000 ~count:1
+           ~data:(Bytes.make 100 'x')
+           ~image:(fun () -> Bytes.empty));
+      Wal.commit wal;
+      Wal.close wal;
+      Alcotest.(check bool) "Corrupt" true
+        (try
+           ignore (Recovery.recover ~page_size:256 ~dir (Iostats.create ()));
+           false
+         with Recovery.Corrupt _ -> true))
+
 let env_tests =
   [
     tc "commit survives crash bit-identically" `Quick committed_roundtrip;
     tc "uncommitted tail rolled back" `Quick uncommitted_tail_rolled_back;
     tc "eviction forces a covering commit" `Quick eviction_forces_commit;
+    tc "image capture under eviction pressure" `Quick
+      eviction_during_image_capture;
+    tc "out-of-bounds heap append is Corrupt" `Quick oob_heap_append_is_corrupt;
     tc "torn WAL tail truncated on recovery" `Quick torn_wal_tail_truncated;
     tc "checkpoint bounds replay" `Quick checkpoint_bounds_replay;
     tc "read-only worker opens" `Quick readonly_worker_open;
@@ -331,9 +403,15 @@ let group_commit_threads () =
       in
       List.iter Thread.join threads;
       let total = n_threads * per_thread in
-      Alcotest.(check int) "every commit counted" total (Wal.commits wal);
-      Alcotest.(check bool) "group batching never exceeds commits" true
-        (Wal.fsyncs wal <= Wal.commits wal);
+      (* Concurrent commits may coalesce: a Commit record appended by
+         one thread can cover another's records, in which case the
+         covered [Wal.commit] appends no record of its own — it still
+         returns only after its records are durable (checked below by
+         re-scanning the log). *)
+      Alcotest.(check bool) "commit records appended, possibly coalesced" true
+        (let c = Wal.commits wal in c > 0 && c <= total);
+      Alcotest.(check bool) "group batching never exceeds commit calls" true
+        (Wal.fsyncs wal <= total);
       Wal.close wal;
       (* The log is clean and complete: every define survived. *)
       let s = Wal.scan (Recovery.wal_path_of dir) in
