@@ -190,6 +190,29 @@ type rchaos_row = {
 
 let rchaos_results : rchaos_row list ref = ref []
 
+(* One row per seed of the WAL-shipping failover chaos harness: a forked
+   primary streams its log to an in-process replica and is SIGKILLed
+   mid-load; the replica is promoted and must hold a bit-identical
+   committed prefix covering every batch the primary acknowledged only
+   after the replica acked it (semi-sync). [f_fenced_sender] /
+   [f_fenced_replica] count both directions of the epoch fence firing in
+   the zombie drill (each must be >= 1). *)
+type failover_row = {
+  f_seed : int;
+  f_kill_after_s : float;
+  f_acked_batches : int;  (** batches acked only after replica apply *)
+  f_recovered_tuples : int;  (** tuples served by the promoted replica *)
+  f_checksum : string;
+  f_match : bool;
+  f_epoch : int;  (** epoch after promotion (must be 2) *)
+  f_fenced_sender : int;
+  f_fenced_replica : int;
+  f_queries_ok : int;  (** client queries answered across the failover *)
+  f_duration_s : float;
+}
+
+let failover_results : failover_row list ref = ref []
+
 (* Run-wide metrics registry: one observation per measured cell. The
    summary is printed (and dumped as JSON) at the end of the bench run. *)
 let metrics = Storage.Metrics.create ()
@@ -258,6 +281,7 @@ let write_results path =
   let wals = List.rev !wal_results in
   let recoveries = List.rev !recovery_results in
   let rchaos = List.rev !rchaos_results in
+  let failovers = List.rev !failover_results in
   (* Every emitted row — measurement, load, chaos — must carry a valid
      engine tag; regression tooling groups on it, so fail loudly here
      rather than emit an untagged row. *)
@@ -279,6 +303,7 @@ let write_results path =
   let total =
     List.length rows + List.length loads + List.length chaos
     + List.length wals + List.length recoveries + List.length rchaos
+    + List.length failovers
   in
   let emitted = ref 0 in
   let sep () =
@@ -354,6 +379,18 @@ let write_results path =
         c.rc_recovered_tuples (json_escape c.rc_checksum) c.rc_match
         c.rc_torn_undetected c.rc_recover_ms (sep ()))
     rchaos;
+  List.iter
+    (fun f ->
+      Printf.fprintf oc
+        "  {\"bench\": \"failover_chaos\", \"fault_seed\": %d, \
+         \"kill_after_s\": %.3f, \"acked_batches\": %d, \
+         \"recovered_tuples\": %d, \"checksum\": \"%s\", \"match\": %b, \
+         \"epoch\": %d, \"fenced_sender\": %d, \"fenced_replica\": %d, \
+         \"queries_ok\": %d, \"duration_s\": %.3f}%s\n"
+        f.f_seed f.f_kill_after_s f.f_acked_batches f.f_recovered_tuples
+        (json_escape f.f_checksum) f.f_match f.f_epoch f.f_fenced_sender
+        f.f_fenced_replica f.f_queries_ok f.f_duration_s (sep ()))
+    failovers;
   output_string oc "]\n";
   close_out oc
 

@@ -5,10 +5,13 @@
     [--seed N] [--domains N] [--batch] [--clients L] [--queries N]
     [--trace PATH]] where targets are any of [table1 table2 table3 table4
     fig3 fig1 ablation chain sort scaling load chaos micro batch kernels
-    telemetry wal recovery all] (default: all). [wal] measures WAL commit
-    throughput per sync mode and redo-restart time vs log length;
+    telemetry wal recovery failover all] (default: all). [wal] measures WAL
+    commit throughput per sync mode and redo-restart time vs log length;
     [recovery] is the SIGKILL crash-recovery chaos harness (see
-    {!Recovery_chaos}). [--batch] runs every merge-join cell on the
+    {!Recovery_chaos}); [failover] is the HA chaos harness — SIGKILL the
+    primary mid-load, promote the WAL-shipped replica, prove zero
+    acked-commit loss, bit-identical committed prefixes, and epoch
+    fencing (see {!Failover_chaos}). [--batch] runs every merge-join cell on the
     vectorized columnar engine (rows are tagged ["engine": "batch"] in
     [BENCH_results.json]); the [batch] target measures that engine against
     the scalar one head-to-head, and [kernels] times the three vectorized
@@ -1023,6 +1026,7 @@ let all_targets =
     ("batch", batch_bench); ("kernels", kernels);
     ("telemetry", telemetry_bench); ("wal", Wal_bench.run);
     ("recovery", Recovery_chaos.run);
+    ("failover", Failover_chaos.run);
   ]
 
 let () =
@@ -1110,7 +1114,8 @@ let () =
     + List.length !Harness.chaos_results
     + List.length !Harness.wal_results
     + List.length !Harness.recovery_results
-    + List.length !Harness.rchaos_results);
+    + List.length !Harness.rchaos_results
+    + List.length !Harness.failover_results);
   if !Harness.results <> [] then (
     section "Run metrics";
     Format.printf "%a" Storage.Metrics.pp Harness.metrics)

@@ -348,6 +348,8 @@ let remote_help () =
     \                breaker); \\top N polls N times at 2s intervals\n\
     \  \\trace ID     fetch a request's Chrome trace by its request ID\n\
     \                (printed on failures); \\trace ID FILE writes it\n\
+    \  \\promote      promote a replica server to primary (bumps the\n\
+    \                replication epoch, fencing the old primary)\n\
     \  \\timing       toggle per-query timing\n\
     \  \\help         this help\n\
     \  \\q            quit\n"
@@ -467,12 +469,22 @@ let remote_meta st line =
             "no trace for request %s (evicted from the server's ring, or \
              never seen)@."
             id)
+  | [ "\\promote" ] -> (
+      match Server.Client.promote st.client with
+      | Ok epoch ->
+          Format.printf "promoted; replication epoch is now %d@." epoch
+      | Error m -> Format.printf "promote refused: %s@." m)
   | _ ->
       Format.printf "unknown meta command in --connect mode (try \\help)@."
 
 let remote_repl addr ~domains =
   let client =
-    try Server.Client.of_addr addr with
+    (* Bounded connect: an unreachable server fails in 5 s instead of
+       hanging for the kernel's SYN-retry budget. *)
+    try Server.Client.of_addr ~timeout_ms:5000 addr with
+    | Server.Client.Connect_timeout ->
+        Printf.eprintf "fsql: cannot connect to %s: timed out\n" addr;
+        exit 1
     | Unix.Unix_error (e, _, _) ->
         Printf.eprintf "fsql: cannot connect to %s: %s\n" addr
           (Unix.error_message e);

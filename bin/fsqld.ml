@@ -10,6 +10,8 @@
           [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]
           [--query-log FILE] [--slow-ms MS] [--trace-ring N]
           [--data-dir DIR] [--wal-sync always|group|never]
+          [--replica-of HOST:PORT] [--max-staleness-ms MS]
+          [--promote]
     v}
 
     [--data-dir DIR] serves from durable storage: the main process opens
@@ -38,7 +40,18 @@
     to [FILE.1]); [--slow-ms MS] logs only requests at least that slow;
     [--trace-ring N] keeps the last N requests' Chrome traces fetchable
     by request ID with [fsql \trace ID]. SIGINT / SIGTERM trigger a
-    graceful drain. *)
+    graceful drain; SIGHUP reopens the query log at its configured path
+    (the logrotate handshake).
+
+    Replication: with [--data-dir], a primary serves [Rep_subscribe]
+    streams on its main port. [--replica-of HOST:PORT] (requires
+    [--data-dir]) starts a replica instead: catch up from the primary
+    (snapshot or local recovery), tail its WAL, and serve read-only
+    queries; [--max-staleness-ms MS] rejects queries (retryably) when
+    the applied state lags the primary by more than MS.
+    [fsqld --promote] is an admin command: connect to [--host]/[--port],
+    send [Promote] — the replica bumps and commits its replication
+    epoch, fencing the old primary — print the new epoch, and exit. *)
 
 open Frepro
 
@@ -48,7 +61,8 @@ let usage =
   \             [--batch] [--deadline-ms MS] [--seed N] [--trace DIR]\n\
   \             [--fault-spec SPEC] [--fault-seed N] [--metrics-port P]\n\
   \             [--query-log FILE] [--slow-ms MS] [--trace-ring N]\n\
-  \             [--data-dir DIR] [--wal-sync always|group|never]"
+  \             [--data-dir DIR] [--wal-sync always|group|never]\n\
+  \             [--replica-of HOST:PORT] [--max-staleness-ms MS] [--promote]"
 
 let () =
   let host = ref "127.0.0.1" in
@@ -68,6 +82,9 @@ let () =
   let trace_ring = ref 64 in
   let data_dir = ref None in
   let wal_sync = ref Storage.Wal.Group in
+  let replica_of = ref None in
+  let max_staleness_ms = ref None in
+  let do_promote = ref false in
   let int_arg name n k rest =
     match int_of_string_opt n with
     | Some v when v >= 0 ->
@@ -127,6 +144,17 @@ let () =
     | "--data-dir" :: dir :: rest ->
         data_dir := Some dir;
         parse rest
+    | "--replica-of" :: addr :: rest ->
+        replica_of := Some addr;
+        parse rest
+    | "--max-staleness-ms" :: n :: rest ->
+        parse
+          (int_arg "--max-staleness-ms" n
+             (fun v -> max_staleness_ms := Some v)
+             rest)
+    | "--promote" :: rest ->
+        do_promote := true;
+        parse rest
     | "--wal-sync" :: s :: rest ->
         (match Storage.Wal.sync_mode_of_string s with
         | Some m -> wal_sync := m
@@ -140,6 +168,31 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !do_promote then begin
+    (* Admin mode: ask the server at --host/--port to promote itself. *)
+    match
+      let c =
+        Server.Client.connect ~host:!host ~timeout_ms:5000 ~port:!port ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () -> Server.Client.promote c)
+    with
+    | Ok epoch ->
+        Printf.printf "fsqld: promoted; replication epoch is now %d\n%!" epoch;
+        exit 0
+    | Error m ->
+        prerr_endline ("fsqld: promote refused: " ^ m);
+        exit 1
+    | exception e ->
+        prerr_endline ("fsqld: promote failed: " ^ Printexc.to_string e);
+        exit 1
+  end;
+  (match (!replica_of, !data_dir) with
+  | Some _, None ->
+      prerr_endline "fsqld: --replica-of requires --data-dir";
+      exit 2
+  | _ -> ());
   let on_trace =
     Option.map
       (fun dir ->
@@ -156,10 +209,19 @@ let () =
      demo relations durably if the directory is fresh, checkpoint and
      close — then every shared-nothing worker opens its own read-only
      handles on the now-clean directory. *)
-  let make_env, setup =
-    match !data_dir with
-    | None -> (None, Server.Demo.server_setup ~seed:!seed ())
-    | Some dir ->
+  let durable_setup env catalog =
+    let durable = Relational.Catalog.load_durable env in
+    List.iter
+      (fun name ->
+        match Relational.Catalog.find durable name with
+        | Some rel -> Relational.Catalog.add catalog rel
+        | None -> ())
+      (Relational.Catalog.names durable)
+  in
+  let make_env, setup, sender, replica =
+    match (!data_dir, !replica_of) with
+    | None, _ -> (None, Server.Demo.server_setup ~seed:!seed (), None, None)
+    | Some dir, None ->
         let env = Storage.Env.open_durable ~dir ~wal_sync:!wal_sync () in
         (match Storage.Env.recovery env with
         | Some r ->
@@ -173,20 +235,27 @@ let () =
           Storage.Env.commit env;
           Printf.printf "fsqld: initialised demo relations in %s\n%!" dir
         end;
-        Storage.Env.close env;
+        (* The environment stays open: the replication sender streams the
+           live WAL from it. Workers still open their own read-only
+           handles — the on-disk log is clean (committed) at this point. *)
+        let sender = Server.Replication.Sender.create ~env in
         let make_env ~pool_pages =
           Storage.Env.open_durable ~dir ~readonly:true ~pool_pages ()
         in
-        let setup env catalog =
-          let durable = Relational.Catalog.load_durable env in
-          List.iter
-            (fun name ->
-              match Relational.Catalog.find durable name with
-              | Some rel -> Relational.Catalog.add catalog rel
-              | None -> ())
-            (Relational.Catalog.names durable)
+        (Some make_env, durable_setup, Some sender, None)
+    | Some dir, Some primary ->
+        let replica = Server.Replication.Replica.create ~dir ~primary () in
+        Server.Replication.Replica.start replica;
+        Printf.printf "fsqld: replica of %s, syncing %s...\n%!" primary dir;
+        if not (Server.Replication.Replica.wait_synced ~timeout_s:60.0 replica)
+        then
+          Printf.printf
+            "fsqld: warning: initial catch-up has not completed; queries \
+             will be rejected as stale until it does\n%!";
+        let make_env ~pool_pages =
+          Storage.Env.open_durable ~dir ~readonly:true ~pool_pages ()
         in
-        (Some make_env, setup)
+        (Some make_env, durable_setup, None, Some replica)
   in
   let daemon =
     Server.Daemon.start ~host:!host ~port:!port ~workers:!workers
@@ -197,7 +266,8 @@ let () =
       ~fault_seed:!fault_seed ?metrics_port:!metrics_port
       ?query_log:!query_log
       ?slow_ms:(if !slow_ms > 0.0 then Some !slow_ms else None)
-      ~trace_ring_capacity:!trace_ring ?make_env ~setup ()
+      ~trace_ring_capacity:!trace_ring ?make_env ?sender ?replica
+      ?max_staleness_ms:!max_staleness_ms ~setup ()
   in
   Printf.printf
     "fsqld: listening on %s:%d (workers=%d, queue=%d, domains=%d%s%s%s%s%s)\n%!"
@@ -207,8 +277,11 @@ let () =
     !queue !domains
     (match !data_dir with
     | Some d ->
-        Printf.sprintf ", data-dir=%s wal-sync=%s" d
+        Printf.sprintf ", data-dir=%s wal-sync=%s%s" d
           (Storage.Wal.sync_mode_name !wal_sync)
+          (match !replica_of with
+          | Some p -> ", replica-of=" ^ p
+          | None -> ", primary")
     | None -> "")
     (if !batch then ", batch" else "")
     (if !deadline_ms > 0 then Printf.sprintf ", deadline=%dms" !deadline_ms
@@ -230,14 +303,30 @@ let () =
         (if !slow_ms > 0.0 then Printf.sprintf " (slow-ms=%g)" !slow_ms else "")
   | None -> ());
   let stop = Atomic.make false in
+  let hup = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  (* SIGHUP = logrotate's "I renamed your log, reopen it". The handler
+     only sets a flag; the reopen itself runs on the main loop. *)
+  (try Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set hup true))
+   with Invalid_argument _ -> ());
   while not (Atomic.get stop) do
+    if Atomic.compare_and_set hup true false then begin
+      Server.Daemon.reopen_query_log daemon;
+      print_string "fsqld: query log reopened\n";
+      flush stdout
+    end;
     Unix.sleepf 0.2
   done;
   print_string "fsqld: draining...\n";
   flush stdout;
   Server.Daemon.stop daemon;
+  (match sender with
+  | Some s -> Server.Replication.Sender.stop s
+  | None -> ());
+  (match replica with
+  | Some r -> Server.Replication.Replica.stop r
+  | None -> ());
   print_string "fsqld: clean shutdown\n";
   flush stdout

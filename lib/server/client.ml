@@ -22,13 +22,52 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> invalid_arg ("Client.connect: unknown host " ^ host))
 
-let connect ?(host = "127.0.0.1") ~port () =
+exception Connect_timeout
+
+let () =
+  Printexc.register_printer (function
+    | Connect_timeout -> Some "Client.Connect_timeout"
+    | _ -> None)
+
+(* Deadline-bounded connect: flip the socket non-blocking, start the
+   connect, wait for writability with [select], then read the pending
+   error with [SO_ERROR] — a refused connection reports ECONNREFUSED
+   here, not on a later write. The socket goes back to blocking mode
+   before use. *)
+let connect_deadline fd addr timeout_ms =
+  Unix.set_nonblock fd;
+  let finish_by_select () =
+    let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+    let rec wait () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then raise Connect_timeout;
+      match Unix.select [] [ fd ] [] remaining with
+      | [], [], [] -> raise Connect_timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+    in
+    wait ()
+  in
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> finish_by_select ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> finish_by_select ());
+  Unix.clear_nonblock fd
+
+let connect ?(host = "127.0.0.1") ?timeout_ms ~port () =
   (* A server that vanishes mid-write must surface as
      [Wire.Connection_closed], not kill the client process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+  (try
+     let addr = Unix.ADDR_INET (resolve host, port) in
+     match timeout_ms with
+     | Some ms when ms > 0 -> connect_deadline fd addr ms
+     | _ -> Unix.connect fd addr
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
@@ -40,7 +79,7 @@ let connect ?(host = "127.0.0.1") ~port () =
     closed = false;
   }
 
-let of_addr addr =
+let of_addr ?timeout_ms addr =
   match String.rindex_opt addr ':' with
   | None -> invalid_arg ("Client.of_addr: expected HOST:PORT, got " ^ addr)
   | Some i -> (
@@ -48,7 +87,9 @@ let of_addr addr =
       let port_s = String.sub addr (i + 1) (String.length addr - i - 1) in
       match int_of_string_opt port_s with
       | Some port when port > 0 && port < 65536 ->
-          connect ~host:(if host = "" then "127.0.0.1" else host) ~port ()
+          connect
+            ~host:(if host = "" then "127.0.0.1" else host)
+            ?timeout_ms ~port ()
       | _ -> invalid_arg ("Client.of_addr: bad port in " ^ addr))
 
 let write t req =
@@ -89,7 +130,9 @@ let query_once ?(deadline_ms = 0) ?(domains = 0) t sql =
     | Wire.Overloaded -> Overloaded
     | Wire.Rejected { code; diagnostics } -> Rejected { code; diagnostics }
     | Wire.Cancelled reason -> Cancelled reason
-    | Wire.Metrics_json _ | Wire.Trace_json _ | Wire.Top_text _ ->
+    | Wire.Metrics_json _ | Wire.Trace_json _ | Wire.Top_text _
+    | Wire.Rep_hello _ | Wire.Rep_chunk _ | Wire.Rep_wal _ | Wire.Rep_fence _
+    | Wire.Promoted _ ->
         raise (Wire.Protocol_error "unexpected admin frame in query reply")
   in
   read ()
@@ -134,6 +177,15 @@ let top_text t =
   match Wire.read_reply t.fd with
   | Wire.Top_text s -> s
   | _ -> raise (Wire.Protocol_error "expected a top frame")
+
+let promote t =
+  write t Wire.Promote;
+  match Wire.read_reply t.fd with
+  | Wire.Promoted { epoch } -> Ok epoch
+  | Wire.Error m -> Error m
+  | _ -> raise (Wire.Protocol_error "expected a promoted frame")
+
+let fd t = t.fd
 
 let close t =
   if not t.closed then begin

@@ -26,12 +26,20 @@ type reply =
           primary [FSQL0xx] code, [diagnostics] the rendered report *)
   | Cancelled of string  (** deadline exceeded or explicit cancel *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** Default host ["127.0.0.1"]. Raises [Unix.Unix_error] on failure.
-    Ignores SIGPIPE process-wide so a vanished server surfaces as
-    {!Wire.Connection_closed} instead of killing the process. *)
+exception Connect_timeout
+(** {!connect}'s [?timeout_ms] deadline passed without the connection
+    completing. *)
 
-val of_addr : string -> t
+val connect : ?host:string -> ?timeout_ms:int -> port:int -> unit -> t
+(** Default host ["127.0.0.1"]. Raises [Unix.Unix_error] on failure.
+    With [?timeout_ms > 0] the connect is non-blocking and bounded:
+    an unreachable or blackholed host raises {!Connect_timeout} after
+    the deadline instead of hanging for the kernel's SYN-retry budget
+    (minutes). Ignores SIGPIPE process-wide so a vanished server
+    surfaces as {!Wire.Connection_closed} instead of killing the
+    process. *)
+
+val of_addr : ?timeout_ms:int -> string -> t
 (** ["HOST:PORT"]. [Invalid_argument] on a malformed address. *)
 
 val query :
@@ -70,6 +78,15 @@ val top_text : t -> string
 (** Fetch the server-rendered [\top] snapshot (windowed qps/p50/p99/max,
     gauges, lifetime counters). Same concurrency rule as
     {!metrics_json}. *)
+
+val promote : t -> (int, string) result
+(** Ask a replica daemon to promote itself to primary; returns the new
+    replication epoch. [Error _] when the peer is not a replica. Same
+    concurrency rule as {!metrics_json}. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket — the replication applier drives its
+    subscribe connection's frames directly. *)
 
 val close : t -> unit
 (** Close the socket; idempotent. *)

@@ -70,6 +70,15 @@ type t = {
   breaker : Breaker.t;
   fault_spec : Fault.spec option;
   fault_seed : int;
+  replica : Replication.Replica.t option;
+      (** replica mode: workers serve read-only under the replica's lock
+          and rebuild their environments as batches apply *)
+  max_staleness_ms : int option;
+      (** replica mode: admission rejects (retryably) when the applied
+          state is staler than this *)
+  mutable sender : Replication.Sender.t option;
+      (** primary mode (or a promoted replica): serves [Rep_subscribe] *)
+  promote_lock : Mutex.t;
   mutable draining : bool;
   mutable http : Telemetry.Http.t option;
   mutable runner : Thread.t option;
@@ -109,7 +118,37 @@ let refresh_gauges t =
     (float_of_int !(t.inflight));
   Metrics.set_gauge
     (Metrics.gauge t.metrics "breaker_open")
-    (if Breaker.is_open t.breaker ~now then 1.0 else 0.0)
+    (if Breaker.is_open t.breaker ~now then 1.0 else 0.0);
+  let g name v = Metrics.set_gauge (Metrics.gauge t.metrics name) v in
+  (match t.replica with
+  | Some r ->
+      let lag = float_of_int (Replication.Replica.lag_bytes r) in
+      g "replication_epoch" (float_of_int (Replication.Replica.epoch r));
+      g "replica_connected" (if Replication.Replica.connected r then 1.0 else 0.0);
+      g "replication_lag_bytes" lag;
+      (* LSNs are byte offsets into the shipped log, so LSN lag and byte
+         lag coincide; both names are exposed for dashboards. *)
+      g "replication_lag_lsn" lag;
+      g "replication_applied_lsn"
+        (float_of_int (Replication.Replica.applied_lsn r));
+      g "replication_staleness_ms"
+        (let s = Replication.Replica.stale_ms r in
+         if Float.is_finite s then s else -1.0);
+      g "replication_fenced_rejects"
+        (float_of_int (Replication.Replica.fenced_rejects r))
+  | None -> ());
+  match t.sender with
+  | Some s ->
+      let lag = float_of_int (Replication.Sender.lag_bytes s) in
+      g "replication_epoch" (float_of_int (Replication.Sender.epoch s));
+      g "replication_subscribers"
+        (float_of_int (Replication.Sender.connected s));
+      g "replication_lag_bytes" lag;
+      g "replication_lag_lsn" lag;
+      g "replication_fenced" (float_of_int (Replication.Sender.fenced s));
+      if Option.is_none t.replica then
+        g "replica_connected" (float_of_int (Replication.Sender.connected s))
+  | None -> ()
 
 let metrics_json t =
   with_lock t.mlock (fun () ->
@@ -132,6 +171,10 @@ let trace_json t id = Telemetry.Ring.find t.trace_ring id
 let trace_ring t = t.trace_ring
 let query_log_written t = Option.map Telemetry.Query_log.written t.query_log
 let metrics_port t = Option.map Telemetry.Http.port t.http
+let sender t = t.sender
+
+let reopen_query_log t =
+  Option.iter Telemetry.Query_log.reopen t.query_log
 
 let healthz_json t =
   let now = Unix.gettimeofday () in
@@ -418,17 +461,41 @@ let worker_loop t widx () =
   in
   let rng = Random.State.make [| 0xB0FF; t.fault_seed; widx |] in
   let state = ref (build ()) in
+  let gen =
+    ref (match t.replica with
+        | Some r -> Replication.Replica.generation r
+        | None -> 0)
+  in
+  (* In replica mode a query runs under the read side of the replica's
+     lock, so the applier never swaps files or writes pages mid-query;
+     when the apply generation has moved, the worker first rebuilds its
+     environment (closing the old one — its fds point at applied-over or
+     renamed-away files). *)
+  let run_job job =
+    match t.replica with
+    | None ->
+        let env, check, plane = !state in
+        handle_job t ~env ~check ~plane ~rng job
+    | Some r ->
+        Replication.Replica.with_read r (fun () ->
+            let g = Replication.Replica.generation r in
+            if g <> !gen then begin
+              let env, _, _ = !state in
+              (try Storage.Env.close env with _ -> ());
+              state := build ();
+              gen := g
+            end;
+            let env, check, plane = !state in
+            handle_job t ~env ~check ~plane ~rng job)
+  in
   let rec loop () =
     match Bounded_queue.pop t.queue with
     | None -> ()
     | Some job ->
-        let env, check, plane = !state in
         with_lock t.mlock (fun () -> incr t.inflight);
         let finally () = with_lock t.mlock (fun () -> decr t.inflight) in
         let respawn =
-          try
-            Fun.protect ~finally (fun () ->
-                handle_job t ~env ~check ~plane ~rng job)
+          try Fun.protect ~finally (fun () -> run_job job)
           with e ->
             (* handle_job classifies everything; if it still raised (a
                poisoned query broke an invariant), answer the query and
@@ -484,10 +551,30 @@ let admit t conn ~request_id ~deadline_ms ~domains sql =
     with_lock conn.lock (fun () ->
         if conn.busy then `Busy else if t.draining then `Draining else `Go)
   in
+  let pre =
+    (* Replica-mode staleness admission: a replica that has fallen more
+       than [max_staleness_ms] behind (or is still in its first catch-up)
+       rejects retryably — clients with a retry policy ride it out, and a
+       promoted replica never rejects. *)
+    match (pre, t.replica, t.max_staleness_ms) with
+    | `Go, Some r, Some max_ms when not (Replication.Replica.promoted r) ->
+        let s = Replication.Replica.stale_ms r in
+        if s > float_of_int max_ms then `Stale s else `Go
+    | _ -> pre
+  in
   match pre with
   | `Busy ->
       send conn (Wire.Error "a query is already in flight on this connection")
   | `Draining -> send conn (Wire.Error "server is shutting down")
+  | `Stale s ->
+      count t "requests_rejected_stale";
+      send conn
+        (Wire.Retryable
+           (if Float.is_finite s then
+              Printf.sprintf
+                "replica is %.0f ms stale (max-staleness %d ms); retry" s
+                (Option.value t.max_staleness_ms ~default:0)
+            else "replica has not completed its first catch-up; retry"))
   | `Go -> (
       match static_reject t sql with
       | Some (code, diagnostics) ->
@@ -556,7 +643,38 @@ let admit t conn ~request_id ~deadline_ms ~domains sql =
               send conn Wire.Overloaded
           | `Draining -> send conn (Wire.Error "server is shutting down")))
 
+(* A replication subscriber's stream is written by a sender thread; it
+   must fail loudly (ending the stream) when the peer is gone, unlike
+   [send] which drops silently on behalf of workers. *)
+let rep_send conn reply =
+  with_lock conn.lock (fun () ->
+      if not conn.alive then raise Wire.Connection_closed;
+      Wire.write_reply conn.fd reply)
+
+(* Promotion is idempotent and serialised: bump the replica's epoch, then
+   stand up a sender over the promoted directory so further replicas can
+   chain off the new primary. *)
+let promote t =
+  match t.replica with
+  | None -> Error "this server is not a replica"
+  | Some r ->
+      let epoch =
+        with_lock t.promote_lock (fun () ->
+            let e = Replication.Replica.promote r in
+            (match t.sender with
+            | None ->
+                t.sender <-
+                  Some
+                    (Replication.Sender.create_for_dir
+                       ~dir:(Replication.Replica.dir r))
+            | Some _ -> ());
+            e)
+      in
+      count t "promotions";
+      Ok epoch
+
 let conn_loop t conn =
+  let rep_sub = ref None in
   (try
      let rec loop () =
        (match Wire.read_request conn.fd with
@@ -568,12 +686,30 @@ let conn_loop t conn =
            | None -> ())
        | Wire.Metrics -> send conn (Wire.Metrics_json (metrics_json t))
        | Wire.Trace_get id -> send conn (Wire.Trace_json (trace_json t id))
-       | Wire.Top -> send conn (Wire.Top_text (top_text t)));
+       | Wire.Top -> send conn (Wire.Top_text (top_text t))
+       | Wire.Promote -> (
+           match promote t with
+           | Ok epoch -> send conn (Wire.Promoted { epoch })
+           | Error m -> send conn (Wire.Error m))
+       | Wire.Rep_subscribe { epoch; stream_id; from_lsn } -> (
+           match t.sender with
+           | None -> send conn (Wire.Error "replication is not enabled")
+           | Some s ->
+               rep_sub :=
+                 Replication.Sender.serve s ~epoch ~stream_id ~from_lsn
+                   ~send:(rep_send conn))
+       | Wire.Rep_ack { epoch = _; applied_lsn } -> (
+           match (t.sender, !rep_sub) with
+           | Some s, Some id -> Replication.Sender.ack s ~id ~applied_lsn
+           | _ -> ()));
        loop ()
      in
      loop ()
    with
   | Wire.Connection_closed | Unix.Unix_error _ | Wire.Protocol_error _ -> ());
+  (match (t.sender, !rep_sub) with
+  | Some s, Some id -> Replication.Sender.drop s ~id
+  | _ -> ());
   (* Peer gone (or the daemon shut the socket down): cancel any in-flight
      query so its worker frees up, wait for the terminal no-op send, and
      only then close the descriptor — closing while a worker still writes
@@ -589,11 +725,30 @@ let conn_loop t conn =
   done;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* The accept thread must be unkillable short of [stop]: every transient
+   accept(2) failure — a signal (EINTR), a connection that died in the
+   backlog (ECONNABORTED), fd exhaustion (EMFILE/ENFILE) or a spurious
+   wakeup (EAGAIN) — is counted and retried, with a bounded sleep when
+   the failure is resource exhaustion so the retry doesn't spin while
+   the situation persists. Anything else (EBADF after [stop] closes the
+   socket, EINVAL) is terminal for the loop. *)
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
-        if t.draining then () else loop ()
+        if t.draining then ()
+        else begin
+          count t "accept_errors";
+          loop ()
+        end
+    | exception
+        Unix.Unix_error ((EMFILE | ENFILE | EAGAIN | EWOULDBLOCK), _, _) ->
+        if t.draining then ()
+        else begin
+          count t "accept_errors";
+          Thread.delay 0.05;
+          loop ()
+        end
     | exception Unix.Unix_error (_, _, _) -> ()
     | fd, _addr ->
         if t.draining then Unix.close fd (* the stop wake-up; exit *)
@@ -623,7 +778,8 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     ?(batch = false) ?(mem_pages = Unnest.Planner.default_mem_pages)
     ?(terms = Fuzzy.Term.paper) ?on_trace ?(retry = Retry.default) ?breaker
     ?fault_spec ?(fault_seed = 0) ?metrics_port ?query_log ?slow_ms
-    ?(trace_ring_capacity = 64) ?make_env ~setup () =
+    ?(trace_ring_capacity = 64) ?make_env ?sender ?replica ?max_staleness_ms
+    ~setup () =
   if workers < 1 then invalid_arg "Daemon.start: workers < 1";
   if domains < 1 then invalid_arg "Daemon.start: domains < 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -645,11 +801,19 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
     | Some f -> fun () -> f ~pool_pages:mem_pages
     | None -> fun () -> Storage.Env.create ~pool_pages:mem_pages ()
   in
-  let check =
+  let build_check () =
     let env = make_env () in
     let catalog = Catalog.create env in
     setup env catalog;
     Fuzzysql.Check.ctx ~catalog ~terms
+  in
+  (* In replica mode the admission environment opens the files the
+     applier is writing; take the read side so the open never races a
+     batch apply or a snapshot swap. *)
+  let check =
+    match replica with
+    | Some r -> Replication.Replica.with_read r build_check
+    | None -> build_check ()
   in
   let t =
     {
@@ -681,6 +845,10 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(workers = 2)
       breaker = (match breaker with Some b -> b | None -> Breaker.create ());
       fault_spec;
       fault_seed;
+      replica;
+      max_staleness_ms;
+      sender;
+      promote_lock = Mutex.create ();
       draining = false;
       http = None;
       runner = None;

@@ -117,6 +117,9 @@ val start :
   ?slow_ms:float ->
   ?trace_ring_capacity:int ->
   ?make_env:(pool_pages:int -> Storage.Env.t) ->
+  ?sender:Replication.Sender.t ->
+  ?replica:Replication.Replica.t ->
+  ?max_staleness_ms:int ->
   setup:(Storage.Env.t -> Relational.Catalog.t -> unit) ->
   unit ->
   t
@@ -191,6 +194,23 @@ val top_text : t -> string
 
 val metrics_port : t -> int option
 (** The bound exposition port, when [?metrics_port] was given. *)
+
+val sender : t -> Replication.Sender.t option
+(** The replication sender serving [Rep_subscribe] — present when the
+    daemon was started with [?sender] (primary mode) or after a
+    successful {!promote}. *)
+
+val promote : t -> (int, string) result
+(** Promote a replica-mode daemon to primary (also over the wire:
+    [Wire.Promote], [fsql \promote]): bump and commit the replication
+    epoch — fencing the old primary — and stand up a sender over the
+    promoted directory. Returns the new epoch; [Error _] when the
+    daemon is not a replica. Idempotent. *)
+
+val reopen_query_log : t -> unit
+(** Close and reopen the JSONL query log at its configured path —
+    [fsqld] calls this on SIGHUP so logrotate's rename-and-signal works
+    without losing records. No-op without [?query_log]. *)
 
 val query_log_written : t -> int option
 (** Records written to the query log so far, when [?query_log] was

@@ -276,10 +276,28 @@ module Query_log = struct
       (json_escape r.outcome)
 
   let rotate t =
+    (* fsync the outgoing file before it becomes [.1]: rotation must not
+       turn a crash into lost records that [log] already acknowledged by
+       returning. *)
+    flush t.oc;
+    (try Unix.fsync (Unix.descr_of_out_channel t.oc)
+     with Unix.Unix_error _ | Sys_error _ -> ());
     close_out_noerr t.oc;
     (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
     t.oc <- open_out_at t.path;
     t.bytes <- 0
+
+  (* Logrotate compatibility: after an external rename, reopening at the
+     configured path starts a fresh file; records keep flowing with none
+     lost in between (the swap happens under the log's lock). *)
+  let reopen t =
+    with_lock t.lock (fun () ->
+        if not t.closed then begin
+          flush t.oc;
+          close_out_noerr t.oc;
+          t.oc <- open_out_at t.path;
+          t.bytes <- out_channel_length t.oc
+        end)
 
   let log t r =
     if r.exec_s *. 1000.0 >= t.slow_ms then

@@ -98,6 +98,14 @@ module Query_log : sig
   val written : t -> int
   (** Records actually written (post-[slow_ms] filter). *)
 
+  val reopen : t -> unit
+  (** Close and reopen the file at the configured path — the SIGHUP
+      handshake with logrotate: after an external rename, this starts a
+      fresh file; records logged concurrently are never lost (the swap
+      happens under the log's lock). Size-based self-rotation also
+      fsyncs the outgoing file before renaming it to [.1], so a crash
+      right after rotation cannot lose acknowledged records. *)
+
   val close : t -> unit
 end
 

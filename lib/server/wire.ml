@@ -1,7 +1,7 @@
 exception Protocol_error of string
 exception Connection_closed
 
-let protocol_rev = 2
+let protocol_rev = 3
 
 type request =
   | Query of {
@@ -14,6 +14,11 @@ type request =
   | Metrics
   | Trace_get of string
   | Top
+  | Rep_subscribe of { epoch : int; stream_id : int64; from_lsn : int }
+  | Rep_ack of { epoch : int; applied_lsn : int }
+  | Promote
+
+type chunk_kind = Data_chunk | Wal_chunk
 
 type reply =
   | Header of string list
@@ -27,6 +32,18 @@ type reply =
   | Metrics_json of string
   | Trace_json of string option
   | Top_text of string
+  | Rep_hello of {
+      epoch : int;
+      stream_id : int64;
+      page_size : int;
+      snapshot : bool;
+      start_lsn : int;
+      data_len : int;
+    }
+  | Rep_chunk of { kind : chunk_kind; off : int; data : string }
+  | Rep_wal of { epoch : int; start_lsn : int; primary_end : int; data : string }
+  | Rep_fence of { epoch : int }
+  | Promoted of { epoch : int }
 
 let max_frame = 64 * 1024 * 1024
 
@@ -144,7 +161,14 @@ let read_frame fd =
      [request_id = ""] (the server assigns one);
    - new client / old server: a query with [request_id = ""] encodes as a
      byte-identical rev-1 ['Q'] frame, so a client that doesn't opt into
-     IDs speaks pure rev 1 and an old server never sees an unknown tag. *)
+     IDs speaks pure rev 1 and an old server never sees an unknown tag.
+
+   Rev 3 adds replication (['r'] subscribe / ['a'] ack, with the
+   streaming replies ['h'] hello, ['c'] snapshot chunk, ['w'] WAL batch,
+   ['f'] fence) and admin promotion (['U'] / ['u']). Compatibility is by
+   construction: rev 3 only introduces new tags, so every rev-2 frame
+   encodes and decodes byte-identically under rev 3, and a rev-2 client
+   that never sends the new tags cannot elicit one in response. *)
 let encode_request r =
   let buf = Buffer.create 64 in
   (match r with
@@ -164,7 +188,17 @@ let encode_request r =
   | Trace_get id ->
       Buffer.add_char buf 'G';
       add_str buf id
-  | Top -> Buffer.add_char buf 'P');
+  | Top -> Buffer.add_char buf 'P'
+  | Rep_subscribe { epoch; stream_id; from_lsn } ->
+      Buffer.add_char buf 'r';
+      add_u32 buf epoch;
+      add_u64 buf stream_id;
+      add_u64 buf (Int64.of_int from_lsn)
+  | Rep_ack { epoch; applied_lsn } ->
+      Buffer.add_char buf 'a';
+      add_u32 buf epoch;
+      add_u64 buf (Int64.of_int applied_lsn)
+  | Promote -> Buffer.add_char buf 'U');
   Buffer.contents buf
 
 let decode_request payload =
@@ -185,6 +219,16 @@ let decode_request payload =
   | 'M' -> Metrics
   | 'G' -> Trace_get (get_str payload pos)
   | 'P' -> Top
+  | 'r' ->
+      let epoch = get_u32 payload pos in
+      let stream_id = get_u64 payload pos in
+      let from_lsn = Int64.to_int (get_u64 payload pos) in
+      Rep_subscribe { epoch; stream_id; from_lsn }
+  | 'a' ->
+      let epoch = get_u32 payload pos in
+      let applied_lsn = Int64.to_int (get_u64 payload pos) in
+      Rep_ack { epoch; applied_lsn }
+  | 'U' -> Promote
   | c -> raise (Protocol_error (Printf.sprintf "unknown request tag %C" c))
 
 let encode_reply r =
@@ -224,7 +268,32 @@ let encode_reply r =
       add_str buf json
   | Top_text text ->
       Buffer.add_char buf 'V';
-      add_str buf text);
+      add_str buf text
+  | Rep_hello { epoch; stream_id; page_size; snapshot; start_lsn; data_len } ->
+      Buffer.add_char buf 'h';
+      add_u32 buf epoch;
+      add_u64 buf stream_id;
+      add_u32 buf page_size;
+      Buffer.add_char buf (if snapshot then '\x01' else '\x00');
+      add_u64 buf (Int64.of_int start_lsn);
+      add_u64 buf (Int64.of_int data_len)
+  | Rep_chunk { kind; off; data } ->
+      Buffer.add_char buf 'c';
+      Buffer.add_char buf (match kind with Data_chunk -> 'D' | Wal_chunk -> 'W');
+      add_u64 buf (Int64.of_int off);
+      add_str buf data
+  | Rep_wal { epoch; start_lsn; primary_end; data } ->
+      Buffer.add_char buf 'w';
+      add_u32 buf epoch;
+      add_u64 buf (Int64.of_int start_lsn);
+      add_u64 buf (Int64.of_int primary_end);
+      add_str buf data
+  | Rep_fence { epoch } ->
+      Buffer.add_char buf 'f';
+      add_u32 buf epoch
+  | Promoted { epoch } ->
+      Buffer.add_char buf 'u';
+      add_u32 buf epoch);
   Buffer.contents buf
 
 let decode_reply payload =
@@ -258,6 +327,43 @@ let decode_reply payload =
           Trace_json (Some (get_str payload pos))
       | c -> raise (Protocol_error (Printf.sprintf "bad trace presence %C" c)))
   | 'V' -> Top_text (get_str payload pos)
+  | 'h' ->
+      let epoch = get_u32 payload pos in
+      let stream_id = get_u64 payload pos in
+      let page_size = get_u32 payload pos in
+      if !pos >= String.length payload then
+        raise (Protocol_error "truncated rep hello");
+      let snapshot =
+        match payload.[!pos] with
+        | '\x00' -> false
+        | '\x01' -> true
+        | c -> raise (Protocol_error (Printf.sprintf "bad snapshot flag %C" c))
+      in
+      incr pos;
+      let start_lsn = Int64.to_int (get_u64 payload pos) in
+      let data_len = Int64.to_int (get_u64 payload pos) in
+      Rep_hello { epoch; stream_id; page_size; snapshot; start_lsn; data_len }
+  | 'c' ->
+      if String.length payload < 2 then
+        raise (Protocol_error "truncated rep chunk");
+      let kind =
+        match payload.[1] with
+        | 'D' -> Data_chunk
+        | 'W' -> Wal_chunk
+        | c -> raise (Protocol_error (Printf.sprintf "bad chunk kind %C" c))
+      in
+      pos := 2;
+      let off = Int64.to_int (get_u64 payload pos) in
+      let data = get_str payload pos in
+      Rep_chunk { kind; off; data }
+  | 'w' ->
+      let epoch = get_u32 payload pos in
+      let start_lsn = Int64.to_int (get_u64 payload pos) in
+      let primary_end = Int64.to_int (get_u64 payload pos) in
+      let data = get_str payload pos in
+      Rep_wal { epoch; start_lsn; primary_end; data }
+  | 'f' -> Rep_fence { epoch = get_u32 payload pos }
+  | 'u' -> Promoted { epoch = get_u32 payload pos }
   | c -> raise (Protocol_error (Printf.sprintf "unknown reply tag %C" c))
 
 let write_request fd r = write_frame fd (encode_request r)

@@ -41,7 +41,22 @@
     {e without} an ID encodes as a byte-identical rev-1 frame — so a new
     client that leaves [request_id = ""] interoperates with an old server,
     which never sees an unknown tag. Round-trip tests pin both
-    directions. *)
+    directions.
+
+    Rev 3 (this revision) adds WAL-shipped replication and admin
+    promotion. Requests: [Rep_subscribe] (a replica asks the primary to
+    stream its log from an LSN, presenting its current epoch and the
+    stream ID it last saw), [Rep_ack] (applied-LSN progress, flowing
+    back on the same connection), [Promote] (bump the epoch and start
+    serving as primary). Replies: [Rep_hello] (stream parameters;
+    whether a full snapshot precedes the tail), [Rep_chunk] (snapshot
+    bytes of the data file or WAL prefix), [Rep_wal] (a batch of raw
+    log bytes — empty batches are heartbeats carrying the primary's
+    end LSN), [Rep_fence] (the receiver's epoch is newer: the
+    subscriber — or the sender — is a fenced zombie), [Promoted] (the
+    new epoch). Compatibility is again by construction: rev 3 only
+    introduces new tags, so every rev-2 frame is byte-identical under
+    rev 3 and a rev-2 client can never elicit a rev-3 reply. *)
 
 exception Protocol_error of string
 (** Malformed frame: bad tag, truncated body, or an over-sized length
@@ -52,7 +67,7 @@ exception Connection_closed
     read mid-frame, or a write to a closed socket. *)
 
 val protocol_rev : int
-(** The protocol revision this build speaks (2). Informational — the
+(** The protocol revision this build speaks (3). Informational — the
     protocol negotiates nothing; compatibility is carried by the frame
     tags as described above. *)
 
@@ -73,6 +88,16 @@ type request =
   | Trace_get of string
       (** fetch the Chrome trace of one past request by its ID *)
   | Top  (** rendered snapshot of the windowed serving metrics *)
+  | Rep_subscribe of { epoch : int; stream_id : int64; from_lsn : int }
+      (** replica asks for the log from [from_lsn]; [stream_id] is the
+          last stream it tailed ([0L] = none) — a sender whose current
+          stream differs answers with a snapshot resync *)
+  | Rep_ack of { epoch : int; applied_lsn : int }
+      (** applied + fsynced through [applied_lsn]; sent on the
+          subscribe connection *)
+  | Promote  (** admin: bump the epoch, fence the old primary *)
+
+type chunk_kind = Data_chunk | Wal_chunk
 
 type reply =
   | Header of string list  (** column names of the answer schema *)
@@ -98,6 +123,28 @@ type reply =
       (** [None] when the requested ID has fallen out of the server's
           trace ring (or never existed) *)
   | Top_text of string  (** server-rendered, ready to print *)
+  | Rep_hello of {
+      epoch : int;
+      stream_id : int64;
+      page_size : int;
+      snapshot : bool;
+      start_lsn : int;
+      data_len : int;
+    }
+      (** stream opening: when [snapshot] is true, [data_len] bytes of
+          data file and a WAL prefix up to [start_lsn] arrive as
+          [Rep_chunk]s before the tail starts at [start_lsn] *)
+  | Rep_chunk of { kind : chunk_kind; off : int; data : string }
+      (** snapshot bytes at offset [off] of the data file
+          ([Data_chunk]) or the WAL ([Wal_chunk]) *)
+  | Rep_wal of { epoch : int; start_lsn : int; primary_end : int; data : string }
+      (** raw log bytes [start_lsn, start_lsn + length data); empty
+          [data] is a heartbeat; [primary_end] is the primary's
+          shippable end, letting the replica compute its own lag *)
+  | Rep_fence of { epoch : int }
+      (** the peer's epoch [epoch] is newer than the frame it rejected
+          — whoever received this is fenced *)
+  | Promoted of { epoch : int }  (** answer to [Promote] *)
 
 val max_frame : int
 (** Frames above this size (64 MB) raise {!Protocol_error} on read. *)

@@ -44,6 +44,11 @@ val dir : t -> string
 val path : t -> string
 (** The data file's path ([<dir>/data.fsql]). *)
 
+val path_of : string -> string
+(** The data file's path inside a directory, without opening it —
+    replication's snapshot sender and applier name the file before any
+    handle exists. *)
+
 val page_size : t -> int
 val stats : t -> Iostats.t
 val set_fault : t -> Fault.t option -> unit

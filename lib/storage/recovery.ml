@@ -118,7 +118,9 @@ let redo ~psize records boundary =
         Bytes.blit data 0 img off len;
         Bytes.set_uint8 img 0 (count land 0xff);
         Bytes.set_uint8 img 1 ((count lsr 8) land 0xff)
-    | Wal.Free _ | Wal.Define _ | Wal.Commit | Wal.Checkpoint _ -> ()
+    | Wal.Free _ | Wal.Define _ | Wal.Commit | Wal.Checkpoint _ | Wal.Epoch _
+      ->
+        ()
   in
   List.iter
     (fun (end_lsn, r) ->
@@ -129,7 +131,8 @@ let redo ~psize records boundary =
     records;
   (images, !replayed)
 
-let recover ?(page_size = 8192) ?(mode = Wal.Group) ~dir stats =
+let recover ?(page_size = 8192) ?(mode = Wal.Group) ?(checkpoint = true) ~dir
+    stats =
   let t0 = Unix.gettimeofday () in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let wal_path = wal_path_of dir in
@@ -203,9 +206,12 @@ let recover ?(page_size = 8192) ?(mode = Wal.Group) ~dir stats =
     rebuild_free_list wal disk;
     if (not clean) || pages_redone > 0 then begin
       (* Durability point + bound the next replay: data first, then the
-         log snapshot. *)
+         log snapshot. [~checkpoint:false] is the replica catch-up path:
+         it must keep the local log a byte-prefix of the primary's, so
+         the snapshot rewrite (which would reset every LSN) is skipped —
+         the data file is still synced so redone pages are durable. *)
       Real_disk.sync disk;
-      Wal.checkpoint wal
+      if checkpoint then Wal.checkpoint wal
     end;
     let report =
       {

@@ -36,6 +36,7 @@ val wal_path_of : string -> string
 val recover :
   ?page_size:int ->
   ?mode:Wal.sync_mode ->
+  ?checkpoint:bool ->
   dir:string ->
   Iostats.t ->
   Real_disk.t * Wal.t * report
@@ -47,7 +48,10 @@ val recover :
     writable handles with the free list rebuilt from the manifest and
     the catalog verified ({!Corrupt} on inconsistency). [page_size] and
     [mode] apply to fresh directories / the reopened log; an existing
-    data file's page size always wins. *)
+    data file's page size always wins. [checkpoint] (default [true])
+    controls the final log-snapshot rewrite — replica catch-up passes
+    [false] so the local log stays a byte-prefix of the primary's (the
+    data file is still synced). *)
 
 val verify_pages : Wal.t -> Real_disk.t -> (int * int32 * int32) list
 (** Run every manifest-live page through trailer validation; returns

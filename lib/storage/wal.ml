@@ -42,7 +42,12 @@ type record =
   | Free of { fid : int }
   | Define of { fid : int; meta : bytes }
   | Commit
-  | Checkpoint of { next_fid : int; files : (int * bytes * int array) list }
+  | Checkpoint of {
+      next_fid : int;
+      files : (int * bytes * int array) list;
+      epoch : int;
+    }
+  | Epoch of { epoch : int }
 
 exception Read_only of string
 
@@ -79,6 +84,9 @@ type t = {
   epoch_fresh : (int, unit) Hashtbl.t;
       (** pages allocated or imaged since the last checkpoint: no
           full-page image needed before their next delta *)
+  mutable epoch : int;
+      (** replication epoch — monotone, bumped at promotion, persisted
+          in every checkpoint record and by explicit [Epoch] records *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +135,7 @@ let tag_of = function
   | Define _ -> 5
   | Commit -> 6
   | Checkpoint _ -> 7
+  | Epoch _ -> 8
 
 let encode_body b = function
   | Alloc { fid; page } ->
@@ -145,7 +154,7 @@ let encode_body b = function
       add_u32 b fid;
       Buffer.add_bytes b meta
   | Commit -> ()
-  | Checkpoint { next_fid; files } ->
+  | Checkpoint { next_fid; files; epoch } ->
       add_u32 b next_fid;
       add_u32 b (List.length files);
       List.iter
@@ -155,7 +164,11 @@ let encode_body b = function
           Buffer.add_bytes b meta;
           add_u32 b (Array.length pages);
           Array.iter (add_u32 b) pages)
-        files
+        files;
+      (* The replication epoch trails the file list so pre-epoch logs
+         (whose bodies end exactly at the list) still decode. *)
+      add_u32 b epoch
+  | Epoch { epoch } -> add_u32 b epoch
 
 let decode_body tag body =
   let len = Bytes.length body in
@@ -195,8 +208,12 @@ let decode_body tag body =
               pos := !pos + (4 * npages);
               (fid, meta, pages))
         in
-        if !pos = len then Some (Checkpoint { next_fid; files }) else None
+        if !pos = len then Some (Checkpoint { next_fid; files; epoch = 0 })
+        else if !pos + 4 = len then
+          Some (Checkpoint { next_fid; files; epoch = get_u32 body !pos })
+        else None
       with Invalid_argument _ -> None)
+  | 8 when len = 4 -> Some (Epoch { epoch = get_u32 body 0 })
   | _ -> None
 
 (* Frame a record destined for offset [start] into [out]. *)
@@ -235,6 +252,55 @@ let read_file path =
       really_input ic buf 0 len;
       buf)
 
+type stream_status = Stream_ok | Stream_bad
+
+(* Parse frames from [data.[off .. off+len)] whose first byte lives at
+   file offset [base]. Returns the decoded records (with end-LSNs), the
+   bytes consumed, and whether parsing stopped at an incomplete trailing
+   frame ([Stream_ok] — feed more bytes) or at a frame that is fully
+   present yet invalid ([Stream_bad] — bad CRC, wrong offset stamp, or
+   undecodable body). This is the replication tail's incremental parser;
+   {!scan} is the whole-file special case. *)
+let parse_stream ?(off = 0) ?len data ~base =
+  let avail = match len with Some l -> l | None -> Bytes.length data - off in
+  let records = ref [] in
+  let pos = ref 0 in
+  let status = ref Stream_ok in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 17 > avail then stop := true
+    else begin
+      let body_len = get_u32 data (off + !pos) in
+      let frame_len = 17 + body_len in
+      if !pos + frame_len > avail then stop := true
+      else begin
+        let protected = Bytes.sub data (off + !pos + 4) (9 + body_len) in
+        let crc = get_u32 data (off + !pos + 13 + body_len) in
+        if Int32.to_int (Crc32.bytes protected) land 0xffffffff <> crc then begin
+          status := Stream_bad;
+          stop := true
+        end
+        else begin
+          let tag = Bytes.get_uint8 protected 0 in
+          let start = get_u64 protected 1 in
+          if start <> base + !pos then begin
+            status := Stream_bad;
+            stop := true
+          end
+          else
+            match decode_body tag (Bytes.sub protected 9 body_len) with
+            | None ->
+                status := Stream_bad;
+                stop := true
+            | Some r ->
+                pos := !pos + frame_len;
+                records := (base + !pos, r) :: !records
+        end
+      end
+    end
+  done;
+  (List.rev !records, !pos, !status)
+
 let scan path =
   if not (Sys.file_exists path) then
     { scan_records = []; scan_valid_end = 0; scan_file_len = 0; scan_bad_header = true }
@@ -244,37 +310,12 @@ let scan path =
     if len < header_size || Bytes.sub_string data 0 header_size <> magic then
       { scan_records = []; scan_valid_end = 0; scan_file_len = len; scan_bad_header = true }
     else begin
-      let records = ref [] in
-      let pos = ref header_size in
-      let stop = ref false in
-      while not !stop do
-        if !pos + 17 > len then stop := true
-        else begin
-          let body_len = get_u32 data !pos in
-          let frame_len = 17 + body_len in
-          if body_len < 0 || !pos + frame_len > len then stop := true
-          else begin
-            let protected = Bytes.sub data (!pos + 4) (9 + body_len) in
-            let crc = get_u32 data (!pos + 13 + body_len) in
-            if Int32.to_int (Crc32.bytes protected) land 0xffffffff <> crc then
-              stop := true
-            else begin
-              let tag = Bytes.get_uint8 protected 0 in
-              let start = get_u64 protected 1 in
-              if start <> !pos then stop := true
-              else
-                match decode_body tag (Bytes.sub protected 9 body_len) with
-                | None -> stop := true
-                | Some r ->
-                    pos := !pos + frame_len;
-                    records := (!pos, r) :: !records
-            end
-          end
-        end
-      done;
+      let records, consumed, _status =
+        parse_stream data ~off:header_size ~base:header_size
+      in
       {
-        scan_records = List.rev !records;
-        scan_valid_end = !pos;
+        scan_records = records;
+        scan_valid_end = header_size + consumed;
         scan_file_len = len;
         scan_bad_header = false;
       }
@@ -307,16 +348,18 @@ let apply_manifest t = function
       ignore (file_pages t fid);
       Hashtbl.replace t.metas fid meta;
       if fid >= t.next_fid then t.next_fid <- fid + 1
-  | Checkpoint { next_fid; files } ->
+  | Checkpoint { next_fid; files; epoch } ->
       Hashtbl.reset t.files;
       Hashtbl.reset t.metas;
       Hashtbl.reset t.epoch_fresh;
       t.next_fid <- next_fid;
+      if epoch > t.epoch then t.epoch <- epoch;
       List.iter
         (fun (fid, meta, pages) ->
           Hashtbl.replace t.files fid (ref (List.rev (Array.to_list pages)));
           if Bytes.length meta > 0 then Hashtbl.replace t.metas fid meta)
         files
+  | Epoch { epoch } -> if epoch > t.epoch then t.epoch <- epoch
 
 let manifest t =
   Mutex.lock t.lock;
@@ -343,7 +386,7 @@ let manifest_snapshot_locked t =
       t.files []
   in
   let files = List.sort (fun (a, _, _) (b, _, _) -> compare a b) files in
-  Checkpoint { next_fid = t.next_fid; files }
+  Checkpoint { next_fid = t.next_fid; files; epoch = t.epoch }
 
 (* ------------------------------------------------------------------ *)
 (* File I/O *)
@@ -593,6 +636,7 @@ let make ~path ~mode ~readonly ~fd =
     files = Hashtbl.create 16;
     metas = Hashtbl.create 16;
     epoch_fresh = Hashtbl.create 64;
+    epoch = 0;
   }
 
 let create ~path ~mode =
@@ -660,3 +704,20 @@ let commits t = t.commits
 let fsyncs t = t.fsyncs
 let appended t = t.appended
 let is_fresh_page t page = Hashtbl.mem t.epoch_fresh page
+
+let epoch t =
+  Mutex.lock t.lock;
+  let e = t.epoch in
+  Mutex.unlock t.lock;
+  e
+
+let written_lsn t =
+  Mutex.lock t.lock;
+  let l = t.written_lsn in
+  Mutex.unlock t.lock;
+  l
+
+(* Record an epoch bump (promotion). The caller follows with {!commit} so
+   the log stays clean-ended; the new epoch is also carried by every
+   subsequent checkpoint snapshot. *)
+let log_epoch t epoch = ignore (append t (Epoch { epoch }))

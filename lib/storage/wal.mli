@@ -56,8 +56,17 @@ type record =
   | Define of { fid : int; meta : bytes }
       (** catalog entry: opaque metadata blob (schema) for [fid] *)
   | Commit  (** durability point *)
-  | Checkpoint of { next_fid : int; files : (int * bytes * int array) list }
-      (** manifest snapshot: (fid, meta, pages) per durable file *)
+  | Checkpoint of {
+      next_fid : int;
+      files : (int * bytes * int array) list;
+      epoch : int;
+    }
+      (** manifest snapshot: (fid, meta, pages) per durable file, plus
+          the replication epoch in force (0 on pre-replication logs) *)
+  | Epoch of { epoch : int }
+      (** replication epoch bump — appended at promotion so a restarted
+          node (and any tailing replica) learns the new epoch without
+          waiting for a checkpoint *)
 
 type t
 
@@ -140,6 +149,25 @@ val scan : string -> scan
 (** Parse the log at a path, stopping at the first invalid frame (bad
     CRC, wrong offset stamp, short tail). Never raises on torn input. *)
 
+type stream_status =
+  | Stream_ok  (** stopped at an incomplete trailing frame — feed more *)
+  | Stream_bad
+      (** stopped at a fully-present but invalid frame (bad CRC, wrong
+          offset stamp, undecodable body) — the stream is corrupt *)
+
+val parse_stream :
+  ?off:int ->
+  ?len:int ->
+  bytes ->
+  base:int ->
+  (int * record) list * int * stream_status
+(** [parse_stream data ~base] decodes consecutive frames from
+    [data.[off .. off+len)], whose first byte lives at file offset
+    [base]; returns [(end-LSN, record)] pairs in order, the bytes
+    consumed, and why parsing stopped. The incremental parser behind the
+    replication tail ({!Wal_stream.Tail}); {!scan} is the whole-file
+    special case. *)
+
 (** {2 Introspection} *)
 
 val path : t -> string
@@ -160,3 +188,19 @@ val appended : t -> int
 val is_fresh_page : t -> int -> bool
 (** Whether [page] was allocated or imaged since the last checkpoint
     (no before-image needed on next touch). *)
+
+(** {2 Replication} *)
+
+val epoch : t -> int
+(** Replication epoch in force — the maximum over every [Epoch] and
+    [Checkpoint] record seen (0 when the log predates replication). *)
+
+val written_lsn : t -> int
+(** Bytes handed to the kernel — the prefix of the file that is safe to
+    read through an independent fd (buffered records are not yet
+    visible there). The WAL sender ships
+    [min (committed_end t) (written_lsn t)]. *)
+
+val log_epoch : t -> int -> unit
+(** Append an [Epoch] record (promotion). The caller should {!commit}
+    right after so the log stays clean-ended. *)

@@ -583,6 +583,76 @@ let prop_torn_write_recovery =
           Env.close env2;
           ok))
 
+(* ------------------------------------------------------------------ *)
+(* qcheck: recovery is idempotent when the process dies during the
+   post-redo checkpoint *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let prop_checkpoint_crash_idempotent =
+  QCheck.Test.make ~count:40
+    ~name:"crash mid-checkpoint write: recovery is idempotent"
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (seed, cut_sel) ->
+      with_dir (fun dir ->
+          (* Committed workload, then a crash with a dirty pool. *)
+          let env =
+            Env.open_durable ~dir ~page_size:512 ~pool_pages:256
+              ~wal_sync:Wal.Always ()
+          in
+          let rng = Random.State.make [| seed; 0xCC |] in
+          let rel = Relation.create ~durable:true env schema in
+          let count = ref 0 in
+          for b = 1 to 1 + Random.State.int rng 3 do
+            let n = 1 + Random.State.int rng 10 in
+            List.iter (Relation.insert rel) (batch ~seed:(seed + b) ~start:!count n);
+            count := !count + n;
+            Env.commit env
+          done;
+          Env.crash env;
+          let wal_path = Recovery.wal_path_of dir in
+          let data_path = Filename.concat dir "data.fsql" in
+          let wal0 = read_file wal_path and data0 = read_file data_path in
+          (* Reference run: recovery to completion, checkpoint included.
+             Its state and its checkpointed log are what every
+             crash-interrupted retry must converge to. *)
+          let env1 = Env.open_durable ~dir () in
+          let expected =
+            match Catalog.find (Catalog.load_durable env1) "K" with
+            | Some r -> raw_records r
+            | None -> []
+          in
+          Env.close env1;
+          let ckpt_wal = read_file wal_path in
+          (* Rewind to the pre-recovery files and plant a crash-torn
+             checkpoint: a prefix of the new log sits in wal.fsql.tmp,
+             the rename never happened. The next recovery must ignore
+             the tmp entirely (checkpoint opens it with O_TRUNC), redo
+             from the intact old log, and converge to the same state. *)
+          write_file wal_path wal0;
+          write_file data_path data0;
+          let cut = cut_sel mod (String.length ckpt_wal + 1) in
+          write_file (wal_path ^ ".tmp") (String.sub ckpt_wal 0 cut);
+          let env2 = Env.open_durable ~dir () in
+          let got =
+            match Catalog.find (Catalog.load_durable env2) "K" with
+            | Some r -> raw_records r
+            | None -> []
+          in
+          Env.close env2;
+          (* The retry rewrote the checkpoint through its own tmp+rename,
+             so no stale tmp file survives. *)
+          got = expected && not (Sys.file_exists (wal_path ^ ".tmp"))))
+
 let suites =
   [
     ("recovery.real-disk", real_disk_tests);
@@ -593,5 +663,6 @@ let suites =
         QCheck_alcotest.to_alcotest prop_corruption_detected;
         QCheck_alcotest.to_alcotest prop_crash_offset_determinism;
         QCheck_alcotest.to_alcotest prop_torn_write_recovery;
+        QCheck_alcotest.to_alcotest prop_checkpoint_crash_idempotent;
       ] );
   ]

@@ -220,6 +220,43 @@ let query_log_tests =
             Alcotest.(check int) "only the slow one" 1
               (Server.Telemetry.Query_log.written log);
             Server.Telemetry.Query_log.close log));
+    tc "reopen after an external rename (SIGHUP/logrotate handshake)" `Quick
+      (fun () ->
+        with_temp_log (fun path ->
+            let log = Server.Telemetry.Query_log.create path in
+            Server.Telemetry.Query_log.log log (mk_record ~id:"before-1" ());
+            Server.Telemetry.Query_log.log log (mk_record ~id:"before-2" ());
+            (* logrotate renames the live file, then signals the daemon;
+               records logged in between must land in the renamed file
+               (the fd follows the inode), never be lost. *)
+            Sys.rename path (path ^ ".1");
+            Server.Telemetry.Query_log.log log (mk_record ~id:"between" ());
+            Server.Telemetry.Query_log.reopen log;
+            Server.Telemetry.Query_log.log log (mk_record ~id:"after" ());
+            Alcotest.(check int) "no record dropped" 4
+              (Server.Telemetry.Query_log.written log);
+            Server.Telemetry.Query_log.close log;
+            let rotated = read_file (path ^ ".1") and live = read_file path in
+            List.iter (check_contains "rotated" rotated)
+              [ "before-1"; "before-2"; "between" ];
+            check_contains "live" live "after";
+            Alcotest.(check bool) "live file holds only post-reopen records"
+              true
+              (not
+                 (List.exists
+                    (fun id ->
+                      let n = String.length id and h = String.length live in
+                      let rec has i =
+                        i + n <= h && (String.sub live i n = id || has (i + 1))
+                      in
+                      has 0)
+                    [ "before-1"; "before-2"; "between" ]));
+            (* reopen on an un-rotated log is a harmless no-op *)
+            let log2 = Server.Telemetry.Query_log.create path in
+            Server.Telemetry.Query_log.reopen log2;
+            Server.Telemetry.Query_log.log log2 (mk_record ~id:"steady" ());
+            Server.Telemetry.Query_log.close log2;
+            check_contains "append preserved" (read_file path) "after"));
     tc "rotation renames to .1 and starts fresh" `Quick (fun () ->
         with_temp_log (fun path ->
             let log = Server.Telemetry.Query_log.create ~max_bytes:400 path in
